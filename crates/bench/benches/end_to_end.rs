@@ -1,0 +1,36 @@
+//! Criterion bench: one full paper experiment (350 simulated minutes,
+//! 26 devices, high arrival rate) wall-clock, per strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use han_core::cp::CpModel;
+use han_core::experiment::run_strategy;
+use han_core::Strategy;
+use han_workload::scenario::{ArrivalRate, Scenario};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_350min");
+    group.sample_size(10);
+    let scenario = Scenario::paper(ArrivalRate::High, 0);
+    group.bench_function("uncoordinated", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_strategy(
+                &scenario,
+                Strategy::Uncoordinated,
+                CpModel::Ideal,
+            ))
+        });
+    });
+    group.bench_function("coordinated_ideal_cp", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_strategy(
+                &scenario,
+                Strategy::coordinated(),
+                CpModel::Ideal,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: raw discrete-event engine throughput (events/second).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use han_sim::engine::{Engine, World};
+use han_sim::time::{SimDuration, SimTime};
+
+struct Chain {
+    remaining: u64,
+}
+
+impl World for Chain {
+    type Event = ();
+    fn handle(&mut self, engine: &mut Engine<()>, _at: SimTime, _ev: ()) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            engine.schedule_in(SimDuration::from_micros(1), ());
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    const EVENTS: u64 = 100_000;
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(EVENTS));
+    group.bench_function("chained_events", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new();
+            let mut world = Chain { remaining: EVENTS };
+            engine.schedule_at(SimTime::ZERO, ());
+            engine.run_to_completion(&mut world);
+            std::hint::black_box(engine.events_fired())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: packet-level cost of one MiniCast all-to-all round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use han_net::generators;
+use han_net::NodeId;
+use han_radio::channel::ChannelModel;
+use han_sim::rng::DetRng;
+use han_st::item::{Item, ItemStore};
+use han_st::minicast::run_round;
+use han_st::StConfig;
+
+fn bench_minicast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minicast_round");
+    group.sample_size(20);
+    for n in [9usize, 26, 49] {
+        let side = (n as f64).sqrt() as usize;
+        let topo = generators::grid(side, side, 12.0, ChannelModel::indoor_office(1));
+        let rssi = topo.rssi_matrix();
+        let count = topo.len();
+        group.bench_with_input(BenchmarkId::from_parameter(count), &count, |b, _| {
+            let mut stores = vec![ItemStore::new(); count];
+            for (i, store) in stores.iter_mut().enumerate() {
+                store.merge(&Item::new(NodeId(i as u32), 1, vec![0u8; 23]));
+            }
+            let mut rng = DetRng::new(7);
+            let mut round = 0u64;
+            b.iter(|| {
+                let report = run_round(
+                    &rssi,
+                    &mut stores,
+                    NodeId(0),
+                    &StConfig::default(),
+                    round,
+                    &mut rng,
+                );
+                round += 1;
+                std::hint::black_box(report.reliability)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minicast);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: collaborative schedule computation vs. device count.
+//!
+//! The planner runs on every Device Interface every 2 seconds, so its cost
+//! bounds how large a HAN a DI-class node could coordinate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use han_core::{plan_coordinated, PlanConfig, SystemView};
+use han_device::appliance::DeviceId;
+use han_device::status::StatusRecord;
+use han_sim::time::{SimDuration, SimTime};
+
+fn view_with_actives(n: usize) -> SystemView {
+    let mut view = SystemView::new(n);
+    for i in 0..n {
+        view.refresh(StatusRecord {
+            device: DeviceId(i as u32),
+            active: true,
+            on: i % 3 == 0,
+            owed: SimDuration::from_mins(5 + (i as u64 * 7) % 11),
+            deadline: Some(SimTime::from_mins(20 + (i as u64 * 13) % 25)),
+            windows_remaining: 1,
+            arrival: Some(SimTime::from_mins((i as u64 * 3) % 17)),
+            planned_start: None,
+            power_w: 1000,
+            min_dcd: SimDuration::from_mins(15),
+            max_dcp: SimDuration::from_mins(30),
+        });
+    }
+    view
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_coordinated");
+    for n in [10usize, 26, 100, 500] {
+        let view = view_with_actives(n);
+        let cfg = PlanConfig::default();
+        let now = SimTime::from_mins(21);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| plan_coordinated(std::hint::black_box(&view), now, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

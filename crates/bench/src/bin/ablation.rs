@@ -1,0 +1,80 @@
+//! Beyond-paper **ablation study** of the design choices DESIGN.md calls
+//! out:
+//!
+//! * scheduling rule — level-capped queue (default) vs. balanced placement
+//!   vs. earliest-fit (≈ greedy) vs. latest-fit (procrastinator);
+//! * communication plane — ideal vs. lossy vs. packet-level MiniCast.
+//!
+//! Run with: `cargo run --release -p han-bench --bin ablation`
+
+use han_core::cp::CpModel;
+use han_core::experiment::run_strategy;
+use han_core::{PlanConfig, SchedulingRule, Strategy};
+use han_workload::scenario::{ArrivalRate, Scenario};
+
+fn main() {
+    let seeds = 0..3u64;
+    println!("# scheduling-rule ablation: paper scenario, high rate, mean over 3 seeds");
+    println!("rule,peak_kw,std_kw,mean_kw,deadline_misses");
+
+    let rules: [(&str, Option<SchedulingRule>); 5] = [
+        ("uncoordinated", None),
+        ("level_capped_queue", Some(SchedulingRule::LevelCappedQueue { headroom_kw: 0.0 })),
+        ("balanced_placement", Some(SchedulingRule::BalancedPlacement)),
+        ("earliest_fit", Some(SchedulingRule::Earliest)),
+        ("latest_fit", Some(SchedulingRule::Latest)),
+    ];
+    for (name, rule) in rules {
+        let mut peak = 0.0;
+        let mut std = 0.0;
+        let mut mean = 0.0;
+        let mut misses = 0u32;
+        let n = seeds.clone().count() as f64;
+        for seed in seeds.clone() {
+            let scenario = Scenario::paper(ArrivalRate::High, seed);
+            let strategy = match rule {
+                None => Strategy::Uncoordinated,
+                Some(rule) => Strategy::Coordinated(PlanConfig {
+                    rule,
+                    ..PlanConfig::default()
+                }),
+            };
+            let r = run_strategy(&scenario, strategy, CpModel::Ideal);
+            peak += r.summary.peak;
+            std += r.summary.std_dev;
+            mean += r.summary.mean;
+            misses += r.outcome.deadline_misses;
+        }
+        println!(
+            "{name},{:.2},{:.2},{:.2},{misses}",
+            peak / n,
+            std / n,
+            mean / n
+        );
+    }
+
+    println!();
+    println!("# communication-plane ablation: default rule, high rate, seed 0, 120 min");
+    println!("cp_model,peak_kw,std_kw,misses,divergent_rounds,delivery_percent");
+    let scenario = Scenario {
+        duration: han_sim::time::SimDuration::from_mins(120),
+        ..Scenario::paper(ArrivalRate::High, 0)
+    };
+    let cps: [(&str, CpModel); 4] = [
+        ("ideal", CpModel::Ideal),
+        ("lossy_round_30", CpModel::LossyRound { miss_probability: 0.3 }),
+        ("lossy_record_30", CpModel::LossyRecord { miss_probability: 0.3 }),
+        ("packet_minicast", CpModel::paper_packet(0)),
+    ];
+    for (name, cp) in cps {
+        let r = run_strategy(&scenario, Strategy::coordinated(), cp);
+        println!(
+            "{name},{:.2},{:.2},{},{},{:.2}",
+            r.summary.peak,
+            r.summary.std_dev,
+            r.outcome.deadline_misses,
+            r.outcome.divergent_rounds,
+            r.outcome.cp.delivery_rate() * 100.0
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Reproduces **Figure 2(a)**: total system load over 350 minutes at the
+//! high arrival rate (30 requests/hour), with and without coordination.
+//!
+//! Prints the two per-minute series as CSV (`minute,without,with`) plus an
+//! ASCII rendering and summary statistics.
+//!
+//! Run with: `cargo run --release -p han-bench --bin fig2a`
+
+use han_bench::harness::ascii_series;
+use han_core::cp::CpModel;
+use han_core::experiment::compare;
+use han_metrics::report::series_csv;
+use han_workload::scenario::{ArrivalRate, Scenario};
+
+fn main() {
+    let scenario = Scenario::paper(ArrivalRate::High, 0);
+    let c = compare(&scenario, CpModel::Ideal);
+
+    let minutes: Vec<f64> = (0..c.uncoordinated.samples.len()).map(|m| m as f64).collect();
+    println!(
+        "{}",
+        series_csv(
+            "minute",
+            &minutes,
+            &[
+                ("without_coordination_kw", &c.uncoordinated.samples),
+                ("with_coordination_kw", &c.coordinated.samples),
+            ],
+        )
+    );
+
+    let max = c.uncoordinated.summary.peak.max(c.coordinated.summary.peak);
+    println!("# load over time (each row = 10 min; # bars scaled to {max:.0} kW)");
+    println!("# {:<6} {:<26}  {:<26}", "min", "without coordination", "with coordination");
+    let unco_rows = ascii_series(&c.uncoordinated.samples, max, 26);
+    let coord_rows = ascii_series(&c.coordinated.samples, max, 26);
+    for (m, (u, co)) in unco_rows.iter().zip(&coord_rows).enumerate() {
+        if m % 10 == 0 {
+            println!("# {m:<6}|{u}|  |{co}|");
+        }
+    }
+
+    println!("#");
+    println!(
+        "# without coordination: peak {:.1} kW, mean {:.2} kW, std {:.2} kW",
+        c.uncoordinated.summary.peak, c.uncoordinated.summary.mean, c.uncoordinated.summary.std_dev
+    );
+    println!(
+        "# with coordination   : peak {:.1} kW, mean {:.2} kW, std {:.2} kW",
+        c.coordinated.summary.peak, c.coordinated.summary.mean, c.coordinated.summary.std_dev
+    );
+    println!(
+        "# peak reduction {:.0}%, std reduction {:.0}%, average gap {:.1}%",
+        c.peak_reduction_percent(),
+        c.std_reduction_percent(),
+        c.average_gap_percent()
+    );
+}

@@ -1,0 +1,37 @@
+//! Reproduces **Figure 2(b)**: peak load vs. arrival rate (4, 18 and 30
+//! requests/hour), with and without coordination, mean over 5 seeds.
+//!
+//! Run with: `cargo run --release -p han-bench --bin fig2b`
+
+use han_bench::harness::{paper_comparisons, SEEDS};
+use han_metrics::report::{ComparisonReport, ComparisonRow};
+use han_metrics::stats::reduction_percent;
+use han_workload::scenario::ArrivalRate;
+
+fn main() {
+    println!("# Figure 2(b): peak load (kW) vs arrival rate, mean over {} seeds", SEEDS.count());
+    println!("rate_per_hour,peak_without_kw,peak_with_kw,reduction_percent");
+
+    let mut report = ComparisonReport::new("peak load by arrival rate (kW)");
+    for rate in ArrivalRate::all() {
+        let comparisons = paper_comparisons(rate);
+        let unco = comparisons
+            .iter()
+            .map(|c| c.uncoordinated.summary.peak)
+            .sum::<f64>()
+            / comparisons.len() as f64;
+        let coord = comparisons
+            .iter()
+            .map(|c| c.coordinated.summary.peak)
+            .sum::<f64>()
+            / comparisons.len() as f64;
+        println!(
+            "{},{unco:.2},{coord:.2},{:.1}",
+            rate.per_hour(),
+            reduction_percent(unco, coord)
+        );
+        report.push(ComparisonRow::new(format!("{rate}"), unco, coord));
+    }
+    println!();
+    println!("{}", report.to_table());
+}

@@ -1,0 +1,50 @@
+//! Shared helpers for the figure-reproduction binaries.
+
+use han_core::cp::CpModel;
+use han_core::experiment::{compare_seeds, mean_metric, Comparison};
+use han_workload::scenario::{ArrivalRate, Scenario};
+
+/// Seeds used by every figure harness (multi-seed means, like repeating a
+/// testbed experiment).
+pub const SEEDS: std::ops::Range<u64> = 0..5;
+
+/// Runs the paper scenario comparison at one rate over [`SEEDS`].
+pub fn paper_comparisons(rate: ArrivalRate) -> Vec<Comparison> {
+    compare_seeds(&Scenario::paper(rate, 0), &CpModel::Ideal, SEEDS)
+}
+
+/// Per-rate aggregate of a metric over seeds.
+pub fn rate_series(metric: impl Fn(&Comparison) -> f64 + Copy) -> Vec<(ArrivalRate, f64)> {
+    ArrivalRate::all()
+        .into_iter()
+        .map(|rate| (rate, mean_metric(&paper_comparisons(rate), metric)))
+        .collect()
+}
+
+/// Renders a crude ASCII sparkline for terminal figures.
+pub fn ascii_series(values: &[f64], max: f64, width: usize) -> Vec<String> {
+    values
+        .iter()
+        .map(|&v| {
+            let filled = if max > 0.0 {
+                ((v / max) * width as f64).round() as usize
+            } else {
+                0
+            };
+            format!("{}{}", "#".repeat(filled.min(width)), " ".repeat(width - filled.min(width)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_series_shapes() {
+        let rows = ascii_series(&[0.0, 5.0, 10.0], 10.0, 10);
+        assert_eq!(rows[0], " ".repeat(10));
+        assert_eq!(rows[1], format!("{}{}", "#".repeat(5), " ".repeat(5)));
+        assert_eq!(rows[2], "#".repeat(10));
+    }
+}

@@ -1,0 +1,467 @@
+//! Communication-plane models.
+//!
+//! The Communication Plane (CP) is how every Device Interface obtains the
+//! shared system view each round. Four models with identical interfaces let
+//! experiments trade fidelity for speed:
+//!
+//! * [`CpModel::Ideal`] — perfect all-to-all delivery every round; isolates
+//!   the scheduling algorithm from networking effects.
+//! * [`CpModel::LossyRound`] — a node misses a whole round with probability
+//!   `p` and keeps its stale view (models a lost sync/round).
+//! * [`CpModel::LossyRecord`] — each (node, origin) record independently
+//!   misses with probability `p`.
+//! * [`CpModel::Packet`] — the real thing: MiniCast rounds simulated packet
+//!   by packet over the radio model on a topology (what the paper ran on
+//!   FlockLab).
+//!
+//! A node's **own** record is always fresh — a device needs no network to
+//! know itself.
+
+use crate::state::SystemView;
+use han_device::status::StatusRecord;
+use han_net::{NodeId, Topology};
+use han_radio::units::Dbm;
+use han_sim::rng::DetRng;
+use han_sim::time::SimDuration;
+use han_st::item::{Item, ItemStore};
+use han_st::minicast;
+use han_st::stats::DisseminationStats;
+use han_st::sync::SyncTracker;
+use han_st::StConfig;
+
+/// Which communication-plane fidelity to simulate.
+#[derive(Debug, Clone)]
+pub enum CpModel {
+    /// Perfect dissemination.
+    Ideal,
+    /// Whole-round misses per node with the given probability.
+    LossyRound {
+        /// Probability a node misses an entire round.
+        miss_probability: f64,
+    },
+    /// Independent per-record misses with the given probability.
+    LossyRecord {
+        /// Probability a given record fails to reach a given node.
+        miss_probability: f64,
+    },
+    /// Full packet-level MiniCast over a topology.
+    Packet {
+        /// Protocol parameters (round period, slots, N_TX …).
+        st: StConfig,
+        /// The deployment to simulate on.
+        topology: Topology,
+    },
+}
+
+impl CpModel {
+    /// The paper's deployment: packet-level MiniCast on the 26-node
+    /// FlockLab-like layout with default ST parameters.
+    pub fn paper_packet(channel_seed: u64) -> Self {
+        CpModel::Packet {
+            st: StConfig::default(),
+            topology: han_net::flocklab::flocklab26(channel_seed),
+        }
+    }
+}
+
+/// Aggregate CP statistics over a run.
+#[derive(Debug, Clone, Default)]
+pub struct CpStats {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// (node, origin) record refreshes delivered.
+    pub refreshed_records: u64,
+    /// (node, origin) record refreshes attempted.
+    pub expected_records: u64,
+    /// Rounds in which every node refreshed every record.
+    pub full_rounds: u64,
+    /// Packet-level dissemination details (packet mode only).
+    pub dissemination: Option<DisseminationStats>,
+    /// Worst clock-boundary error accumulated by any node between sync
+    /// beacons (packet mode only; TelosB-class 20 ppm crystals).
+    pub worst_sync_error: Option<SimDuration>,
+}
+
+impl CpStats {
+    /// Fraction of expected record deliveries that arrived.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.expected_records == 0 {
+            1.0
+        } else {
+            self.refreshed_records as f64 / self.expected_records as f64
+        }
+    }
+
+    /// Fraction of rounds with complete all-to-all delivery.
+    pub fn full_round_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            1.0
+        } else {
+            self.full_rounds as f64 / self.rounds as f64
+        }
+    }
+}
+
+// The Packet variant is large and CpState is held exactly once per
+// simulation; boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
+enum CpState {
+    Abstract,
+    Packet {
+        st: StConfig,
+        rssi: Vec<Vec<Dbm>>,
+        stores: Vec<ItemStore>,
+        /// Last sequence number each node has decoded per origin, to detect
+        /// which records are fresh this round.
+        last_seen: Vec<Vec<Option<u32>>>,
+        dissemination: DisseminationStats,
+        sync: SyncTracker,
+        worst_sync_error: SimDuration,
+    },
+}
+
+/// The communication plane: one [`SystemView`] per node, updated per round
+/// according to the model.
+pub struct CommunicationPlane {
+    model: CpModel,
+    state: CpState,
+    views: Vec<SystemView>,
+    rng: DetRng,
+    stats: CpStats,
+    round_index: u64,
+}
+
+impl std::fmt::Debug for CommunicationPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommunicationPlane")
+            .field("model", &self.model)
+            .field("rounds", &self.round_index)
+            .finish()
+    }
+}
+
+impl CommunicationPlane {
+    /// Creates a plane over `device_count` co-located device interfaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a packet-mode topology has fewer nodes than devices, or if
+    /// a loss probability is outside `[0, 1]`.
+    pub fn new(model: CpModel, device_count: usize, seed: u64) -> Self {
+        let state = match &model {
+            CpModel::Ideal => CpState::Abstract,
+            CpModel::LossyRound { miss_probability }
+            | CpModel::LossyRecord { miss_probability } => {
+                assert!(
+                    (0.0..=1.0).contains(miss_probability),
+                    "miss probability must be in [0, 1]"
+                );
+                CpState::Abstract
+            }
+            CpModel::Packet { st, topology } => {
+                assert!(
+                    topology.len() >= device_count,
+                    "topology has {} nodes for {} devices",
+                    topology.len(),
+                    device_count
+                );
+                st.validate().expect("invalid ST configuration");
+                st.check_fits_round(topology.len())
+                    .expect("network too large for the round period");
+                CpState::Packet {
+                    st: st.clone(),
+                    rssi: topology.rssi_matrix(),
+                    stores: vec![ItemStore::new(); topology.len()],
+                    last_seen: vec![vec![None; topology.len()]; topology.len()],
+                    dissemination: DisseminationStats::new(),
+                    sync: SyncTracker::new(topology.len(), 20.0, st.round_period, seed),
+                    worst_sync_error: SimDuration::ZERO,
+                }
+            }
+        };
+        CommunicationPlane {
+            model,
+            state,
+            views: vec![SystemView::new(device_count); device_count],
+            rng: DetRng::for_stream(seed, "communication-plane"),
+            stats: CpStats::default(),
+            round_index: 0,
+        }
+    }
+
+    /// The view node `i` currently holds.
+    pub fn view(&self, node: usize) -> &SystemView {
+        &self.views[node]
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> CpStats {
+        let mut stats = self.stats.clone();
+        if let CpState::Packet {
+            dissemination,
+            worst_sync_error,
+            ..
+        } = &self.state
+        {
+            stats.dissemination = Some(dissemination.clone());
+            stats.worst_sync_error = Some(*worst_sync_error);
+        }
+        stats
+    }
+
+    /// Radio-on duty cycle of the protocol itself (packet mode only).
+    pub fn radio_duty_cycle(&self, round_period: SimDuration) -> Option<f64> {
+        match &self.state {
+            CpState::Packet { dissemination, .. } => {
+                Some(dissemination.duty_cycle(round_period))
+            }
+            CpState::Abstract => None,
+        }
+    }
+
+    /// Executes one CP round: every node publishes `statuses[i]` (version
+    /// `seqs[i]`) and receives updates per the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `statuses` / `seqs` lengths differ from the device count.
+    pub fn round(&mut self, statuses: &[StatusRecord], seqs: &[u32]) {
+        let n = self.views.len();
+        assert_eq!(statuses.len(), n, "one status per device");
+        assert_eq!(seqs.len(), n, "one sequence number per device");
+
+        for view in &mut self.views {
+            view.age_all();
+        }
+
+        let mut refreshed = 0u64;
+        match (&self.model, &mut self.state) {
+            (CpModel::Ideal, _) => {
+                for view in &mut self.views {
+                    for rec in statuses {
+                        view.refresh(*rec);
+                    }
+                }
+                refreshed = (n * n) as u64;
+            }
+            (CpModel::LossyRound { miss_probability }, _) => {
+                for (node, view) in self.views.iter_mut().enumerate() {
+                    if self.rng.gen_bool(*miss_probability) {
+                        // Missed the round entirely; own record still local.
+                        view.refresh(statuses[node]);
+                        refreshed += 1;
+                    } else {
+                        for rec in statuses {
+                            view.refresh(*rec);
+                        }
+                        refreshed += n as u64;
+                    }
+                }
+            }
+            (CpModel::LossyRecord { miss_probability }, _) => {
+                for (node, view) in self.views.iter_mut().enumerate() {
+                    for (origin, rec) in statuses.iter().enumerate() {
+                        if origin == node || !self.rng.gen_bool(*miss_probability) {
+                            view.refresh(*rec);
+                            refreshed += 1;
+                        }
+                    }
+                }
+            }
+            (
+                CpModel::Packet { .. },
+                CpState::Packet {
+                    st,
+                    rssi,
+                    stores,
+                    last_seen,
+                    dissemination,
+                    sync,
+                    worst_sync_error,
+                },
+            ) => {
+                // Publish: each node merges its own fresh item.
+                for (i, (rec, &seq)) in statuses.iter().zip(seqs).enumerate() {
+                    stores[i].merge(&Item::new(NodeId(i as u32), seq, rec.encode()));
+                }
+                let report = minicast::run_round(
+                    rssi,
+                    stores,
+                    NodeId(0),
+                    st,
+                    self.round_index,
+                    &mut self.rng,
+                );
+                dissemination.record(&report);
+                sync.record_round(&report.synced[..n]);
+                *worst_sync_error = (*worst_sync_error).max(sync.worst_boundary_error());
+                // Deliver: decode stored items into views. A record counts
+                // as *fresh* only when the stored version matches the
+                // publisher's current sequence number; holding an older
+                // version installs the newer-than-before content but the
+                // pair still counts as stale for statistics.
+                for (node, view) in self.views.iter_mut().enumerate() {
+                    for origin in 0..n {
+                        let Some(item) = stores[node].get(NodeId(origin as u32)) else {
+                            continue;
+                        };
+                        let is_current = item.seq == seqs[origin];
+                        let newly = last_seen[node][origin] != Some(item.seq);
+                        if !(is_current || newly) {
+                            continue;
+                        }
+                        if let Ok(rec) = StatusRecord::decode(&item.payload) {
+                            view.refresh(rec);
+                            last_seen[node][origin] = Some(item.seq);
+                            if is_current {
+                                refreshed += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("model/state mismatch"),
+        }
+
+        self.round_index += 1;
+        self.stats.rounds += 1;
+        self.stats.refreshed_records += refreshed;
+        self.stats.expected_records += (n * n) as u64;
+        if refreshed == (n * n) as u64 {
+            self.stats.full_rounds += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use han_device::appliance::DeviceId;
+    use han_sim::time::SimTime;
+
+    fn statuses(n: usize, on_mask: u64) -> Vec<StatusRecord> {
+        (0..n)
+            .map(|i| StatusRecord {
+                on: on_mask & (1 << i) != 0,
+                active: true,
+                deadline: Some(SimTime::from_mins(30)),
+                arrival: Some(SimTime::ZERO),
+                owed: han_sim::time::SimDuration::from_mins(15),
+                ..StatusRecord::idle(DeviceId(i as u32))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ideal_delivers_everything() {
+        let mut cp = CommunicationPlane::new(CpModel::Ideal, 4, 1);
+        cp.round(&statuses(4, 0b0101), &[1; 4]);
+        for node in 0..4 {
+            for dev in 0..4u32 {
+                let rec = cp.view(node).record(DeviceId(dev)).expect("record");
+                assert_eq!(rec.on, dev % 2 == 0);
+                assert_eq!(cp.view(node).age(DeviceId(dev)), Some(0));
+            }
+        }
+        assert_eq!(cp.stats().delivery_rate(), 1.0);
+        assert_eq!(cp.stats().full_round_rate(), 1.0);
+    }
+
+    #[test]
+    fn lossy_round_keeps_stale_views() {
+        let mut cp = CommunicationPlane::new(
+            CpModel::LossyRound {
+                miss_probability: 0.5,
+            },
+            6,
+            3,
+        );
+        for _ in 0..50 {
+            cp.round(&statuses(6, 0), &[1; 6]);
+        }
+        let stats = cp.stats();
+        let rate = stats.delivery_rate();
+        assert!(rate > 0.4 && rate < 0.75, "delivery rate {rate}");
+        assert!(stats.full_round_rate() < 0.2);
+    }
+
+    #[test]
+    fn own_record_always_fresh_under_loss() {
+        let mut cp = CommunicationPlane::new(
+            CpModel::LossyRound {
+                miss_probability: 1.0,
+            },
+            3,
+            1,
+        );
+        for r in 0..5 {
+            cp.round(&statuses(3, 0), &[r; 3]);
+        }
+        for node in 0..3 {
+            assert_eq!(
+                cp.view(node).age(DeviceId(node as u32)),
+                Some(0),
+                "own record must never go stale"
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_record_partial_delivery() {
+        let mut cp = CommunicationPlane::new(
+            CpModel::LossyRecord {
+                miss_probability: 0.3,
+            },
+            5,
+            2,
+        );
+        for _ in 0..50 {
+            cp.round(&statuses(5, 0), &[1; 5]);
+        }
+        let rate = cp.stats().delivery_rate();
+        // Own records (1/5 of pairs) always deliver: expected ≈ 0.2 + 0.8·0.7.
+        assert!((rate - 0.76).abs() < 0.05, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn packet_mode_delivers_on_testbed() {
+        let mut cp = CommunicationPlane::new(CpModel::paper_packet(1), 26, 7);
+        let st = statuses(26, 0b1010);
+        for r in 0..3 {
+            cp.round(&st, &[r + 1; 26]);
+        }
+        let stats = cp.stats();
+        assert!(
+            stats.delivery_rate() > 0.9,
+            "packet delivery {}",
+            stats.delivery_rate()
+        );
+        assert!(stats.dissemination.is_some());
+        // All-to-all sharing of 26 aggregates every 2 s keeps the radio on
+        // for roughly half the round — the honest cost of a 2-second
+        // all-to-all cadence at this network size.
+        let dc = cp
+            .radio_duty_cycle(SimDuration::from_secs(2))
+            .expect("packet mode");
+        assert!(dc > 0.0 && dc < 0.8, "radio duty cycle {dc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "miss probability")]
+    fn bad_probability_panics() {
+        CommunicationPlane::new(
+            CpModel::LossyRound {
+                miss_probability: 1.5,
+            },
+            3,
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one status per device")]
+    fn wrong_status_count_panics() {
+        let mut cp = CommunicationPlane::new(CpModel::Ideal, 3, 1);
+        cp.round(&statuses(2, 0), &[1; 2]);
+    }
+}

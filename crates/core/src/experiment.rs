@@ -1,0 +1,195 @@
+//! Shared experiment harness for the paper's figures.
+//!
+//! Every figure in the paper compares the coordinated strategy against the
+//! uncoordinated baseline on the same workload. This module packages that
+//! comparison — run both strategies on a [`Scenario`], sample the load the
+//! way the paper plots it (per minute), and summarize — so the `fig2a`,
+//! `fig2b`, `fig2c` and `claims` harnesses and the integration tests all
+//! share one code path.
+
+use crate::cp::CpModel;
+use crate::simulation::{HanSimulation, SimulationConfig, SimulationOutcome, Strategy};
+use han_metrics::stats::Summary;
+use han_sim::time::{SimDuration, SimTime};
+use han_workload::scenario::Scenario;
+
+/// The sampling interval of the paper's plots.
+pub const SAMPLE_INTERVAL: SimDuration = SimDuration::from_mins(1);
+
+/// One strategy's result on a scenario.
+#[derive(Debug, Clone)]
+pub struct StrategyResult {
+    /// Raw simulation outcome.
+    pub outcome: SimulationOutcome,
+    /// Per-minute load samples (kW), as plotted in Fig. 2(a).
+    pub samples: Vec<f64>,
+    /// Summary statistics of the samples (Fig. 2(b)/(c)).
+    pub summary: Summary,
+}
+
+/// Baseline-vs-coordinated comparison on one workload.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// The scenario both strategies ran.
+    pub scenario: Scenario,
+    /// "w/o coordination".
+    pub uncoordinated: StrategyResult,
+    /// "with coordination".
+    pub coordinated: StrategyResult,
+}
+
+impl Comparison {
+    /// Peak-load reduction achieved by coordination, percent.
+    pub fn peak_reduction_percent(&self) -> f64 {
+        han_metrics::stats::reduction_percent(
+            self.uncoordinated.summary.peak,
+            self.coordinated.summary.peak,
+        )
+    }
+
+    /// Load-variation (std-dev) reduction, percent.
+    pub fn std_reduction_percent(&self) -> f64 {
+        han_metrics::stats::reduction_percent(
+            self.uncoordinated.summary.std_dev,
+            self.coordinated.summary.std_dev,
+        )
+    }
+
+    /// Relative difference of the average loads, percent (should be ≈ 0:
+    /// coordination shifts load, it does not shed it).
+    pub fn average_gap_percent(&self) -> f64 {
+        let base = self.uncoordinated.summary.mean;
+        if base == 0.0 {
+            0.0
+        } else {
+            (self.coordinated.summary.mean - base).abs() / base * 100.0
+        }
+    }
+}
+
+/// Runs one strategy on a scenario and samples the result.
+///
+/// # Panics
+///
+/// Panics if the scenario and CP model are inconsistent (e.g. a packet
+/// topology smaller than the device count).
+pub fn run_strategy(scenario: &Scenario, strategy: Strategy, cp: CpModel) -> StrategyResult {
+    let config = SimulationConfig {
+        device_count: scenario.device_count,
+        device_power_kw: scenario.device_power_kw,
+        constraints: scenario.constraints,
+        duration: scenario.duration,
+        round_period: SimDuration::from_secs(2),
+        strategy,
+        cp,
+        seed: scenario.seed,
+    };
+    let sim = HanSimulation::new(config, scenario.requests()).expect("valid scenario");
+    let outcome = sim.run();
+    let end = SimTime::ZERO + scenario.duration;
+    let samples = outcome.trace.sample(SimTime::ZERO, end, SAMPLE_INTERVAL);
+    let summary = Summary::of(&samples);
+    StrategyResult {
+        outcome,
+        samples,
+        summary,
+    }
+}
+
+/// Runs both strategies on the same workload.
+pub fn compare(scenario: &Scenario, cp: CpModel) -> Comparison {
+    let uncoordinated = run_strategy(scenario, Strategy::Uncoordinated, cp.clone());
+    let coordinated = run_strategy(scenario, Strategy::coordinated(), cp);
+    Comparison {
+        scenario: scenario.clone(),
+        uncoordinated,
+        coordinated,
+    }
+}
+
+/// Runs `compare` over several seeds and returns all comparisons.
+pub fn compare_seeds(
+    template: &Scenario,
+    cp: &CpModel,
+    seeds: impl IntoIterator<Item = u64>,
+) -> Vec<Comparison> {
+    seeds
+        .into_iter()
+        .map(|seed| {
+            let scenario = Scenario {
+                seed,
+                ..template.clone()
+            };
+            compare(&scenario, cp.clone())
+        })
+        .collect()
+}
+
+/// Mean of a per-comparison metric across seeds.
+pub fn mean_metric(comparisons: &[Comparison], metric: impl Fn(&Comparison) -> f64) -> f64 {
+    if comparisons.is_empty() {
+        return 0.0;
+    }
+    comparisons.iter().map(metric).sum::<f64>() / comparisons.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use han_workload::scenario::ArrivalRate;
+
+    fn short_scenario(rate: ArrivalRate, seed: u64) -> Scenario {
+        Scenario {
+            duration: SimDuration::from_mins(120),
+            ..Scenario::paper(rate, seed)
+        }
+    }
+
+    #[test]
+    fn high_rate_comparison_matches_paper_shape() {
+        // The full paper scenario (350 min): coordination must cut the peak
+        // and the variation substantially while leaving the average intact.
+        let comparison = compare(&Scenario::paper(ArrivalRate::High, 3), CpModel::Ideal);
+        assert!(
+            comparison.peak_reduction_percent() > 20.0,
+            "peak reduction {}",
+            comparison.peak_reduction_percent()
+        );
+        assert!(
+            comparison.std_reduction_percent() > 20.0,
+            "std reduction {}",
+            comparison.std_reduction_percent()
+        );
+        assert!(
+            comparison.average_gap_percent() < 3.0,
+            "average gap {}",
+            comparison.average_gap_percent()
+        );
+        assert_eq!(comparison.coordinated.outcome.deadline_misses, 0);
+    }
+
+    #[test]
+    fn sample_count_matches_duration() {
+        let result = run_strategy(
+            &short_scenario(ArrivalRate::Low, 2),
+            Strategy::Uncoordinated,
+            CpModel::Ideal,
+        );
+        // 0..=120 minutes inclusive.
+        assert_eq!(result.samples.len(), 121);
+    }
+
+    #[test]
+    fn multi_seed_aggregation() {
+        let comparisons = compare_seeds(
+            &short_scenario(ArrivalRate::Moderate, 0),
+            &CpModel::Ideal,
+            0..3,
+        );
+        assert_eq!(comparisons.len(), 3);
+        let mean_peak = mean_metric(&comparisons, Comparison::peak_reduction_percent);
+        assert!(mean_peak.is_finite());
+        assert_eq!(mean_metric(&[], |_| 1.0), 0.0);
+    }
+}
+

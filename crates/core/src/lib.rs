@@ -1,0 +1,57 @@
+//! # han-core — collaborative load management (the paper's contribution)
+//!
+//! A decentralized scheduler for duty-cycled household appliances, built on
+//! all-to-all state sharing over synchronous transmission, reproducing
+//! *"Collaborative Load Management in Smart Home Area Network"*
+//! (Debadarshini & Saha, ICDCS 2022):
+//!
+//! * [`state`] — [`state::SystemView`]: one node's belief about every
+//!   device, with staleness tracking;
+//! * [`schedule`] — the canonical ON-set with a divergence-detection hash;
+//! * [`algorithm`] — [`algorithm::plan_coordinated`]: must-stay / forced /
+//!   water-filling / staggered-EDF planning (and the
+//!   [`algorithm::plan_uncoordinated`] baseline);
+//! * [`cp`] — communication-plane models from ideal to packet-level
+//!   MiniCast on the FlockLab-like testbed;
+//! * [`simulation`] — the round-by-round two-plane simulation
+//!   ([`simulation::HanSimulation`]);
+//! * [`experiment`] — the shared harness the figure reproductions use.
+//!
+//! # Examples
+//!
+//! Eight simultaneous 1 kW requests: uncoordinated stacks 8 kW, the
+//! coordinated plane halves the peak without losing energy:
+//!
+//! ```
+//! use han_core::cp::CpModel;
+//! use han_core::experiment::{compare, SAMPLE_INTERVAL};
+//! use han_core::simulation::Strategy;
+//! use han_workload::scenario::{ArrivalRate, Scenario};
+//! use han_sim::time::SimDuration;
+//!
+//! let scenario = Scenario {
+//!     duration: SimDuration::from_mins(60),
+//!     ..Scenario::paper(ArrivalRate::High, 7)
+//! };
+//! let c = compare(&scenario, CpModel::Ideal);
+//! assert!(c.coordinated.summary.peak <= c.uncoordinated.summary.peak);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod cp;
+pub mod experiment;
+pub mod schedule;
+pub mod simulation;
+pub mod state;
+
+pub use algorithm::{
+    demand_rate_kw, plan_coordinated, plan_uncoordinated, CoordinatedPlanner, Plan, PlanConfig,
+    SchedulingRule,
+};
+pub use cp::{CommunicationPlane, CpModel, CpStats};
+pub use schedule::Schedule;
+pub use simulation::{HanSimulation, SimulationConfig, SimulationOutcome, Strategy};
+pub use state::SystemView;

@@ -1,0 +1,115 @@
+//! The schedule: which devices run during the next interval.
+//!
+//! A [`Schedule`] is the output of the planning algorithm: the exact set of
+//! devices whose power element should be ON until the next round. Because
+//! every DI computes its schedule independently, schedules carry a stable
+//! content hash so the simulation can detect divergence between nodes.
+
+use han_device::appliance::DeviceId;
+use std::fmt;
+
+/// An ON-set for the next interval.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schedule {
+    /// Devices to keep ON, sorted ascending (canonical form).
+    on: Vec<DeviceId>,
+}
+
+impl Schedule {
+    /// Creates a schedule from any iterable of device ids (deduplicated,
+    /// sorted).
+    pub fn from_on_set(ids: impl IntoIterator<Item = DeviceId>) -> Self {
+        let mut on: Vec<DeviceId> = ids.into_iter().collect();
+        on.sort_unstable();
+        on.dedup();
+        Schedule { on }
+    }
+
+    /// The empty schedule.
+    pub fn empty() -> Self {
+        Schedule::default()
+    }
+
+    /// Whether `device` should be ON.
+    pub fn is_on(&self, device: DeviceId) -> bool {
+        self.on.binary_search(&device).is_ok()
+    }
+
+    /// Number of devices ON.
+    pub fn on_count(&self) -> usize {
+        self.on.len()
+    }
+
+    /// The ON set in ascending order.
+    pub fn on_devices(&self) -> &[DeviceId] {
+        &self.on
+    }
+
+    /// A stable content hash (FNV-1a over the sorted ids) for divergence
+    /// detection across nodes.
+    pub fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for id in &self.on {
+            for b in id.0.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "on={{")?;
+        for (i, id) in self.on.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<DeviceId> for Schedule {
+    fn from_iter<T: IntoIterator<Item = DeviceId>>(iter: T) -> Self {
+        Schedule::from_on_set(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form() {
+        let a = Schedule::from_on_set([DeviceId(3), DeviceId(1), DeviceId(3)]);
+        let b = Schedule::from_on_set([DeviceId(1), DeviceId(3)]);
+        assert_eq!(a, b);
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(a.on_count(), 2);
+    }
+
+    #[test]
+    fn membership() {
+        let s = Schedule::from_on_set([DeviceId(2), DeviceId(5)]);
+        assert!(s.is_on(DeviceId(2)));
+        assert!(!s.is_on(DeviceId(3)));
+    }
+
+    #[test]
+    fn hash_differs_for_different_sets() {
+        let a = Schedule::from_on_set([DeviceId(1)]);
+        let b = Schedule::from_on_set([DeviceId(2)]);
+        let c = Schedule::empty();
+        assert_ne!(a.content_hash(), b.content_hash());
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn display_lists_devices() {
+        let s: Schedule = [DeviceId(0), DeviceId(7)].into_iter().collect();
+        assert_eq!(s.to_string(), "on={d0,d7}");
+    }
+}

@@ -1,0 +1,648 @@
+//! The full HAN simulation: devices + communication plane + strategy.
+//!
+//! [`HanSimulation`] executes the paper's two-plane design round by round:
+//!
+//! 1. user requests arriving since the last round activate their devices
+//!    (a request is local knowledge of the device's own DI);
+//! 2. duty-cycle bookkeeping advances (window rollovers, deactivations);
+//! 3. the **Communication Plane** runs: every DI publishes its status
+//!    record, and receives its view of the system (per the [`CpModel`]);
+//! 4. the **Execution Plane** runs: every DI independently computes the
+//!    schedule from *its own* view and actuates *its own* appliance —
+//!    there is no central controller in the coordinated strategy;
+//! 5. the total load is recorded.
+//!
+//! Three strategies are provided: the paper's coordinated scheme, the
+//! uncoordinated baseline it compares against, and a classical centralized
+//! scheduler (an ablation beyond the paper).
+
+use crate::algorithm::{CoordinatedPlanner, PlanConfig, SchedulingRule};
+use crate::cp::{CommunicationPlane, CpModel, CpStats};
+use crate::schedule::Schedule;
+use han_device::appliance::DeviceId;
+use han_device::duty_cycle::DutyCycleConstraints;
+use han_device::interface::DeviceInterface;
+use han_device::power::Watts;
+use han_device::request::Request;
+use han_device::Appliance;
+use han_metrics::timeseries::LoadTrace;
+use han_sim::time::{SimDuration, SimTime};
+use std::collections::HashSet;
+
+/// Scheduling strategy under test.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// The paper's decentralized collaborative scheduler.
+    Coordinated(PlanConfig),
+    /// The "w/o coordination" baseline: devices run as soon as requested.
+    Uncoordinated,
+    /// A classical centralized scheduler: one controller node computes the
+    /// schedule from *its* view and commands everyone (ablation baseline).
+    Centralized {
+        /// Which device's node hosts the controller.
+        controller: DeviceId,
+        /// Planner parameters used by the controller.
+        plan: PlanConfig,
+        /// Optional fault injection: the controller stops issuing commands
+        /// at this instant (the single point of failure, made concrete).
+        crash_at: Option<SimTime>,
+    },
+}
+
+impl Strategy {
+    /// The paper's coordinated strategy with default parameters.
+    pub fn coordinated() -> Self {
+        Strategy::Coordinated(PlanConfig::default())
+    }
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// Number of Type-2 devices.
+    pub device_count: usize,
+    /// Rated power per device, kW.
+    pub device_power_kw: f64,
+    /// Duty-cycle constraints for every device.
+    pub constraints: DutyCycleConstraints,
+    /// Total simulated duration.
+    pub duration: SimDuration,
+    /// Communication-plane round period (paper: 2 s).
+    pub round_period: SimDuration,
+    /// Strategy under test.
+    pub strategy: Strategy,
+    /// Communication-plane model.
+    pub cp: CpModel,
+    /// Root seed for all stochastic components.
+    pub seed: u64,
+}
+
+impl SimulationConfig {
+    /// The paper's setup (26 × 1 kW, 15/30 min, 350 min) with an ideal CP —
+    /// the fast configuration used by most experiments.
+    pub fn paper(strategy: Strategy, seed: u64) -> Self {
+        SimulationConfig {
+            device_count: 26,
+            device_power_kw: 1.0,
+            constraints: DutyCycleConstraints::paper(),
+            duration: SimDuration::from_mins(350),
+            round_period: SimDuration::from_secs(2),
+            strategy,
+            cp: CpModel::Ideal,
+            seed,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.device_count == 0 {
+            return Err("need at least one device".into());
+        }
+        if self.device_power_kw < 0.0 || !self.device_power_kw.is_finite() {
+            return Err("device power must be finite and non-negative".into());
+        }
+        if self.round_period.is_zero() {
+            return Err("round period must be positive".into());
+        }
+        if self.duration < self.round_period {
+            return Err("duration must cover at least one round".into());
+        }
+        if let Strategy::Centralized { controller, .. } = &self.strategy {
+            if controller.index() >= self.device_count {
+                return Err(format!("controller {controller} out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationOutcome {
+    /// Total-load step trace (kW).
+    pub trace: LoadTrace,
+    /// Communication rounds executed.
+    pub rounds: u64,
+    /// Windows that closed without their minDCD obligation met.
+    pub deadline_misses: u32,
+    /// Windows served to completion.
+    pub windows_served: u32,
+    /// Early-OFF commands refused by device interlocks.
+    pub refused_early_off: u32,
+    /// Rounds in which not all nodes computed the same schedule
+    /// (coordinated strategy only; 0 otherwise).
+    pub divergent_rounds: u64,
+    /// Requests delivered to devices.
+    pub requests_delivered: usize,
+    /// Total energy delivered over the run, kWh.
+    pub energy_kwh: f64,
+    /// Communication-plane statistics.
+    pub cp: CpStats,
+}
+
+impl SimulationOutcome {
+    /// Fraction of closed windows that met their obligation.
+    pub fn service_rate(&self) -> f64 {
+        let total = self.deadline_misses + self.windows_served;
+        if total == 0 {
+            1.0
+        } else {
+            f64::from(self.windows_served) / f64::from(total)
+        }
+    }
+}
+
+/// A configured, runnable simulation.
+#[derive(Debug)]
+pub struct HanSimulation {
+    config: SimulationConfig,
+    requests: Vec<Request>,
+    appliances: Option<Vec<Appliance>>,
+    background: Option<LoadTrace>,
+}
+
+impl HanSimulation {
+    /// Creates a simulation over a request trace.
+    ///
+    /// Requests are sorted by arrival; requests addressed to devices outside
+    /// `0..device_count` are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid configuration item or
+    /// request.
+    pub fn new(config: SimulationConfig, requests: Vec<Request>) -> Result<Self, String> {
+        config.validate()?;
+        let mut requests = requests;
+        for r in &requests {
+            if r.device.index() >= config.device_count {
+                return Err(format!("request targets unknown device {}", r.device));
+            }
+        }
+        requests.sort_by_key(|r| (r.arrival, r.device));
+        Ok(HanSimulation {
+            config,
+            requests,
+            appliances: None,
+            background: None,
+        })
+    }
+
+    /// Adds an uncontrollable Type-1 background load (instant appliances:
+    /// fans, TVs, hair-dryers…) summed into the recorded total. The
+    /// scheduler neither sees nor controls it — exactly the paper's Type-1
+    /// class. Build it with [`LoadTrace::from_pulses`].
+    pub fn set_background(&mut self, background: LoadTrace) -> &mut Self {
+        self.background = Some(background);
+        self
+    }
+
+    /// Creates a simulation over an explicit, possibly heterogeneous,
+    /// appliance fleet (different rated powers per device). The
+    /// `device_count` and `device_power_kw` of the config are overridden by
+    /// the fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the fleet is empty, ids are not `0..n` in
+    /// order, or a request targets an unknown device.
+    pub fn with_appliances(
+        mut config: SimulationConfig,
+        appliances: Vec<Appliance>,
+        requests: Vec<Request>,
+    ) -> Result<Self, String> {
+        if appliances.is_empty() {
+            return Err("appliance fleet must not be empty".into());
+        }
+        for (i, a) in appliances.iter().enumerate() {
+            if a.id().index() != i {
+                return Err(format!(
+                    "appliance ids must be contiguous from 0; found {} at index {i}",
+                    a.id()
+                ));
+            }
+        }
+        config.device_count = appliances.len();
+        let mut sim = HanSimulation::new(config, requests)?;
+        sim.appliances = Some(appliances);
+        Ok(sim)
+    }
+
+    /// Runs the simulation to completion.
+    pub fn run(self) -> SimulationOutcome {
+        let cfg = &self.config;
+        let n = cfg.device_count;
+        let power = Watts::from_kw(cfg.device_power_kw);
+
+        let mut dis: Vec<DeviceInterface> = match &self.appliances {
+            Some(fleet) => fleet
+                .iter()
+                .map(|a| DeviceInterface::new(a.clone(), cfg.constraints))
+                .collect(),
+            None => (0..n)
+                .map(|i| {
+                    DeviceInterface::new(
+                        Appliance::with_power(
+                            DeviceId(i as u32),
+                            han_device::ApplianceKind::AirConditioner,
+                            power,
+                        ),
+                        cfg.constraints,
+                    )
+                })
+                .collect(),
+        };
+
+        let mut cp = CommunicationPlane::new(cfg.cp.clone(), n, cfg.seed);
+        let mut trace = LoadTrace::new();
+        let mut divergent_rounds = 0u64;
+        let mut rounds = 0u64;
+        let mut delivered = 0usize;
+        let mut next_request = 0usize;
+        // Centralized mode: the last command each device actually received.
+        let mut last_command: Vec<bool> = vec![false; n];
+        // One planner per node (coordinated) or one for the controller.
+        let mut planners: Vec<CoordinatedPlanner> = match &cfg.strategy {
+            Strategy::Coordinated(plan_cfg) => {
+                (0..n).map(|_| CoordinatedPlanner::new(plan_cfg.clone())).collect()
+            }
+            Strategy::Centralized { plan, .. } => vec![CoordinatedPlanner::new(plan.clone())],
+            Strategy::Uncoordinated => Vec::new(),
+        };
+
+        trace.record(SimTime::ZERO, 0.0);
+        let mut now = SimTime::ZERO;
+        let mut last_load_kw = 0.0f64;
+
+        while now <= SimTime::ZERO + cfg.duration {
+            // 1. Deliver user requests that arrived up to this round. The
+            // DI anchors the activity window at the round boundary: with a
+            // 2-second CP period this costs the user at most one round and
+            // keeps all deadlines round-aligned, so forced starts and
+            // releases swap within a single round instead of overlapping.
+            while next_request < self.requests.len()
+                && self.requests[next_request].arrival <= now
+            {
+                let req = self.requests[next_request];
+                dis[req.device.index()]
+                    .handle_request(now, &req)
+                    .expect("request routed to its own device");
+                delivered += 1;
+                next_request += 1;
+            }
+
+            // 2. Advance duty-cycle bookkeeping.
+            for di in &mut dis {
+                di.advance(now);
+            }
+
+            // 3. Communication plane round.
+            let statuses: Vec<_> = dis.iter_mut().map(|di| di.publish(now)).collect();
+            let seqs: Vec<_> = dis.iter().map(DeviceInterface::seq).collect();
+            let uses_cp = !matches!(cfg.strategy, Strategy::Uncoordinated);
+            if uses_cp {
+                cp.round(&statuses, &seqs);
+            }
+
+            // 4. Execution plane: per-device decisions.
+            match &cfg.strategy {
+                Strategy::Coordinated(plan_cfg) => {
+                    let mut hashes: HashSet<u64> = HashSet::new();
+                    let adopt_placements =
+                        matches!(plan_cfg.rule, SchedulingRule::BalancedPlacement);
+                    for i in 0..n {
+                        let own = DeviceId(i as u32);
+                        let plan = planners[i].plan(cp.view(i), now);
+                        hashes.insert(plan.schedule.content_hash());
+                        // Placement rules publish the node's own committed
+                        // start, making assignments sticky under loss.
+                        if adopt_placements && dis[i].is_active() {
+                            dis[i].set_planned_start(plan.start_of(own));
+                        }
+                        let mut on = plan.schedule.is_on(own);
+                        // Local safety overrides: a DI never lets *its own*
+                        // device miss its obligation because of the network,
+                        // and never cuts its own instance short. The forcing
+                        // rule mirrors the planner's (strict threshold).
+                        let cycler = dis[i].cycler();
+                        if cycler.is_active() {
+                            let guard = plan_cfg.laxity_guard.as_micros() as i64;
+                            if matches!(cycler.laxity_micros(now), Some(l) if l < guard) {
+                                on = true;
+                            }
+                        }
+                        if cycler.is_on() && !cycler.instance_complete(now) {
+                            on = true;
+                        }
+                        dis[i].command(now, on);
+                    }
+                    if hashes.len() > 1 {
+                        divergent_rounds += 1;
+                    }
+                }
+                Strategy::Uncoordinated => {
+                    for di in dis.iter_mut() {
+                        let cycler = di.cycler();
+                        let on = (cycler.is_active() && !cycler.owed(now).is_zero())
+                            || (cycler.is_on() && !cycler.instance_complete(now));
+                        di.command(now, on);
+                    }
+                }
+                Strategy::Centralized {
+                    controller, crash_at, ..
+                } => {
+                    let crashed = crash_at.is_some_and(|c| now >= c);
+                    let schedule: Schedule = if crashed {
+                        Schedule::empty()
+                    } else {
+                        planners[0].plan(cp.view(controller.index()), now).schedule
+                    };
+                    for i in 0..n {
+                        if crashed {
+                            // No commands arrive; devices hold their last
+                            // commanded state (the interlock still refuses
+                            // early-offs on deactivation paths).
+                            let keep = last_command[i];
+                            dis[i].command(now, keep);
+                            continue;
+                        }
+                        // Command dissemination shares the CP's fate: under
+                        // a lossy model some devices keep their previous
+                        // command this round.
+                        let heard =
+                            i == controller.index() || cp.view(i).age(*controller) == Some(0);
+                        if heard {
+                            last_command[i] = schedule.is_on(DeviceId(i as u32));
+                        }
+                        let mut on = last_command[i];
+                        let cycler = dis[i].cycler();
+                        if cycler.is_on() && !cycler.instance_complete(now) {
+                            on = true;
+                        }
+                        dis[i].command(now, on);
+                    }
+                }
+            }
+            rounds += 1;
+
+            // 5. Record the load (schedulable + Type-1 background).
+            let background_kw = self
+                .background
+                .as_ref()
+                .map_or(0.0, |b| b.value_at(now));
+            let load_kw: f64 =
+                dis.iter().map(|di| di.power().as_kw()).sum::<f64>() + background_kw;
+            if (load_kw - last_load_kw).abs() > 1e-12 || now == SimTime::ZERO {
+                trace.record(now, load_kw);
+                last_load_kw = load_kw;
+            }
+
+            now += cfg.round_period;
+        }
+
+        let end = SimTime::ZERO + cfg.duration;
+        let energy_kwh = trace.energy_kwh(SimTime::ZERO, end);
+        let mut deadline_misses = 0;
+        let mut windows_served = 0;
+        let mut refused = 0;
+        for di in &dis {
+            let c = di.counters();
+            deadline_misses += c.deadline_misses;
+            windows_served += c.windows_served;
+            refused += c.refused_early_off;
+        }
+
+        SimulationOutcome {
+            trace,
+            rounds,
+            deadline_misses,
+            windows_served,
+            refused_early_off: refused,
+            divergent_rounds,
+            requests_delivered: delivered,
+            energy_kwh,
+            cp: cp.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use han_workload::burst;
+
+    fn small_config(strategy: Strategy, cp: CpModel) -> SimulationConfig {
+        SimulationConfig {
+            device_count: 10,
+            device_power_kw: 1.0,
+            constraints: DutyCycleConstraints::paper(),
+            duration: SimDuration::from_mins(40),
+            round_period: SimDuration::from_secs(2),
+            strategy,
+            cp,
+            seed: 1,
+        }
+    }
+
+    fn run(strategy: Strategy, cp: CpModel, requests: Vec<Request>) -> SimulationOutcome {
+        HanSimulation::new(small_config(strategy, cp), requests)
+            .expect("valid config")
+            .run()
+    }
+
+    #[test]
+    fn burst_peak_halves_under_coordination() {
+        // 8 simultaneous requests, each 15-of-30 min, arriving exactly on a
+        // round boundary: the coordinated plane serves 4 + 4.
+        let reqs = burst(SimTime::from_mins(1), 8);
+        let unco = run(Strategy::Uncoordinated, CpModel::Ideal, reqs.clone());
+        let coord = run(Strategy::coordinated(), CpModel::Ideal, reqs);
+        let end = SimTime::from_mins(40);
+        let peak_u = unco.trace.peak(SimTime::ZERO, end);
+        let peak_c = coord.trace.peak(SimTime::ZERO, end);
+        assert_eq!(peak_u, 8.0, "uncoordinated stacks the whole burst");
+        assert!(
+            peak_c <= 4.0 + 1e-9,
+            "coordination should halve the burst peak, got {peak_c}"
+        );
+        // Same energy delivered (obligations identical).
+        assert!(
+            (unco.energy_kwh - coord.energy_kwh).abs() < 0.05,
+            "energy differs: {} vs {}",
+            unco.energy_kwh,
+            coord.energy_kwh
+        );
+        // Everyone served, nobody missed.
+        assert_eq!(coord.deadline_misses, 0);
+        assert_eq!(unco.deadline_misses, 0);
+        assert_eq!(coord.windows_served, 8);
+    }
+
+    #[test]
+    fn coordinated_schedules_agree_under_ideal_cp() {
+        let reqs = burst(SimTime::from_mins(1), 6);
+        let coord = run(Strategy::coordinated(), CpModel::Ideal, reqs);
+        assert_eq!(
+            coord.divergent_rounds, 0,
+            "identical views must give identical schedules"
+        );
+        assert_eq!(coord.refused_early_off, 0);
+    }
+
+    #[test]
+    fn lossy_cp_does_not_break_guarantees() {
+        let reqs = burst(SimTime::from_mins(1), 8);
+        let coord = run(
+            Strategy::coordinated(),
+            CpModel::LossyRound {
+                miss_probability: 0.3,
+            },
+            reqs,
+        );
+        assert_eq!(
+            coord.deadline_misses, 0,
+            "local safety overrides must protect obligations under loss"
+        );
+        assert_eq!(coord.windows_served, 8);
+    }
+
+    #[test]
+    fn centralized_strategy_serves_burst() {
+        let reqs = burst(SimTime::from_mins(1), 8);
+        let cent = run(
+            Strategy::Centralized {
+                controller: DeviceId(0),
+                plan: crate::algorithm::PlanConfig::default(),
+                crash_at: None,
+            },
+            CpModel::Ideal,
+            reqs,
+        );
+        assert_eq!(cent.deadline_misses, 0);
+        assert_eq!(cent.windows_served, 8);
+        let peak = cent.trace.peak(SimTime::ZERO, SimTime::from_mins(40));
+        assert!(peak <= 4.0 + 1e-9, "centralized also staggers, got {peak}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let reqs = burst(SimTime::from_mins(1), 5);
+        let a = run(
+            Strategy::coordinated(),
+            CpModel::LossyRecord {
+                miss_probability: 0.2,
+            },
+            reqs.clone(),
+        );
+        let b = run(
+            Strategy::coordinated(),
+            CpModel::LossyRecord {
+                miss_probability: 0.2,
+            },
+            reqs,
+        );
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.divergent_rounds, b.divergent_rounds);
+    }
+
+    #[test]
+    fn no_requests_no_load() {
+        let out = run(Strategy::coordinated(), CpModel::Ideal, vec![]);
+        assert_eq!(out.energy_kwh, 0.0);
+        assert_eq!(out.requests_delivered, 0);
+        assert_eq!(
+            out.trace.peak(SimTime::ZERO, SimTime::from_mins(40)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = small_config(Strategy::coordinated(), CpModel::Ideal);
+        cfg.device_count = 0;
+        assert!(HanSimulation::new(cfg, vec![]).is_err());
+
+        let mut cfg = small_config(Strategy::coordinated(), CpModel::Ideal);
+        cfg.duration = SimDuration::from_micros(1);
+        assert!(HanSimulation::new(cfg, vec![]).is_err());
+
+        let cfg = small_config(
+            Strategy::Centralized {
+                controller: DeviceId(99),
+                plan: crate::algorithm::PlanConfig::default(),
+                crash_at: None,
+            },
+            CpModel::Ideal,
+        );
+        assert!(HanSimulation::new(cfg, vec![]).is_err());
+
+        let cfg = small_config(Strategy::coordinated(), CpModel::Ideal);
+        let bad = vec![Request::new(DeviceId(42), SimTime::ZERO)];
+        assert!(HanSimulation::new(cfg, bad).is_err());
+    }
+
+    #[test]
+    fn staggered_load_rises_in_steps() {
+        // A burst of 6 identical obligations has feasibility floor C = 3:
+        // the coordinated load never jumps by more than 3 kW while the
+        // uncoordinated baseline cliffs by the full 6 kW.
+        let reqs = burst(SimTime::from_mins(1), 6);
+        let coord = run(Strategy::coordinated(), CpModel::Ideal, reqs.clone());
+        let max_rise_coord = max_trace_rise(&coord.trace);
+        assert!(
+            max_rise_coord <= 3.0 + 1e-9,
+            "coordinated load jumped by {max_rise_coord} kW"
+        );
+        let unco = run(Strategy::Uncoordinated, CpModel::Ideal, reqs);
+        let max_rise_unco = max_trace_rise(&unco.trace);
+        assert_eq!(max_rise_unco, 6.0, "baseline stacks the burst in one step");
+    }
+
+    fn max_trace_rise(trace: &han_metrics::LoadTrace) -> f64 {
+        trace
+            .points()
+            .windows(2)
+            .map(|w| w[1].1 - w[0].1)
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn background_load_is_added_but_not_scheduled() {
+        let reqs = burst(SimTime::from_mins(1), 4);
+        let mut sim = HanSimulation::new(
+            small_config(Strategy::coordinated(), CpModel::Ideal),
+            reqs,
+        )
+        .unwrap();
+        sim.set_background(han_metrics::LoadTrace::from_pulses([(
+            SimTime::from_mins(5),
+            SimDuration::from_mins(10),
+            3.0,
+        )]));
+        let out = sim.run();
+        // Background shows in the totals…
+        let at_burst = out.trace.value_at(SimTime::from_mins(6));
+        assert!(at_burst >= 3.0, "background missing, got {at_burst}");
+        // …but the scheduler is untouched: obligations unchanged.
+        assert_eq!(out.deadline_misses, 0);
+        assert_eq!(out.windows_served, 4);
+        // Energy includes the 0.5 kWh background pulse.
+        assert!(
+            (out.energy_kwh - (4.0 * 0.25 + 0.5)).abs() < 0.05,
+            "energy {}",
+            out.energy_kwh
+        );
+    }
+
+    #[test]
+    fn service_rate_metric() {
+        let reqs = burst(SimTime::from_mins(1), 4);
+        let out = run(Strategy::coordinated(), CpModel::Ideal, reqs);
+        assert_eq!(out.service_rate(), 1.0);
+    }
+}
+

@@ -1,0 +1,151 @@
+//! The per-node view of system state.
+//!
+//! After each communication-plane round a Device Interface holds (its best
+//! knowledge of) every device's [`StatusRecord`]. The scheduling algorithm
+//! is a pure function of this view, which is exactly what makes the
+//! decentralized scheme work: identical views ⇒ identical schedules.
+//!
+//! Under packet loss a node's view may hold *stale* records; the view
+//! tracks per-record age (in rounds) so the simulation can quantify
+//! staleness and tests can assert on convergence behaviour.
+
+use han_device::appliance::DeviceId;
+use han_device::status::StatusRecord;
+
+/// One node's belief about all devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemView {
+    records: Vec<Option<StatusRecord>>,
+    /// Rounds since each record was last refreshed (0 = this round).
+    ages: Vec<u32>,
+}
+
+impl SystemView {
+    /// Creates an empty view over `device_count` devices.
+    pub fn new(device_count: usize) -> Self {
+        SystemView {
+            records: vec![None; device_count],
+            ages: vec![0; device_count],
+        }
+    }
+
+    /// Number of device slots in the view.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the view holds no records at all.
+    pub fn is_empty(&self) -> bool {
+        self.records.iter().all(Option::is_none)
+    }
+
+    /// Installs a fresh record (age 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record's device id is out of range.
+    pub fn refresh(&mut self, record: StatusRecord) {
+        let idx = record.device.index();
+        self.records[idx] = Some(record);
+        self.ages[idx] = 0;
+    }
+
+    /// Marks the start of a new round: every record not subsequently
+    /// refreshed counts one round older.
+    pub fn age_all(&mut self) {
+        for (age, rec) in self.ages.iter_mut().zip(&self.records) {
+            if rec.is_some() {
+                *age = age.saturating_add(1);
+            }
+        }
+    }
+
+    /// The record for a device, if any.
+    pub fn record(&self, device: DeviceId) -> Option<&StatusRecord> {
+        self.records.get(device.index()).and_then(Option::as_ref)
+    }
+
+    /// Age in rounds of a device's record (`None` if absent).
+    pub fn age(&self, device: DeviceId) -> Option<u32> {
+        self.records
+            .get(device.index())
+            .and_then(Option::as_ref)
+            .map(|_| self.ages[device.index()])
+    }
+
+    /// Iterates present records with their ages.
+    pub fn iter(&self) -> impl Iterator<Item = (&StatusRecord, u32)> {
+        self.records
+            .iter()
+            .zip(&self.ages)
+            .filter_map(|(rec, &age)| rec.as_ref().map(|r| (r, age)))
+    }
+
+    /// Number of records refreshed this round (age 0).
+    pub fn fresh_count(&self) -> usize {
+        self.iter().filter(|&(_, age)| age == 0).count()
+    }
+
+    /// Largest record age, or 0 for an empty view.
+    pub fn max_age(&self) -> u32 {
+        self.iter().map(|(_, age)| age).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use han_sim::time::{SimDuration, SimTime};
+
+    fn active_record(id: u32) -> StatusRecord {
+        StatusRecord {
+            device: DeviceId(id),
+            active: true,
+            on: false,
+            owed: SimDuration::from_mins(15),
+            deadline: Some(SimTime::from_mins(30)),
+            windows_remaining: 1,
+            arrival: Some(SimTime::ZERO),
+            planned_start: None,
+            power_w: 1000,
+            min_dcd: SimDuration::from_mins(15),
+            max_dcp: SimDuration::from_mins(30),
+        }
+    }
+
+    #[test]
+    fn refresh_and_lookup() {
+        let mut v = SystemView::new(3);
+        assert!(v.is_empty());
+        v.refresh(active_record(1));
+        assert!(v.record(DeviceId(1)).is_some());
+        assert!(v.record(DeviceId(0)).is_none());
+        assert_eq!(v.age(DeviceId(1)), Some(0));
+        assert_eq!(v.age(DeviceId(0)), None);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn aging_tracks_rounds() {
+        let mut v = SystemView::new(2);
+        v.refresh(active_record(0));
+        v.age_all();
+        assert_eq!(v.age(DeviceId(0)), Some(1));
+        v.age_all();
+        assert_eq!(v.age(DeviceId(0)), Some(2));
+        assert_eq!(v.max_age(), 2);
+        // Refresh resets.
+        v.refresh(active_record(0));
+        assert_eq!(v.age(DeviceId(0)), Some(0));
+        assert_eq!(v.fresh_count(), 1);
+    }
+
+    #[test]
+    fn iter_skips_missing() {
+        let mut v = SystemView::new(5);
+        v.refresh(active_record(2));
+        v.refresh(active_record(4));
+        let ids: Vec<u32> = v.iter().map(|(r, _)| r.device.0).collect();
+        assert_eq!(ids, vec![2, 4]);
+    }
+}

@@ -1,0 +1,50 @@
+//! # han-device — appliances, duty cycles and Device Interfaces
+//!
+//! Models the electrical side of the paper's HAN:
+//!
+//! * [`power`] — [`power::Watts`] / [`power::WattHours`] units;
+//! * [`appliance`] — the Type-1 / Type-2 appliance catalogue
+//!   ([`appliance::ApplianceKind`], [`appliance::Appliance`]);
+//! * [`duty_cycle`] — the minDCD/maxDCP constraint pair and the
+//!   [`duty_cycle::DutyCycler`] bookkeeping state machine (windows, owed
+//!   time, laxity);
+//! * [`thermal`] — first-order RC room model driving realistic duty cycles;
+//! * [`request`] — user requests;
+//! * [`status`] — the 13-byte status record DIs publish each round;
+//! * [`interface`] — [`interface::DeviceInterface`]: appliance + cycler +
+//!   safety interlock against schedule commands that violate minDCD.
+//!
+//! # Examples
+//!
+//! A 1 kW paper device serving one request:
+//!
+//! ```
+//! use han_device::appliance::DeviceId;
+//! use han_device::interface::DeviceInterface;
+//! use han_device::request::Request;
+//! use han_sim::time::SimTime;
+//!
+//! let mut di = DeviceInterface::paper(DeviceId(0));
+//! di.handle_request(SimTime::ZERO, &Request::new(DeviceId(0), SimTime::ZERO))?;
+//! di.command(SimTime::ZERO, true);
+//! assert_eq!(di.power().as_kw(), 1.0);
+//! # Ok::<(), han_device::interface::RequestError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appliance;
+pub mod duty_cycle;
+pub mod interface;
+pub mod power;
+pub mod request;
+pub mod status;
+pub mod thermal;
+
+pub use appliance::{Appliance, ApplianceKind, DeviceClass, DeviceId};
+pub use duty_cycle::{DutyCycleConstraints, DutyCycler};
+pub use interface::DeviceInterface;
+pub use power::{WattHours, Watts};
+pub use request::Request;
+pub use status::StatusRecord;

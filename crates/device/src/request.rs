@@ -1,0 +1,87 @@
+//! User requests for appliance execution.
+//!
+//! A request asks one Type-2 device to run for a number of maxDCP windows
+//! (the paper's evaluation uses one window per request: each request obliges
+//! the device to one minDCD instance within the next maxDCP). Requests are
+//! what the Communication Plane disseminates so *every* Device Interface
+//! learns about new work immediately.
+
+use crate::appliance::DeviceId;
+use han_sim::time::SimTime;
+use std::fmt;
+
+/// A user request to run a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// The target device.
+    pub device: DeviceId,
+    /// When the user issued the request.
+    pub arrival: SimTime,
+    /// How many maxDCP windows of activity are requested (≥ 1).
+    pub windows: u32,
+}
+
+impl Request {
+    /// Creates a request for one window of activity (the paper's shape).
+    pub fn new(device: DeviceId, arrival: SimTime) -> Self {
+        Request {
+            device,
+            arrival,
+            windows: 1,
+        }
+    }
+
+    /// Creates a request for several consecutive windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is zero.
+    pub fn with_windows(device: DeviceId, arrival: SimTime, windows: u32) -> Self {
+        assert!(windows > 0, "request must cover at least one window");
+        Request {
+            device,
+            arrival,
+            windows,
+        }
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "request[{} at {} x{}]",
+            self.device, self.arrival, self.windows
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_window_default() {
+        let r = Request::new(DeviceId(3), SimTime::from_mins(5));
+        assert_eq!(r.windows, 1);
+        assert_eq!(r.device, DeviceId(3));
+    }
+
+    #[test]
+    fn multi_window() {
+        let r = Request::with_windows(DeviceId(0), SimTime::ZERO, 4);
+        assert_eq!(r.windows, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one window")]
+    fn zero_windows_panics() {
+        Request::with_windows(DeviceId(0), SimTime::ZERO, 0);
+    }
+
+    #[test]
+    fn display_mentions_device() {
+        let r = Request::new(DeviceId(7), SimTime::from_secs(2));
+        assert!(r.to_string().contains("d7"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # han-metrics — load traces, statistics and experiment reports
+//!
+//! The measurement half of the reproduction:
+//!
+//! * [`timeseries`] — [`timeseries::LoadTrace`], a step-function record of
+//!   total load with exact time-weighted statistics and the per-minute
+//!   sampling used by the paper's figures;
+//! * [`stats`] — [`stats::Summary`] (peak / mean / std-dev, Fig. 2b–c),
+//!   percentiles, ramp detection and reduction percentages;
+//! * [`report`] — comparison tables and CSV export shared by all
+//!   figure-reproduction harnesses;
+//! * [`tariff`] — time-of-use pricing and peak-demand charges, the money
+//!   view of a load shape.
+//!
+//! Loads are carried as `f64` **kilowatts** throughout, matching the
+//! paper's axes.
+//!
+//! # Examples
+//!
+//! ```
+//! use han_metrics::timeseries::LoadTrace;
+//! use han_metrics::stats::Summary;
+//! use han_sim::time::{SimDuration, SimTime};
+//!
+//! let mut trace = LoadTrace::new();
+//! trace.record(SimTime::ZERO, 0.0);
+//! trace.record(SimTime::from_mins(10), 4.0);
+//! trace.record(SimTime::from_mins(20), 0.0);
+//!
+//! let samples = trace.sample(SimTime::ZERO, SimTime::from_mins(30), SimDuration::from_mins(1));
+//! let summary = Summary::of(&samples);
+//! assert_eq!(summary.peak, 4.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod stats;
+pub mod tariff;
+pub mod timeseries;
+
+pub use report::{ComparisonReport, ComparisonRow};
+pub use stats::Summary;
+pub use tariff::{demand_charge, TimeOfUseTariff};
+pub use timeseries::LoadTrace;

@@ -1,0 +1,199 @@
+//! Synthetic topology generators.
+//!
+//! These produce the standard shapes used in the test suite and benchmarks:
+//! lines (worst-case hop count), grids (typical building coverage), rings,
+//! stars (centralized baseline layout) and random geometric graphs.
+
+use crate::topology::{NodeId, Position, Topology};
+use han_radio::channel::ChannelModel;
+use han_radio::units::Dbm;
+use han_sim::rng::DetRng;
+
+/// Default transmit power for generated topologies.
+pub const DEFAULT_TX_POWER: Dbm = Dbm(0.0);
+
+/// A line of `n` nodes spaced `spacing_m` apart.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn line(n: usize, spacing_m: f64, channel: ChannelModel) -> Topology {
+    assert!(n > 0, "need at least one node");
+    let positions = (0..n)
+        .map(|i| Position::new(i as f64 * spacing_m, 0.0))
+        .collect();
+    Topology::new(positions, channel, DEFAULT_TX_POWER)
+}
+
+/// A `rows × cols` grid with `spacing_m` between adjacent nodes.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(rows: usize, cols: usize, spacing_m: f64, channel: ChannelModel) -> Topology {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut positions = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            positions.push(Position::new(c as f64 * spacing_m, r as f64 * spacing_m));
+        }
+    }
+    Topology::new(positions, channel, DEFAULT_TX_POWER)
+}
+
+/// A ring of `n` nodes with `radius_m`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn ring(n: usize, radius_m: f64, channel: ChannelModel) -> Topology {
+    assert!(n > 0, "need at least one node");
+    let positions = (0..n)
+        .map(|i| {
+            let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            Position::new(radius_m * theta.cos(), radius_m * theta.sin())
+        })
+        .collect();
+    Topology::new(positions, channel, DEFAULT_TX_POWER)
+}
+
+/// A star: node 0 at the centre, `n - 1` leaves at `radius_m`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn star(n: usize, radius_m: f64, channel: ChannelModel) -> Topology {
+    assert!(n > 0, "need at least one node");
+    let mut positions = vec![Position::new(0.0, 0.0)];
+    for i in 1..n {
+        let theta = 2.0 * std::f64::consts::PI * i as f64 / (n - 1).max(1) as f64;
+        positions.push(Position::new(radius_m * theta.cos(), radius_m * theta.sin()));
+    }
+    Topology::new(positions, channel, DEFAULT_TX_POWER)
+}
+
+/// `n` nodes placed uniformly at random in a `width_m × height_m` rectangle,
+/// rejecting placements closer than `min_separation_m` to an existing node.
+///
+/// Placement is deterministic in `seed`. If the rejection sampling cannot
+/// place a node within 10,000 attempts the separation constraint is relaxed
+/// for that node (dense configurations stay feasible).
+///
+/// # Panics
+///
+/// Panics if `n` is zero or the area is non-positive.
+pub fn random_geometric(
+    n: usize,
+    width_m: f64,
+    height_m: f64,
+    min_separation_m: f64,
+    channel: ChannelModel,
+    seed: u64,
+) -> Topology {
+    assert!(n > 0, "need at least one node");
+    assert!(width_m > 0.0 && height_m > 0.0, "area must be positive");
+    let mut rng = DetRng::for_stream(seed, "topology-placement");
+    let mut positions: Vec<Position> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut placed = None;
+        for _attempt in 0..10_000 {
+            let p = Position::new(rng.gen_range_f64(0.0, width_m), rng.gen_range_f64(0.0, height_m));
+            if positions
+                .iter()
+                .all(|q| q.distance_to(p) >= min_separation_m)
+            {
+                placed = Some(p);
+                break;
+            }
+        }
+        let p = placed.unwrap_or_else(|| {
+            Position::new(rng.gen_range_f64(0.0, width_m), rng.gen_range_f64(0.0, height_m))
+        });
+        positions.push(p);
+    }
+    Topology::new(positions, channel, DEFAULT_TX_POWER)
+}
+
+/// Returns the first node id, a conventional flood initiator.
+pub fn default_initiator() -> NodeId {
+    NodeId(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk(range: f64) -> ChannelModel {
+        ChannelModel::UnitDisk { range_m: range }
+    }
+
+    #[test]
+    fn line_shape() {
+        let t = line(5, 10.0, disk(15.0));
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.diameter(0.5), Some(4));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let t = grid(3, 4, 10.0, disk(15.0));
+        assert_eq!(t.len(), 12);
+        assert!(t.is_connected(0.5));
+        // Diagonal neighbors are sqrt(200) ≈ 14.1 m, inside the 15 m disk,
+        // so the diameter is the Chebyshev distance.
+        assert_eq!(t.diameter(0.5), Some(3));
+    }
+
+    #[test]
+    fn ring_is_connected() {
+        let t = ring(12, 20.0, disk(15.0));
+        // Adjacent nodes on a 20 m-radius 12-ring are ~10.35 m apart.
+        assert!(t.is_connected(0.5));
+        assert_eq!(t.diameter(0.5), Some(6));
+    }
+
+    #[test]
+    fn star_single_hop_via_center() {
+        let t = star(7, 10.0, disk(12.0));
+        assert!(t.is_connected(0.5));
+        // Leaves 10 m from centre; adjacent leaves are 10 m apart
+        // (hexagon side = radius), so some leaf pairs connect directly,
+        // but the diameter never exceeds 2 (leaf–centre–leaf).
+        assert_eq!(t.diameter(0.5), Some(2));
+    }
+
+    #[test]
+    fn random_geometric_deterministic_in_seed() {
+        let a = random_geometric(20, 50.0, 30.0, 2.0, disk(18.0), 7);
+        let b = random_geometric(20, 50.0, 30.0, 2.0, disk(18.0), 7);
+        for id in a.node_ids() {
+            assert_eq!(a.position(id), b.position(id));
+        }
+        let c = random_geometric(20, 50.0, 30.0, 2.0, disk(18.0), 8);
+        let same = a
+            .node_ids()
+            .filter(|&id| a.position(id) == c.position(id))
+            .count();
+        assert!(same < 20, "different seed should move nodes");
+    }
+
+    #[test]
+    fn random_geometric_respects_bounds_and_separation() {
+        let t = random_geometric(30, 40.0, 20.0, 2.0, disk(18.0), 3);
+        for a in t.node_ids() {
+            let p = t.position(a);
+            assert!((0.0..=40.0).contains(&p.x) && (0.0..=20.0).contains(&p.y));
+            for b in t.node_ids() {
+                if a < b {
+                    assert!(t.distance(a, b) >= 2.0 - 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        line(0, 10.0, disk(15.0));
+    }
+}

@@ -1,0 +1,30 @@
+//! # han-net — network topologies for the smart-HAN simulation
+//!
+//! Node placement and link-quality derivation for the multi-hop IoT network
+//! formed by the paper's Device Interfaces:
+//!
+//! * [`topology`] — [`topology::NodeId`], [`topology::Position`] and
+//!   [`topology::Topology`] (RSSI / PRR matrices, neighbors, hop counts,
+//!   connectivity, diameter);
+//! * [`generators`] — line / grid / ring / star / random-geometric layouts;
+//! * [`flocklab`] — a 26-node office-floor layout reproducing the relevant
+//!   properties of the FlockLab testbed used in the paper's evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use han_net::flocklab::flocklab26_deterministic;
+//!
+//! let t = flocklab26_deterministic();
+//! assert!(t.is_connected(0.7));
+//! assert!(t.diameter(0.7).unwrap() >= 2); // genuinely multi-hop
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flocklab;
+pub mod generators;
+pub mod topology;
+
+pub use topology::{NodeId, Position, Topology};

@@ -1,0 +1,48 @@
+//! # han-radio — IEEE 802.15.4 radio model for synchronous transmission
+//!
+//! A packet-level model of the CC2420-class low-power radios carried by the
+//! paper's Device Interfaces, detailed enough to reproduce the physical
+//! effects the communication plane depends on:
+//!
+//! * [`phy`] — O-QPSK PHY timing (symbol/byte air time, frame overhead) and
+//!   radio constants (sensitivity, noise floor);
+//! * [`units`] — [`units::Dbm`] / [`units::Milliwatt`] newtypes and linear
+//!   power summation;
+//! * [`channel`] — unit-disk and log-distance + shadowing propagation;
+//! * [`prr`] — the Zuniga–Krishnamachari SNR→BER→PRR link model;
+//! * [`capture`] — capture-effect and constructive-interference resolution
+//!   of concurrent synchronized transmissions;
+//! * [`energy`] — CC2420 energy/duty-cycle accounting.
+//!
+//! This crate is pure computation: the event-driven execution of slots and
+//! rounds lives in `han-st`.
+//!
+//! # Examples
+//!
+//! Link budget of a 20 m indoor link:
+//!
+//! ```
+//! use han_radio::channel::ChannelModel;
+//! use han_radio::units::Dbm;
+//! use han_radio::prr;
+//!
+//! let ch = ChannelModel::indoor_office_no_shadowing();
+//! let rssi = ch.rssi(Dbm(0.0), 20.0, 0);
+//! let p = prr::prr_no_interference(rssi, 60);
+//! assert!(p > 0.99); // a 20 m office link is comfortably reliable
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod channel;
+pub mod energy;
+pub mod phy;
+pub mod prr;
+pub mod units;
+
+pub use capture::{CaptureConfig, IncomingSignal, LossReason, SlotOutcome};
+pub use channel::ChannelModel;
+pub use energy::{CurrentProfile, EnergyMeter, RadioState};
+pub use units::{Dbm, Milliwatt};

@@ -1,0 +1,399 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Engine`] owns a time-ordered queue of pending events; a [`World`]
+//! implementation owns all mutable simulation state and handles each event as
+//! it fires, scheduling follow-up events through the engine it is handed.
+//! Splitting queue and state this way sidesteps the usual re-entrancy borrow
+//! problem while keeping dispatch fully deterministic:
+//!
+//! * Events fire in strictly non-decreasing time order.
+//! * Events scheduled for the same instant fire in the order they were
+//!   scheduled (FIFO tie-breaking via a monotone sequence number).
+//!
+//! # Examples
+//!
+//! ```
+//! use han_sim::engine::{Engine, World};
+//! use han_sim::time::{SimDuration, SimTime};
+//!
+//! struct Counter(u32);
+//! impl World for Counter {
+//!     type Event = &'static str;
+//!     fn handle(&mut self, engine: &mut Engine<&'static str>, _at: SimTime, ev: &'static str) {
+//!         self.0 += 1;
+//!         if ev == "tick" && self.0 < 3 {
+//!             engine.schedule_in(SimDuration::from_secs(1), "tick");
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new();
+//! let mut world = Counter(0);
+//! engine.schedule_at(SimTime::ZERO, "tick");
+//! engine.run_until(&mut world, SimTime::from_secs(100));
+//! assert_eq!(world.0, 3);
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A handle identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+/// Simulation state that reacts to events.
+///
+/// The engine calls [`World::handle`] once per fired event; the handler may
+/// schedule or cancel further events through the `engine` argument.
+pub trait World {
+    /// The event payload type dispatched by the engine.
+    type Event;
+
+    /// Handles one event firing at instant `at`.
+    fn handle(&mut self, engine: &mut Engine<Self::Event>, at: SimTime, event: Self::Event);
+}
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    // Reversed so that the std max-heap pops the earliest (time, seq) first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event engine over event payloads of type `E`.
+///
+/// See the [module documentation](self) for an end-to-end example.
+pub struct Engine<E> {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    cancelled: HashSet<EventId>,
+    fired: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for Engine<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("fired", &self.fired)
+            .finish()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an empty engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            fired: 0,
+        }
+    }
+
+    /// Returns the current simulation instant.
+    ///
+    /// While a handler runs this is the firing time of the event being
+    /// handled.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the total number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Returns the number of events still pending (including cancelled ones
+    /// not yet drained).
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Schedules `event` to fire at absolute instant `at`.
+    ///
+    /// Returns a handle usable with [`Engine::cancel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current instant; scheduling into
+    /// the past would violate causality.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={} at={}",
+            self.now,
+            at
+        );
+        let id = EventId(self.next_seq);
+        self.queue.push(Scheduled {
+            at,
+            seq: self.next_seq,
+            id,
+            event,
+        });
+        self.next_seq += 1;
+        id
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancels a pending event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it already
+    /// fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // An id can be cancelled only once, and never after it fired; the
+        // `cancelled` set is drained as its entries reach the queue head.
+        self.cancelled.insert(id)
+    }
+
+    /// Pops the next live event, advancing the clock to its firing time.
+    ///
+    /// Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(sched) = self.queue.pop() {
+            if self.cancelled.remove(&sched.id) {
+                continue;
+            }
+            debug_assert!(sched.at >= self.now, "event queue went back in time");
+            self.now = sched.at;
+            self.fired += 1;
+            return Some((sched.at, sched.event));
+        }
+        None
+    }
+
+    /// Returns the firing time of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(sched) = self.queue.peek() {
+            if self.cancelled.contains(&sched.id) {
+                let sched = self.queue.pop().expect("peeked entry vanished");
+                self.cancelled.remove(&sched.id);
+                continue;
+            }
+            return Some(sched.at);
+        }
+        None
+    }
+
+    /// Runs `world` until the queue drains or the next event would fire
+    /// *after* `deadline`.
+    ///
+    /// Events scheduled exactly at `deadline` still fire. On return, the
+    /// clock rests at the last fired event (or `deadline` if that is later
+    /// and the queue still holds future events).
+    pub fn run_until<W>(&mut self, world: &mut W, deadline: SimTime)
+    where
+        W: World<Event = E> + ?Sized,
+    {
+        loop {
+            match self.peek_time() {
+                Some(t) if t <= deadline => {
+                    let (at, event) = self.pop().expect("peeked event vanished");
+                    world.handle(self, at, event);
+                }
+                Some(_) => {
+                    // Future work remains; park the clock at the deadline.
+                    self.now = self.now.max(deadline);
+                    return;
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Runs `world` until the event queue is completely drained.
+    pub fn run_to_completion<W>(&mut self, world: &mut W)
+    where
+        W: World<Event = E> + ?Sized,
+    {
+        self.run_until(world, SimTime::MAX);
+    }
+
+    /// Runs at most `max_events` events, returning how many actually fired.
+    ///
+    /// Useful as a watchdog in tests against runaway event loops.
+    pub fn run_events<W>(&mut self, world: &mut W, max_events: u64) -> u64
+    where
+        W: World<Event = E> + ?Sized,
+    {
+        let mut fired = 0;
+        while fired < max_events {
+            match self.pop() {
+                Some((at, event)) => {
+                    world.handle(self, at, event);
+                    fired += 1;
+                }
+                None => break,
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    enum Ev {
+        A,
+        B,
+        Chain(u32),
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(SimTime, Ev)>,
+    }
+
+    impl World for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, engine: &mut Engine<Ev>, at: SimTime, ev: Ev) {
+            self.seen.push((at, ev));
+            if let Ev::Chain(n) = ev {
+                if n > 0 {
+                    engine.schedule_in(SimDuration::from_secs(1), Ev::Chain(n - 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut engine = Engine::new();
+        let mut world = Recorder::default();
+        engine.schedule_at(SimTime::from_secs(5), Ev::B);
+        engine.schedule_at(SimTime::from_secs(1), Ev::A);
+        engine.run_to_completion(&mut world);
+        assert_eq!(
+            world.seen,
+            vec![(SimTime::from_secs(1), Ev::A), (SimTime::from_secs(5), Ev::B)]
+        );
+    }
+
+    #[test]
+    fn same_instant_fires_fifo() {
+        let mut engine = Engine::new();
+        let mut world = Recorder::default();
+        let t = SimTime::from_secs(3);
+        engine.schedule_at(t, Ev::A);
+        engine.schedule_at(t, Ev::B);
+        engine.schedule_at(t, Ev::Chain(0));
+        engine.run_to_completion(&mut world);
+        assert_eq!(
+            world.seen.iter().map(|(_, e)| *e).collect::<Vec<_>>(),
+            vec![Ev::A, Ev::B, Ev::Chain(0)]
+        );
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        let mut engine = Engine::new();
+        let mut world = Recorder::default();
+        engine.schedule_at(SimTime::ZERO, Ev::Chain(3));
+        engine.run_to_completion(&mut world);
+        assert_eq!(world.seen.len(), 4);
+        assert_eq!(engine.now(), SimTime::from_secs(3));
+        assert_eq!(engine.events_fired(), 4);
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut engine = Engine::new();
+        let mut world = Recorder::default();
+        let id = engine.schedule_at(SimTime::from_secs(1), Ev::A);
+        engine.schedule_at(SimTime::from_secs(2), Ev::B);
+        assert!(engine.cancel(id));
+        assert!(!engine.cancel(id), "double cancel must be a no-op");
+        engine.run_to_completion(&mut world);
+        assert_eq!(world.seen, vec![(SimTime::from_secs(2), Ev::B)]);
+    }
+
+    #[test]
+    fn run_until_respects_deadline_inclusive() {
+        let mut engine = Engine::new();
+        let mut world = Recorder::default();
+        engine.schedule_at(SimTime::from_secs(1), Ev::A);
+        engine.schedule_at(SimTime::from_secs(2), Ev::B);
+        engine.schedule_at(SimTime::from_secs(3), Ev::A);
+        engine.run_until(&mut world, SimTime::from_secs(2));
+        assert_eq!(world.seen.len(), 2);
+        assert_eq!(engine.now(), SimTime::from_secs(2));
+        assert_eq!(engine.pending(), 1);
+        engine.run_to_completion(&mut world);
+        assert_eq!(world.seen.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut engine: Engine<Ev> = Engine::new();
+        let mut world = Recorder::default();
+        engine.schedule_at(SimTime::from_secs(5), Ev::A);
+        engine.run_to_completion(&mut world);
+        engine.schedule_at(SimTime::from_secs(1), Ev::B);
+    }
+
+    #[test]
+    fn pending_excludes_cancelled() {
+        let mut engine: Engine<Ev> = Engine::new();
+        let a = engine.schedule_at(SimTime::from_secs(1), Ev::A);
+        engine.schedule_at(SimTime::from_secs(2), Ev::B);
+        engine.cancel(a);
+        assert_eq!(engine.pending(), 1);
+        assert_eq!(engine.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn run_events_watchdog() {
+        let mut engine = Engine::new();
+        let mut world = Recorder::default();
+        engine.schedule_at(SimTime::ZERO, Ev::Chain(1000));
+        let fired = engine.run_events(&mut world, 10);
+        assert_eq!(fired, 10);
+        assert_eq!(world.seen.len(), 10);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut engine: Engine<Ev> = Engine::new();
+        assert!(!engine.cancel(EventId(99)));
+    }
+}

@@ -1,0 +1,447 @@
+//! Simulation time types.
+//!
+//! All simulation time is measured in **microseconds** since the start of the
+//! simulation. A microsecond tick is fine enough to model IEEE 802.15.4
+//! symbol timing (16 µs per symbol) while a `u64` still covers ~584,000 years
+//! of simulated time, far beyond the 350-minute experiments in the paper.
+//!
+//! Two newtypes are provided ([C-NEWTYPE]):
+//!
+//! * [`SimTime`] — an absolute instant on the simulation clock.
+//! * [`SimDuration`] — a span between two instants.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// An absolute instant on the simulation clock, in microseconds since start.
+///
+/// # Examples
+///
+/// ```
+/// use han_sim::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs(2);
+/// assert_eq!(t.as_micros(), 2_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulation time, in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use han_sim::time::SimDuration;
+///
+/// let d = SimDuration::from_mins(30);
+/// assert_eq!(d.as_secs(), 1800);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the simulation clock.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; useful as an "infinite" deadline.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from a count of microseconds since start.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates an instant from milliseconds since start.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000)
+    }
+
+    /// Creates an instant from seconds since start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// Creates an instant from minutes since start.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimTime(mins * 60_000_000)
+    }
+
+    /// Creates an instant from hours since start.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimTime(hours * 3_600_000_000)
+    }
+
+    /// Returns the microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns whole milliseconds since simulation start.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns whole seconds since simulation start.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns whole minutes since simulation start.
+    pub const fn as_mins(self) -> u64 {
+        self.0 / 60_000_000
+    }
+
+    /// Returns the time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the time as fractional minutes.
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60e6
+    }
+
+    /// Returns the duration elapsed since `earlier`, or [`SimDuration::ZERO`]
+    /// if `earlier` is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the instant `d` after `self`, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// Checked difference between two instants.
+    ///
+    /// Returns `None` if `earlier` is later than `self`.
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+
+    /// Rounds this instant *down* to a multiple of `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn floor_to(self, step: SimDuration) -> SimTime {
+        assert!(step.0 > 0, "step must be non-zero");
+        SimTime(self.0 - self.0 % step.0)
+    }
+
+    /// Rounds this instant *up* to a multiple of `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn ceil_to(self, step: SimDuration) -> SimTime {
+        assert!(step.0 > 0, "step must be non-zero");
+        let rem = self.0 % step.0;
+        if rem == 0 {
+            self
+        } else {
+            SimTime(self.0 - rem + step.0)
+        }
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Creates a duration from minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60_000_000)
+    }
+
+    /// Creates a duration from hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3_600_000_000)
+    }
+
+    /// Creates a duration from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration seconds must be finite and non-negative, got {secs}"
+        );
+        SimDuration((secs * 1e6).round() as u64)
+    }
+
+    /// Returns the number of microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns whole milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns whole seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns whole minutes.
+    pub const fn as_mins(self) -> u64 {
+        self.0 / 60_000_000
+    }
+
+    /// Returns the duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the duration as fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3.6e9
+    }
+
+    /// Returns `true` if the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction of two durations.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked division of two durations, yielding the whole quotient.
+    ///
+    /// Returns `None` if `other` is zero.
+    pub fn checked_div_duration(self, other: SimDuration) -> Option<u64> {
+        self.0.checked_div(other.0)
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulation time overflowed"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("simulation time underflowed"),
+        )
+    }
+}
+
+impl SubAssign<SimDuration> for SimTime {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("negative duration between instants"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("duration overflowed"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("duration underflowed"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("duration overflowed"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Rem<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn rem(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 % rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_micros = self.0;
+        let secs = total_micros / 1_000_000;
+        let micros = total_micros % 1_000_000;
+        let (h, m, s) = (secs / 3600, (secs / 60) % 60, secs % 60);
+        write!(f, "{h:02}:{m:02}:{s:02}.{:06}", micros)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{}ms", self.0 / 1_000)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimTime::from_mins(30).as_secs(), 1800);
+        assert_eq!(SimTime::from_hours(1).as_mins(), 60);
+        assert_eq!(SimDuration::from_millis(5).as_micros(), 5_000);
+        assert_eq!(SimDuration::from_hours(2).as_mins(), 120);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let t = SimTime::from_secs(10);
+        let d = SimDuration::from_secs(3);
+        assert_eq!((t + d).as_secs(), 13);
+        assert_eq!((t - d).as_secs(), 7);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(d * 4, SimDuration::from_secs(12));
+        assert_eq!(d / 3, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative duration")]
+    fn negative_duration_panics() {
+        let _ = SimTime::from_secs(1) - SimTime::from_secs(2);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(5);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_secs(4));
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+    }
+
+    #[test]
+    fn rounding() {
+        let step = SimDuration::from_secs(2);
+        assert_eq!(SimTime::from_millis(4500).floor_to(step), SimTime::from_secs(4));
+        assert_eq!(SimTime::from_millis(4500).ceil_to(step), SimTime::from_secs(6));
+        assert_eq!(SimTime::from_secs(4).ceil_to(step), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(3661).to_string(), "01:01:01.000000");
+        assert_eq!(SimDuration::from_millis(250).to_string(), "250ms");
+        assert_eq!(SimDuration::from_micros(42).to_string(), "42us");
+        assert_eq!(SimDuration::from_secs_f64(1.5).to_string(), "1.500s");
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(0.0000015).as_micros(), 2);
+        assert_eq!(SimDuration::from_secs_f64(0.0).as_micros(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_secs_f64_rejects_negative() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn checked_ops() {
+        assert_eq!(
+            SimTime::from_secs(5).checked_since(SimTime::from_secs(7)),
+            None
+        );
+        assert_eq!(
+            SimDuration::from_secs(10).checked_div_duration(SimDuration::from_secs(3)),
+            Some(3)
+        );
+        assert_eq!(
+            SimDuration::from_secs(10).checked_div_duration(SimDuration::ZERO),
+            None
+        );
+    }
+}

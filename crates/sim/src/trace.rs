@@ -1,0 +1,232 @@
+//! Lightweight simulation tracing.
+//!
+//! Components record [`TraceEvent`]s into a [`Trace`] buffer; tests and
+//! harnesses query or print them afterwards. Tracing is structured
+//! (category plus message) rather than free-form logging so that tests can
+//! assert on occurrence counts cheaply.
+//!
+//! # Examples
+//!
+//! ```
+//! use han_sim::time::SimTime;
+//! use han_sim::trace::{Trace, TraceLevel};
+//!
+//! let mut trace = Trace::new(TraceLevel::Info);
+//! trace.info(SimTime::from_secs(1), "cp", "round 1 complete");
+//! trace.debug(SimTime::from_secs(1), "cp", "ignored at info level");
+//! assert_eq!(trace.count_category("cp"), 1);
+//! ```
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Severity of a trace event, ordered from most to least verbose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceLevel {
+    /// High-volume diagnostic detail (per-packet, per-slot).
+    Debug,
+    /// Normal operational milestones (per-round, per-schedule).
+    Info,
+    /// Unexpected but tolerated conditions (lost round, stale state).
+    Warn,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceLevel::Debug => write!(f, "DEBUG"),
+            TraceLevel::Info => write!(f, "INFO"),
+            TraceLevel::Warn => write!(f, "WARN"),
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation instant at which the event was recorded.
+    pub at: SimTime,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Short stable category tag (e.g. `"cp"`, `"glossy"`, `"sched"`).
+    pub category: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} {}] {}",
+            self.at, self.level, self.category, self.message
+        )
+    }
+}
+
+/// A bounded in-memory trace buffer with a minimum severity filter.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    min_level: TraceLevel,
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(TraceLevel::Info)
+    }
+}
+
+impl Trace {
+    /// Default maximum number of retained events.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Creates a trace retaining events at or above `min_level`.
+    pub fn new(min_level: TraceLevel) -> Self {
+        Trace {
+            min_level,
+            events: Vec::new(),
+            capacity: Self::DEFAULT_CAPACITY,
+            dropped: 0,
+        }
+    }
+
+    /// Creates a trace with an explicit retention capacity.
+    ///
+    /// Once full, further events are counted in [`Trace::dropped`] rather
+    /// than stored.
+    pub fn with_capacity(min_level: TraceLevel, capacity: usize) -> Self {
+        Trace {
+            min_level,
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event if it passes the severity filter.
+    pub fn record(
+        &mut self,
+        level: TraceLevel,
+        at: SimTime,
+        category: &'static str,
+        message: impl Into<String>,
+    ) {
+        if level < self.min_level {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent {
+            at,
+            level,
+            category,
+            message: message.into(),
+        });
+    }
+
+    /// Records a debug-level event.
+    pub fn debug(&mut self, at: SimTime, category: &'static str, message: impl Into<String>) {
+        self.record(TraceLevel::Debug, at, category, message);
+    }
+
+    /// Records an info-level event.
+    pub fn info(&mut self, at: SimTime, category: &'static str, message: impl Into<String>) {
+        self.record(TraceLevel::Info, at, category, message);
+    }
+
+    /// Records a warn-level event.
+    pub fn warn(&mut self, at: SimTime, category: &'static str, message: impl Into<String>) {
+        self.record(TraceLevel::Warn, at, category, message);
+    }
+
+    /// Returns all retained events in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Returns how many events were discarded due to the capacity limit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Counts retained events in `category`.
+    pub fn count_category(&self, category: &str) -> usize {
+        self.events.iter().filter(|e| e.category == category).count()
+    }
+
+    /// Counts retained events at exactly `level`.
+    pub fn count_level(&self, level: TraceLevel) -> usize {
+        self.events.iter().filter(|e| e.level == level).count()
+    }
+
+    /// Iterates events in `category`.
+    pub fn iter_category<'a>(
+        &'a self,
+        category: &'a str,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.category == category)
+    }
+
+    /// Clears all retained events and the dropped counter.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filters_below_min_level() {
+        let mut t = Trace::new(TraceLevel::Info);
+        t.debug(SimTime::ZERO, "a", "dropped");
+        t.info(SimTime::ZERO, "a", "kept");
+        t.warn(SimTime::ZERO, "b", "kept");
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.count_level(TraceLevel::Warn), 1);
+        assert_eq!(t.count_level(TraceLevel::Debug), 0);
+    }
+
+    #[test]
+    fn capacity_drops_and_counts() {
+        let mut t = Trace::with_capacity(TraceLevel::Debug, 2);
+        for i in 0..5 {
+            t.info(SimTime::from_secs(i), "x", format!("e{i}"));
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        t.clear();
+        assert_eq!(t.events().len(), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn category_queries() {
+        let mut t = Trace::new(TraceLevel::Debug);
+        t.info(SimTime::ZERO, "cp", "r1");
+        t.info(SimTime::from_secs(2), "cp", "r2");
+        t.info(SimTime::from_secs(2), "ep", "apply");
+        assert_eq!(t.count_category("cp"), 2);
+        assert_eq!(t.iter_category("ep").count(), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let ev = TraceEvent {
+            at: SimTime::from_secs(1),
+            level: TraceLevel::Warn,
+            category: "cp",
+            message: "lost round".into(),
+        };
+        let s = ev.to_string();
+        assert!(s.contains("WARN") && s.contains("cp") && s.contains("lost round"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the discrete-event engine and RNG.
+
+use han_sim::engine::{Engine, World};
+use han_sim::rng::DetRng;
+use han_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+#[derive(Default)]
+struct Recorder {
+    fired: Vec<(SimTime, u32)>,
+}
+
+impl World for Recorder {
+    type Event = u32;
+    fn handle(&mut self, _engine: &mut Engine<u32>, at: SimTime, ev: u32) {
+        self.fired.push((at, ev));
+    }
+}
+
+proptest! {
+    #[test]
+    fn events_fire_in_time_order_with_fifo_ties(
+        times in prop::collection::vec(0u64..10_000, 1..200)
+    ) {
+        let mut engine = Engine::new();
+        let mut world = Recorder::default();
+        for (tag, &t) in times.iter().enumerate() {
+            engine.schedule_at(SimTime::from_micros(t), tag as u32);
+        }
+        engine.run_to_completion(&mut world);
+        prop_assert_eq!(world.fired.len(), times.len());
+        for w in world.fired.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(
+        times in prop::collection::vec(0u64..10_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100)
+    ) {
+        let mut engine = Engine::new();
+        let mut world = Recorder::default();
+        let mut expected = Vec::new();
+        for (tag, &t) in times.iter().enumerate() {
+            let id = engine.schedule_at(SimTime::from_micros(t), tag as u32);
+            if *cancel_mask.get(tag).unwrap_or(&false) {
+                prop_assert!(engine.cancel(id));
+            } else {
+                expected.push(tag as u32);
+            }
+        }
+        engine.run_to_completion(&mut world);
+        let mut fired: Vec<u32> = world.fired.iter().map(|&(_, e)| e).collect();
+        fired.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(fired, expected);
+    }
+
+    #[test]
+    fn run_until_partitions_cleanly(
+        times in prop::collection::vec(0u64..10_000, 1..100),
+        split in 0u64..10_000
+    ) {
+        let mut engine = Engine::new();
+        let mut world = Recorder::default();
+        for (tag, &t) in times.iter().enumerate() {
+            engine.schedule_at(SimTime::from_micros(t), tag as u32);
+        }
+        engine.run_until(&mut world, SimTime::from_micros(split));
+        let early = world.fired.len();
+        for &(at, _) in &world.fired {
+            prop_assert!(at <= SimTime::from_micros(split));
+        }
+        engine.run_to_completion(&mut world);
+        prop_assert_eq!(world.fired.len(), times.len());
+        for &(at, _) in &world.fired[early..] {
+            prop_assert!(at > SimTime::from_micros(split));
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible_and_bounded(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut a = DetRng::for_stream(seed, "prop");
+        let mut b = DetRng::for_stream(seed, "prop");
+        for _ in 0..50 {
+            let x = a.gen_range_u64(bound);
+            prop_assert_eq!(x, b.gen_range_u64(bound));
+            prop_assert!(x < bound);
+        }
+    }
+
+    #[test]
+    fn exponential_samples_positive(seed in any::<u64>(), rate_milli in 1u64..100_000) {
+        let mut rng = DetRng::new(seed);
+        let rate = rate_milli as f64 / 1000.0;
+        for _ in 0..100 {
+            let x = rng.gen_exponential(rate);
+            prop_assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn duration_arithmetic_round_trips(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let t_lo = SimTime::from_micros(lo);
+        let t_hi = SimTime::from_micros(hi);
+        let d = t_hi - t_lo;
+        prop_assert_eq!(t_lo + d, t_hi);
+        prop_assert_eq!(d, SimDuration::from_micros(hi - lo));
+        prop_assert_eq!(t_hi.saturating_since(t_lo), d);
+        prop_assert_eq!(t_lo.saturating_since(t_hi), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the synchronous-transmission stack.
+
+use han_net::generators;
+use han_net::NodeId;
+use han_radio::channel::ChannelModel;
+use han_sim::rng::DetRng;
+use han_st::glossy;
+use han_st::item::{Item, ItemStore};
+use han_st::minicast::run_round;
+use han_st::StConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn flood_reaches_exactly_the_connected_component(
+        n in 2usize..12,
+        spacing in 5.0f64..25.0,
+        seed in any::<u64>()
+    ) {
+        // A line with unit-disk range 15: connected prefix iff spacing <= 15.
+        let topo = generators::line(n, spacing, ChannelModel::UnitDisk { range_m: 15.0 });
+        let rssi = topo.rssi_matrix();
+        let mut rng = DetRng::new(seed);
+        let out = glossy::flood(&rssi, NodeId(0), 1, 60, &StConfig::default(), &mut rng);
+        let connected = spacing <= 15.0;
+        if connected {
+            // With the default redundancy a clean line always floods fully
+            // as long as it fits the slot budget (hops <= flood_slots).
+            if n <= StConfig::default().flood_slots {
+                prop_assert!(out.is_complete(), "coverage {:?}", out.received);
+            }
+        } else {
+            prop_assert!(out.received[0]);
+            for i in 1..n {
+                prop_assert!(!out.received[i], "frame crossed a {spacing} m gap");
+            }
+        }
+    }
+
+    #[test]
+    fn flood_tx_budget_always_respected(
+        rows in 2usize..5,
+        cols in 2usize..5,
+        seed in any::<u64>()
+    ) {
+        let topo = generators::grid(rows, cols, 10.0, ChannelModel::UnitDisk { range_m: 15.0 });
+        let rssi = topo.rssi_matrix();
+        let cfg = StConfig::default();
+        let mut rng = DetRng::new(seed);
+        let out = glossy::flood(&rssi, NodeId(0), 1, 60, &cfg, &mut rng);
+        for (i, &tx) in out.tx_count.iter().enumerate() {
+            prop_assert!(tx <= u32::from(cfg.n_tx), "node {i} over budget");
+            prop_assert_eq!(
+                out.listen_slots[i] + out.tx_count[i],
+                cfg.flood_slots as u32
+            );
+        }
+    }
+
+    #[test]
+    fn stores_only_grow_and_never_regress_versions(
+        rounds in 1u64..4,
+        seed in any::<u64>()
+    ) {
+        let topo = generators::grid(3, 3, 10.0, ChannelModel::UnitDisk { range_m: 15.0 });
+        let rssi = topo.rssi_matrix();
+        let n = topo.len();
+        let mut stores = vec![ItemStore::new(); n];
+        for (i, store) in stores.iter_mut().enumerate() {
+            store.merge(&Item::new(NodeId(i as u32), 1, vec![i as u8; 8]));
+        }
+        let mut rng = DetRng::new(seed);
+        let mut prev_counts: Vec<usize> = stores.iter().map(ItemStore::len).collect();
+        let mut prev_seqs: Vec<Vec<Option<u32>>> = vec![vec![None; n]; n];
+        for r in 0..rounds {
+            run_round(&rssi, &mut stores, NodeId(0), &StConfig::default(), r, &mut rng);
+            for (node, store) in stores.iter().enumerate() {
+                prop_assert!(store.len() >= prev_counts[node], "store shrank");
+                prev_counts[node] = store.len();
+                for origin in 0..n {
+                    let seq = store.seq_of(NodeId(origin as u32));
+                    if let (Some(new), Some(Some(old))) =
+                        (seq, prev_seqs[node].get(origin))
+                    {
+                        prop_assert!(new >= *old, "version regressed");
+                    }
+                    prev_seqs[node][origin] = seq;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_is_deterministic_in_seed(seed in any::<u64>()) {
+        let topo = generators::grid(3, 3, 10.0, ChannelModel::indoor_office(3));
+        let rssi = topo.rssi_matrix();
+        let n = topo.len();
+        let run = || {
+            let mut stores = vec![ItemStore::new(); n];
+            for (i, store) in stores.iter_mut().enumerate() {
+                store.merge(&Item::new(NodeId(i as u32), 1, vec![i as u8; 8]));
+            }
+            let mut rng = DetRng::new(seed);
+            let report = run_round(&rssi, &mut stores, NodeId(0), &StConfig::default(), 0, &mut rng);
+            (report.coverage.clone(), report.tx_count.clone())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,32 @@
+//! # han-workload — request workloads for the HAN experiments
+//!
+//! * [`arrivals`] — homogeneous Poisson arrivals
+//!   ([`arrivals::PoissonArrivals`], the paper's "randomly arriving"
+//!   requests), trace replay and synchronized bursts;
+//! * [`scenario`] — the paper's exact evaluation setups
+//!   ([`scenario::Scenario::paper`]: 26 × 1 kW devices, 15/30 min
+//!   constraints, 350 min, rates 4 / 18 / 30 per hour);
+//! * [`household`] — inhomogeneous (time-of-day) workloads for the richer
+//!   examples.
+//!
+//! # Examples
+//!
+//! ```
+//! use han_workload::scenario::{ArrivalRate, Scenario};
+//!
+//! let scenario = Scenario::paper(ArrivalRate::High, 42);
+//! let requests = scenario.requests();
+//! assert!(!requests.is_empty());
+//! assert!((scenario.expected_average_load_kw() - 7.5).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod household;
+pub mod scenario;
+
+pub use arrivals::{burst, PoissonArrivals, TraceArrivals};
+pub use household::{generate_household, DailyProfile};
+pub use scenario::{ArrivalRate, Scenario};

@@ -1,0 +1,149 @@
+//! The paper's evaluation scenarios.
+//!
+//! Section III fixes: 26 devices of 1 kW each, minDCD = 15 min,
+//! maxDCP = 30 min, experiments of 350 minutes, and three aggregate request
+//! rates — high (30/h), moderate (18/h) and low (4/h).
+
+use crate::arrivals::PoissonArrivals;
+use han_device::duty_cycle::DutyCycleConstraints;
+use han_device::request::Request;
+use han_sim::time::SimDuration;
+use std::fmt;
+
+/// The paper's three arrival-rate regimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrivalRate {
+    /// 4 requests per hour.
+    Low,
+    /// 18 requests per hour.
+    Moderate,
+    /// 30 requests per hour.
+    High,
+}
+
+impl ArrivalRate {
+    /// Requests per hour for this regime.
+    pub fn per_hour(self) -> f64 {
+        match self {
+            ArrivalRate::Low => 4.0,
+            ArrivalRate::Moderate => 18.0,
+            ArrivalRate::High => 30.0,
+        }
+    }
+
+    /// All regimes in the order of the paper's x-axes.
+    pub fn all() -> [ArrivalRate; 3] {
+        [ArrivalRate::Low, ArrivalRate::Moderate, ArrivalRate::High]
+    }
+}
+
+impl fmt::Display for ArrivalRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrivalRate::Low => write!(f, "low (4/h)"),
+            ArrivalRate::Moderate => write!(f, "moderate (18/h)"),
+            ArrivalRate::High => write!(f, "high (30/h)"),
+        }
+    }
+}
+
+/// A complete experiment scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Descriptive name used in reports.
+    pub name: String,
+    /// Number of Type-2 devices (paper: 26).
+    pub device_count: usize,
+    /// Rated power per device, kW (paper: 1.0).
+    pub device_power_kw: f64,
+    /// Duty-cycle constraints (paper: 15/30 min).
+    pub constraints: DutyCycleConstraints,
+    /// Aggregate request rate, per hour.
+    pub rate_per_hour: f64,
+    /// Experiment duration (paper: 350 min).
+    pub duration: SimDuration,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The paper's scenario at a given arrival-rate regime.
+    pub fn paper(rate: ArrivalRate, seed: u64) -> Self {
+        Scenario {
+            name: format!("paper {rate}"),
+            device_count: 26,
+            device_power_kw: 1.0,
+            constraints: DutyCycleConstraints::paper(),
+            rate_per_hour: rate.per_hour(),
+            duration: SimDuration::from_mins(350),
+            seed,
+        }
+    }
+
+    /// Generates this scenario's request trace.
+    pub fn requests(&self) -> Vec<Request> {
+        PoissonArrivals::new(self.rate_per_hour, self.device_count)
+            .generate(self.duration, self.seed)
+    }
+
+    /// Expected average load implied by the workload, in kW: every request
+    /// obliges one minDCD instance of one device.
+    pub fn expected_average_load_kw(&self) -> f64 {
+        let energy_per_request_kwh =
+            self.device_power_kw * self.constraints.min_dcd().as_hours_f64();
+        self.rate_per_hour * energy_per_request_kwh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_match_paper() {
+        assert_eq!(ArrivalRate::Low.per_hour(), 4.0);
+        assert_eq!(ArrivalRate::Moderate.per_hour(), 18.0);
+        assert_eq!(ArrivalRate::High.per_hour(), 30.0);
+        assert_eq!(ArrivalRate::all().len(), 3);
+    }
+
+    #[test]
+    fn paper_scenario_parameters() {
+        let s = Scenario::paper(ArrivalRate::High, 1);
+        assert_eq!(s.device_count, 26);
+        assert_eq!(s.device_power_kw, 1.0);
+        assert_eq!(s.duration, SimDuration::from_mins(350));
+        assert_eq!(s.constraints.min_dcd(), SimDuration::from_mins(15));
+        assert_eq!(s.constraints.max_dcp(), SimDuration::from_mins(30));
+    }
+
+    #[test]
+    fn expected_average_loads() {
+        // 30/h × 1 kW × 0.25 h = 7.5 kW; 18/h → 4.5 kW; 4/h → 1 kW.
+        let high = Scenario::paper(ArrivalRate::High, 1).expected_average_load_kw();
+        let mod_ = Scenario::paper(ArrivalRate::Moderate, 1).expected_average_load_kw();
+        let low = Scenario::paper(ArrivalRate::Low, 1).expected_average_load_kw();
+        assert!((high - 7.5).abs() < 1e-12);
+        assert!((mod_ - 4.5).abs() < 1e-12);
+        assert!((low - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn request_trace_sane() {
+        let s = Scenario::paper(ArrivalRate::High, 42);
+        let reqs = s.requests();
+        // 350 min at 30/h ⇒ expect ~175 requests.
+        assert!(
+            (100..=260).contains(&reqs.len()),
+            "unexpected request count {}",
+            reqs.len()
+        );
+        assert!(reqs.iter().all(|r| r.device.index() < 26));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ArrivalRate::High.to_string(), "high (30/h)");
+        assert!(Scenario::paper(ArrivalRate::Low, 0).name.contains("low"));
+    }
+}

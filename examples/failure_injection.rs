@@ -1,0 +1,83 @@
+//! Failure injection: packet loss and a controller crash.
+//!
+//! Two experiments quantify the paper's motivation for decentralization:
+//!
+//! 1. **Round loss sweep** — whole communication rounds are lost per node
+//!    with increasing probability. Every Device Interface guards *its own*
+//!    obligations locally, so minDCD-per-maxDCP guarantees hold even at
+//!    90 % loss; only schedule agreement erodes.
+//! 2. **Controller crash** — the classical centralized alternative loses
+//!    its controller mid-run. Devices stop receiving commands and pending
+//!    obligations silently expire: the single point of failure, made
+//!    concrete. The decentralized plane has no such component to lose.
+//!
+//! Run with: `cargo run --release --example failure_injection`
+
+use smart_han::prelude::*;
+
+const DURATION_MINS: u64 = 180;
+
+fn run(strategy: Strategy, loss: f64) -> SimulationOutcome {
+    let duration = SimDuration::from_mins(DURATION_MINS);
+    let requests = PoissonArrivals::new(30.0, 26).generate(duration, 11);
+    let config = SimulationConfig {
+        device_count: 26,
+        device_power_kw: 1.0,
+        constraints: DutyCycleConstraints::paper(),
+        duration,
+        round_period: SimDuration::from_secs(2),
+        strategy,
+        cp: CpModel::LossyRound {
+            miss_probability: loss,
+        },
+        seed: 11,
+    };
+    HanSimulation::new(config, requests)
+        .expect("valid config")
+        .run()
+}
+
+fn main() {
+    println!("== experiment 1: round-loss sweep (180 min, high rate) ==\n");
+    println!(
+        "{:>6}  {:>15} {:>15} {:>15}",
+        "loss", "deadline misses", "diverged rounds", "peak (kW)"
+    );
+    for loss in [0.0, 0.1, 0.3, 0.5, 0.7, 0.9] {
+        let coord = run(Strategy::coordinated(), loss);
+        let end = SimTime::ZERO + SimDuration::from_mins(DURATION_MINS);
+        println!(
+            "{:>5.0}%  {:>15} {:>15} {:>15.1}",
+            loss * 100.0,
+            coord.deadline_misses,
+            coord.divergent_rounds,
+            coord.trace.peak(SimTime::ZERO, end),
+        );
+    }
+    println!(
+        "\nthe decentralized plane keeps every obligation at every loss level;\n\
+         only agreement quality (and with it peak shaving) degrades gracefully.\n"
+    );
+
+    println!("== experiment 2: centralized controller crash at t = 90 min ==\n");
+    for (label, crash) in [("healthy", None), ("crashes", Some(SimTime::from_mins(90)))] {
+        let cent = run(
+            Strategy::Centralized {
+                controller: DeviceId(0),
+                plan: PlanConfig::default(),
+                crash_at: crash,
+            },
+            0.0,
+        );
+        println!(
+            "controller {label:<8}: served {:>3} windows, missed {:>3} deadlines, \
+             refused early-offs {}",
+            cent.windows_served, cent.deadline_misses, cent.refused_early_off
+        );
+    }
+    let coord = run(Strategy::coordinated(), 0.0);
+    println!(
+        "decentralized      : served {:>3} windows, missed {:>3} deadlines (nothing to crash)",
+        coord.windows_served, coord.deadline_misses
+    );
+}

@@ -1,0 +1,47 @@
+//! The paper's headline experiment: 26 × 1 kW devices on random request
+//! workloads at three arrival rates, coordinated vs. uncoordinated.
+//!
+//! Prints the Fig. 2(b)/(c)-style comparison for each rate plus the
+//! in-text claims (peak and std-dev reduction, unchanged average).
+//!
+//! Run with: `cargo run --release --example peak_shaving`
+
+use smart_han::core::experiment::{compare_seeds, mean_metric, Comparison};
+use smart_han::prelude::*;
+
+fn main() {
+    let seeds = 0..5u64;
+    println!("paper scenario: 26 devices x 1 kW, minDCD 15 min, maxDCP 30 min, 350 min");
+    println!("averaged over {} seeds\n", seeds.clone().count());
+
+    for rate in ArrivalRate::all() {
+        let template = Scenario::paper(rate, 0);
+        let comparisons = compare_seeds(&template, &CpModel::Ideal, seeds.clone());
+
+        let mean_unco_peak =
+            mean_metric(&comparisons, |c| c.uncoordinated.summary.peak);
+        let mean_coord_peak = mean_metric(&comparisons, |c| c.coordinated.summary.peak);
+        let mean_unco_std = mean_metric(&comparisons, |c| c.uncoordinated.summary.std_dev);
+        let mean_coord_std = mean_metric(&comparisons, |c| c.coordinated.summary.std_dev);
+        let mean_unco_avg = mean_metric(&comparisons, |c| c.uncoordinated.summary.mean);
+        let mean_coord_avg = mean_metric(&comparisons, |c| c.coordinated.summary.mean);
+
+        let mut report = ComparisonReport::new(format!("arrival rate {rate}"));
+        report.push(ComparisonRow::new("peak load (kW)", mean_unco_peak, mean_coord_peak));
+        report.push(ComparisonRow::new("load std dev (kW)", mean_unco_std, mean_coord_std));
+        report.push(ComparisonRow::new("average load (kW)", mean_unco_avg, mean_coord_avg));
+        println!("{}", report.to_table());
+
+        let best_peak = comparisons
+            .iter()
+            .map(Comparison::peak_reduction_percent)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let best_std = comparisons
+            .iter()
+            .map(Comparison::std_reduction_percent)
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "best single run: peak reduction {best_peak:.0}%, std-dev reduction {best_std:.0}%\n"
+        );
+    }
+}

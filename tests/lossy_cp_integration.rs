@@ -1,0 +1,97 @@
+//! Integration tests under degraded communication: the decentralized
+//! guarantees must not depend on the network.
+
+use smart_han::core::experiment::run_strategy;
+use smart_han::prelude::*;
+
+fn lossy_outcome(loss: f64, seed: u64) -> SimulationOutcome {
+    let scenario = Scenario {
+        duration: SimDuration::from_mins(180),
+        ..Scenario::paper(ArrivalRate::High, seed)
+    };
+    run_strategy(
+        &scenario,
+        Strategy::coordinated(),
+        CpModel::LossyRound {
+            miss_probability: loss,
+        },
+    )
+    .outcome
+}
+
+#[test]
+fn obligations_hold_at_any_loss_level() {
+    for loss in [0.1, 0.5, 0.9] {
+        let outcome = lossy_outcome(loss, 3);
+        assert_eq!(
+            outcome.deadline_misses, 0,
+            "loss {loss}: own-device guards must keep every obligation"
+        );
+    }
+}
+
+#[test]
+fn divergence_grows_with_loss_but_stays_safe() {
+    let low = lossy_outcome(0.1, 5);
+    let high = lossy_outcome(0.7, 5);
+    assert!(
+        high.divergent_rounds > low.divergent_rounds,
+        "more loss must mean more divergence ({} vs {})",
+        high.divergent_rounds,
+        low.divergent_rounds
+    );
+    // Divergence may cost peak quality, never correctness.
+    assert_eq!(high.deadline_misses, 0);
+    assert_eq!(high.refused_early_off, 0, "interlocks should not even trigger");
+}
+
+#[test]
+fn per_record_loss_is_milder_than_round_loss() {
+    let scenario = Scenario {
+        duration: SimDuration::from_mins(180),
+        ..Scenario::paper(ArrivalRate::High, 8)
+    };
+    let record_loss = run_strategy(
+        &scenario,
+        Strategy::coordinated(),
+        CpModel::LossyRecord {
+            miss_probability: 0.3,
+        },
+    )
+    .outcome;
+    let round_loss = run_strategy(
+        &scenario,
+        Strategy::coordinated(),
+        CpModel::LossyRound {
+            miss_probability: 0.3,
+        },
+    )
+    .outcome;
+    assert!(
+        record_loss.cp.delivery_rate() >= round_loss.cp.delivery_rate() - 0.05,
+        "independent record losses should deliver at least as much"
+    );
+    assert_eq!(record_loss.deadline_misses, 0);
+}
+
+#[test]
+fn coordination_still_beats_baseline_under_loss() {
+    let scenario = Scenario {
+        duration: SimDuration::from_mins(350),
+        ..Scenario::paper(ArrivalRate::High, 1)
+    };
+    let unco = run_strategy(&scenario, Strategy::Uncoordinated, CpModel::Ideal);
+    let coord = run_strategy(
+        &scenario,
+        Strategy::coordinated(),
+        CpModel::LossyRound {
+            miss_probability: 0.3,
+        },
+    );
+    assert!(
+        coord.summary.peak <= unco.summary.peak,
+        "even a lossy CP should not lose to the baseline ({} vs {})",
+        coord.summary.peak,
+        unco.summary.peak
+    );
+}
