@@ -1,9 +1,14 @@
 //! Criterion bench: one full paper experiment (350 simulated minutes,
 //! 26 devices, high arrival rate) wall-clock, per strategy.
+//!
+//! `coordinated_ideal_cp` runs the memoized grouped execution plane (the
+//! default); `coordinated_naive_reference` runs the same workload through
+//! the naive per-node planner — the ratio between the two is the speedup
+//! the view-fingerprint memoization buys (acceptance bar: ≥ 5×).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use han_core::cp::CpModel;
-use han_core::experiment::run_strategy;
+use han_core::experiment::{run_strategy, run_strategy_reference};
 use han_core::Strategy;
 use han_workload::scenario::{ArrivalRate, Scenario};
 
@@ -26,6 +31,26 @@ fn bench_end_to_end(c: &mut Criterion) {
                 &scenario,
                 Strategy::coordinated(),
                 CpModel::Ideal,
+            ))
+        });
+    });
+    group.bench_function("coordinated_naive_reference", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_strategy_reference(
+                &scenario,
+                Strategy::coordinated(),
+                CpModel::Ideal,
+            ))
+        });
+    });
+    group.bench_function("coordinated_lossy_record_10pct", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_strategy(
+                &scenario,
+                Strategy::coordinated(),
+                CpModel::LossyRecord {
+                    miss_probability: 0.1,
+                },
             ))
         });
     });

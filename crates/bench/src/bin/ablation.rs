@@ -8,9 +8,10 @@
 //! Run with: `cargo run --release -p han-bench --bin ablation`
 
 use han_core::cp::CpModel;
-use han_core::experiment::run_strategy;
+use han_core::experiment::{run_strategy, StrategyResult};
 use han_core::{PlanConfig, SchedulingRule, Strategy};
 use han_workload::scenario::{ArrivalRate, Scenario};
+use rayon::prelude::*;
 
 fn main() {
     let seeds = 0..3u64;
@@ -19,27 +20,43 @@ fn main() {
 
     let rules: [(&str, Option<SchedulingRule>); 5] = [
         ("uncoordinated", None),
-        ("level_capped_queue", Some(SchedulingRule::LevelCappedQueue { headroom_kw: 0.0 })),
-        ("balanced_placement", Some(SchedulingRule::BalancedPlacement)),
+        (
+            "level_capped_queue",
+            Some(SchedulingRule::LevelCappedQueue { headroom_kw: 0.0 }),
+        ),
+        (
+            "balanced_placement",
+            Some(SchedulingRule::BalancedPlacement),
+        ),
         ("earliest_fit", Some(SchedulingRule::Earliest)),
         ("latest_fit", Some(SchedulingRule::Latest)),
     ];
-    for (name, rule) in rules {
-        let mut peak = 0.0;
-        let mut std = 0.0;
-        let mut mean = 0.0;
-        let mut misses = 0u32;
-        let n = seeds.clone().count() as f64;
-        for seed in seeds.clone() {
+    // Every (rule, seed) run is independent: fan the whole grid out, one
+    // run per core, then aggregate per rule in order.
+    let grid: Vec<(usize, u64)> = (0..rules.len())
+        .flat_map(|r| seeds.clone().map(move |s| (r, s)))
+        .collect();
+    let results: Vec<(usize, StrategyResult)> = grid
+        .into_par_iter()
+        .map(|(rule_idx, seed)| {
             let scenario = Scenario::paper(ArrivalRate::High, seed);
-            let strategy = match rule {
+            let strategy = match rules[rule_idx].1 {
                 None => Strategy::Uncoordinated,
                 Some(rule) => Strategy::Coordinated(PlanConfig {
                     rule,
                     ..PlanConfig::default()
                 }),
             };
-            let r = run_strategy(&scenario, strategy, CpModel::Ideal);
+            (rule_idx, run_strategy(&scenario, strategy, CpModel::Ideal))
+        })
+        .collect();
+    let n = seeds.count() as f64;
+    for (rule_idx, (name, _)) in rules.iter().enumerate() {
+        let mut peak = 0.0;
+        let mut std = 0.0;
+        let mut mean = 0.0;
+        let mut misses = 0u32;
+        for (_, r) in results.iter().filter(|(idx, _)| *idx == rule_idx) {
             peak += r.summary.peak;
             std += r.summary.std_dev;
             mean += r.summary.mean;
@@ -62,12 +79,28 @@ fn main() {
     };
     let cps: [(&str, CpModel); 4] = [
         ("ideal", CpModel::Ideal),
-        ("lossy_round_30", CpModel::LossyRound { miss_probability: 0.3 }),
-        ("lossy_record_30", CpModel::LossyRecord { miss_probability: 0.3 }),
+        (
+            "lossy_round_30",
+            CpModel::LossyRound {
+                miss_probability: 0.3,
+            },
+        ),
+        (
+            "lossy_record_30",
+            CpModel::LossyRecord {
+                miss_probability: 0.3,
+            },
+        ),
         ("packet_minicast", CpModel::paper_packet(0)),
     ];
-    for (name, cp) in cps {
-        let r = run_strategy(&scenario, Strategy::coordinated(), cp);
+    let cp_results: Vec<(&str, StrategyResult)> = cps
+        .into_par_iter()
+        .map(|(name, cp)| {
+            let scenario = scenario.clone();
+            (name, run_strategy(&scenario, Strategy::coordinated(), cp))
+        })
+        .collect();
+    for (name, r) in cp_results {
         println!(
             "{name},{:.2},{:.2},{},{},{:.2}",
             r.summary.peak,

@@ -24,7 +24,10 @@ fn main() {
     let mut rng = DetRng::for_stream(42, "fig1");
     let mut stats = DisseminationStats::new();
 
-    println!("# Figure 1: MiniCast rounds every {} on the 26-node testbed", cfg.round_period);
+    println!(
+        "# Figure 1: MiniCast rounds every {} on the 26-node testbed",
+        cfg.round_period
+    );
     println!("# new user requests are injected before rounds 1, 3 and 4 (as in the sketch)");
     println!("round,time_s,published,delivered_everywhere,reliability_percent,phases,tx_total");
 
@@ -59,8 +62,14 @@ fn main() {
 
     println!("#");
     println!("# protocol aggregate over {} rounds:", stats.rounds());
-    println!("#   mean reliability      : {:.2}%", stats.mean_reliability() * 100.0);
-    println!("#   all-to-all round rate : {:.1}%", stats.all_to_all_rate() * 100.0);
+    println!(
+        "#   mean reliability      : {:.2}%",
+        stats.mean_reliability() * 100.0
+    );
+    println!(
+        "#   all-to-all round rate : {:.1}%",
+        stats.all_to_all_rate() * 100.0
+    );
     println!(
         "#   radio-on per node/round: {} => duty cycle {:.1}% of the 2 s period",
         stats.mean_radio_on_per_round(),

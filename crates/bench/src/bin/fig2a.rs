@@ -16,7 +16,9 @@ fn main() {
     let scenario = Scenario::paper(ArrivalRate::High, 0);
     let c = compare(&scenario, CpModel::Ideal);
 
-    let minutes: Vec<f64> = (0..c.uncoordinated.samples.len()).map(|m| m as f64).collect();
+    let minutes: Vec<f64> = (0..c.uncoordinated.samples.len())
+        .map(|m| m as f64)
+        .collect();
     println!(
         "{}",
         series_csv(
@@ -31,7 +33,10 @@ fn main() {
 
     let max = c.uncoordinated.summary.peak.max(c.coordinated.summary.peak);
     println!("# load over time (each row = 10 min; # bars scaled to {max:.0} kW)");
-    println!("# {:<6} {:<26}  {:<26}", "min", "without coordination", "with coordination");
+    println!(
+        "# {:<6} {:<26}  {:<26}",
+        "min", "without coordination", "with coordination"
+    );
     let unco_rows = ascii_series(&c.uncoordinated.samples, max, 26);
     let coord_rows = ascii_series(&c.coordinated.samples, max, 26);
     for (m, (u, co)) in unco_rows.iter().zip(&coord_rows).enumerate() {

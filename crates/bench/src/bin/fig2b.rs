@@ -9,7 +9,10 @@ use han_metrics::stats::reduction_percent;
 use han_workload::scenario::ArrivalRate;
 
 fn main() {
-    println!("# Figure 2(b): peak load (kW) vs arrival rate, mean over {} seeds", SEEDS.count());
+    println!(
+        "# Figure 2(b): peak load (kW) vs arrival rate, mean over {} seeds",
+        SEEDS.count()
+    );
     println!("rate_per_hour,peak_without_kw,peak_with_kw,reduction_percent");
 
     let mut report = ComparisonReport::new("peak load by arrival rate (kW)");

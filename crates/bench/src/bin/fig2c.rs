@@ -21,10 +21,26 @@ fn main() {
     for rate in ArrivalRate::all() {
         let comparisons = paper_comparisons(rate);
         let n = comparisons.len() as f64;
-        let avg_u = comparisons.iter().map(|c| c.uncoordinated.summary.mean).sum::<f64>() / n;
-        let std_u = comparisons.iter().map(|c| c.uncoordinated.summary.std_dev).sum::<f64>() / n;
-        let avg_c = comparisons.iter().map(|c| c.coordinated.summary.mean).sum::<f64>() / n;
-        let std_c = comparisons.iter().map(|c| c.coordinated.summary.std_dev).sum::<f64>() / n;
+        let avg_u = comparisons
+            .iter()
+            .map(|c| c.uncoordinated.summary.mean)
+            .sum::<f64>()
+            / n;
+        let std_u = comparisons
+            .iter()
+            .map(|c| c.uncoordinated.summary.std_dev)
+            .sum::<f64>()
+            / n;
+        let avg_c = comparisons
+            .iter()
+            .map(|c| c.coordinated.summary.mean)
+            .sum::<f64>()
+            / n;
+        let std_c = comparisons
+            .iter()
+            .map(|c| c.coordinated.summary.std_dev)
+            .sum::<f64>()
+            / n;
         println!(
             "{},{avg_u:.2},{std_u:.2},{avg_c:.2},{std_c:.2},{:.1}",
             rate.per_hour(),
@@ -34,7 +50,10 @@ fn main() {
     }
 
     println!();
-    println!("# {:<18} {:>22} {:>22}", "rate", "without coordination", "with coordination");
+    println!(
+        "# {:<18} {:>22} {:>22}",
+        "rate", "without coordination", "with coordination"
+    );
     for (rate, avg_u, std_u, avg_c, std_c) in rows {
         println!(
             "# {:<18} {:>13.2} ± {:>5.2} {:>13.2} ± {:>5.2}",

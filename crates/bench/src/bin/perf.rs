@@ -1,0 +1,137 @@
+//! Performance harness: measures the simulation hot path and writes the
+//! machine-readable `BENCH_engine.json` so the perf trajectory can be
+//! tracked across PRs.
+//!
+//! Measured (paper config: 26 devices, 350 min, high rate, ideal CP):
+//!
+//! * end-to-end wall time of one coordinated run on the **memoized**
+//!   grouped execution plane (the default),
+//! * the same run on the **naive per-node reference** plane (the paper's
+//!   literal formulation) and the resulting speedup,
+//! * simulation rounds per second,
+//! * multi-seed sweep throughput via the parallel
+//!   [`compare_many`](han_core::experiment::compare_many) versus the
+//!   sequential `compare_seeds`.
+//!
+//! Run with: `cargo run --release -p han-bench --bin perf`
+
+use han_core::cp::CpModel;
+use han_core::experiment::{
+    compare_many, compare_seeds, run_strategy, run_strategy_reference, StrategyResult,
+};
+use han_core::Strategy;
+use han_workload::scenario::{ArrivalRate, Scenario};
+use std::time::Instant;
+
+const SWEEP_SEEDS: std::ops::Range<u64> = 0..6;
+
+/// Median wall-clock seconds of `runs` invocations of `f`.
+fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let scenario = Scenario::paper(ArrivalRate::High, 0);
+    let runs = 5;
+
+    // Correctness gate before timing anything: the fast path must issue
+    // byte-identical schedules to the reference path.
+    let fast: StrategyResult = run_strategy(&scenario, Strategy::coordinated(), CpModel::Ideal);
+    let reference = run_strategy_reference(&scenario, Strategy::coordinated(), CpModel::Ideal);
+    assert_eq!(
+        fast.outcome.schedule_digest, reference.outcome.schedule_digest,
+        "memoized plane diverged from the reference plane"
+    );
+    let rounds = fast.outcome.rounds;
+
+    let memoized_s = median_secs(runs, || {
+        std::hint::black_box(run_strategy(
+            &scenario,
+            Strategy::coordinated(),
+            CpModel::Ideal,
+        ));
+    });
+    let naive_s = median_secs(runs, || {
+        std::hint::black_box(run_strategy_reference(
+            &scenario,
+            Strategy::coordinated(),
+            CpModel::Ideal,
+        ));
+    });
+    let speedup = naive_s / memoized_s;
+    let rounds_per_sec = rounds as f64 / memoized_s;
+    // Regression gate (CI runs this bin): the memoized plane must clearly
+    // beat the naive per-node path. The floor is deliberately below the
+    // ≥5× seen on a quiet machine so shared-runner noise cannot flake it,
+    // while a real regression to ~1× still fails loudly.
+    assert!(
+        speedup >= 2.0,
+        "memoized execution plane regressed: only {speedup:.2}x over the naive reference \
+         (memoized {memoized_s:.4}s vs naive {naive_s:.4}s)"
+    );
+
+    let sweep_template = Scenario::paper(ArrivalRate::High, 0);
+    let seed_count = SWEEP_SEEDS.end - SWEEP_SEEDS.start;
+    let parallel_s = median_secs(3, || {
+        std::hint::black_box(compare_many(&sweep_template, &CpModel::Ideal, SWEEP_SEEDS));
+    });
+    let sequential_s = median_secs(3, || {
+        std::hint::black_box(compare_seeds(&sweep_template, &CpModel::Ideal, SWEEP_SEEDS));
+    });
+    let sweep_throughput = seed_count as f64 / parallel_s;
+    let sweep_scaling = sequential_s / parallel_s;
+    let workers = rayon::current_num_threads();
+
+    println!("# paper config: 26 devices, 350 min, high rate, ideal CP");
+    println!("end_to_end_memoized_s,{memoized_s:.4}");
+    println!("end_to_end_naive_s,{naive_s:.4}");
+    println!("speedup_naive_over_memoized,{speedup:.2}");
+    println!("rounds_per_sec,{rounds_per_sec:.0}");
+    println!("sweep_comparisons_per_sec,{sweep_throughput:.2}");
+    println!("sweep_parallel_scaling_x,{sweep_scaling:.2} (over {workers} workers)");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": 1,\n",
+            "  \"config\": {{\"devices\": 26, \"minutes\": 350, \"rate_per_hour\": 30, \"cp\": \"ideal\"}},\n",
+            "  \"rounds\": {rounds},\n",
+            "  \"end_to_end\": {{\n",
+            "    \"memoized_wall_s\": {memoized:.6},\n",
+            "    \"naive_wall_s\": {naive:.6},\n",
+            "    \"speedup\": {speedup:.3},\n",
+            "    \"rounds_per_sec\": {rps:.1}\n",
+            "  }},\n",
+            "  \"sweep\": {{\n",
+            "    \"seeds\": {seeds},\n",
+            "    \"parallel_wall_s\": {par:.6},\n",
+            "    \"sequential_wall_s\": {seq:.6},\n",
+            "    \"comparisons_per_sec\": {cps:.3},\n",
+            "    \"parallel_scaling\": {scaling:.3},\n",
+            "    \"workers\": {workers}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        rounds = rounds,
+        memoized = memoized_s,
+        naive = naive_s,
+        speedup = speedup,
+        rps = rounds_per_sec,
+        seeds = seed_count,
+        par = parallel_s,
+        seq = sequential_s,
+        cps = sweep_throughput,
+        scaling = sweep_scaling,
+        workers = workers,
+    );
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    eprintln!("wrote BENCH_engine.json");
+}

@@ -1,16 +1,18 @@
 //! Shared helpers for the figure-reproduction binaries.
 
 use han_core::cp::CpModel;
-use han_core::experiment::{compare_seeds, mean_metric, Comparison};
+use han_core::experiment::{compare_many, mean_metric, Comparison};
 use han_workload::scenario::{ArrivalRate, Scenario};
 
 /// Seeds used by every figure harness (multi-seed means, like repeating a
 /// testbed experiment).
 pub const SEEDS: std::ops::Range<u64> = 0..5;
 
-/// Runs the paper scenario comparison at one rate over [`SEEDS`].
+/// Runs the paper scenario comparison at one rate over [`SEEDS`], one
+/// seed per core (results are in seed order and identical to a
+/// sequential sweep).
 pub fn paper_comparisons(rate: ArrivalRate) -> Vec<Comparison> {
-    compare_seeds(&Scenario::paper(rate, 0), &CpModel::Ideal, SEEDS)
+    compare_many(&Scenario::paper(rate, 0), &CpModel::Ideal, SEEDS)
 }
 
 /// Per-rate aggregate of a metric over seeds.
@@ -31,7 +33,11 @@ pub fn ascii_series(values: &[f64], max: f64, width: usize) -> Vec<String> {
             } else {
                 0
             };
-            format!("{}{}", "#".repeat(filled.min(width)), " ".repeat(width - filled.min(width)))
+            format!(
+                "{}{}",
+                "#".repeat(filled.min(width)),
+                " ".repeat(width - filled.min(width))
+            )
         })
         .collect()
 }

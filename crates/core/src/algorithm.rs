@@ -221,14 +221,57 @@ fn candidate_starts(p: &Pending, now: SimTime) -> Vec<SimTime> {
 /// identical [`Plan`], regardless of record insertion order — the
 /// foundation of decentralized agreement.
 pub fn plan_coordinated(view: &SystemView, now: SimTime, config: &PlanConfig) -> Plan {
+    plan_with_level(view, now, config, demand_rate_kw(view))
+}
+
+/// Computes the plan at an explicit served level (kW).
+///
+/// This is the pure planning kernel shared by [`plan_coordinated`] (which
+/// uses the raw demand rate as the level), by [`CoordinatedPlanner::plan`]
+/// (which uses its slew-limited level), and by the simulation's memoized
+/// grouped execution plane and its naive reference path — keeping one
+/// definition of the algorithm for all of them. The level only affects the
+/// [`SchedulingRule::LevelCappedQueue`] rule; placement rules ignore it.
+pub fn plan_with_level(
+    view: &SystemView,
+    now: SimTime,
+    config: &PlanConfig,
+    level_kw: f64,
+) -> Plan {
+    plan_with_level_detailed(view, now, config, level_kw).plan
+}
+
+/// A computed plan plus the instant through which it remains valid for an
+/// unchanged `(view, level)` — the basis of the planner's early-out.
+struct PlannedRound {
+    plan: Plan,
+    /// The plan is guaranteed identical (modulo admitted starts, which
+    /// track `now`) for any `now' ∈ [now, valid_until]`; `None` means the
+    /// rule's time-dependence is too intricate to bound (placement rules)
+    /// and the plan must not be reused.
+    valid_until: Option<SimTime>,
+}
+
+fn plan_with_level_detailed(
+    view: &SystemView,
+    now: SimTime,
+    config: &PlanConfig,
+    level_kw: f64,
+) -> PlannedRound {
     let pending = collect_pending(view, now);
     match config.rule {
         SchedulingRule::LevelCappedQueue { headroom_kw } => {
-            plan_level_capped(&pending, now, config, headroom_kw, demand_rate_kw(view))
+            plan_level_capped(&pending, now, config, headroom_kw, level_kw)
         }
-        SchedulingRule::BalancedPlacement
-        | SchedulingRule::Earliest
-        | SchedulingRule::Latest => plan_by_placement(&pending, now, config),
+        SchedulingRule::BalancedPlacement | SchedulingRule::Earliest | SchedulingRule::Latest => {
+            PlannedRound {
+                plan: plan_by_placement(&pending, now, config),
+                // Placement grids are anchored at `now` (candidates are
+                // `now + k·owed`), so the output shifts with every round:
+                // never reuse.
+                valid_until: None,
+            }
+        }
     }
 }
 
@@ -242,8 +285,7 @@ pub fn demand_rate_kw(view: &SystemView) -> f64 {
     view.iter()
         .filter(|(rec, _)| rec.active && !rec.max_dcp.is_zero())
         .map(|(rec, _)| {
-            f64::from(rec.power_w) / 1000.0 * rec.min_dcd.as_secs_f64()
-                / rec.max_dcp.as_secs_f64()
+            f64::from(rec.power_w) / 1000.0 * rec.min_dcd.as_secs_f64() / rec.max_dcp.as_secs_f64()
         })
         .sum()
 }
@@ -274,6 +316,17 @@ pub struct CoordinatedPlanner {
     config: PlanConfig,
     level_kw: f64,
     last_update: Option<SimTime>,
+    /// Last computed plan, keyed by `(view fingerprint, level bits)`.
+    cache: Option<CachedPlan>,
+    cache_hits: u64,
+}
+
+/// The planner's memo of its previous round.
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    key: (u64, u64),
+    plan: Plan,
+    valid_until: SimTime,
 }
 
 impl CoordinatedPlanner {
@@ -283,6 +336,8 @@ impl CoordinatedPlanner {
             config,
             level_kw: 0.0,
             last_update: None,
+            cache: None,
+            cache_hits: 0,
         }
     }
 
@@ -296,28 +351,76 @@ impl CoordinatedPlanner {
         self.level_kw
     }
 
-    /// Computes this round's plan and updates the level tracker.
-    pub fn plan(&mut self, view: &SystemView, now: SimTime) -> Plan {
-        let demand = demand_rate_kw(view);
+    /// How many rounds were answered from the plan memo (early-out).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Advances the slew-limited level tracker to `now` given the demand
+    /// rate observed in this round's view, returning the updated level.
+    ///
+    /// Split out of [`plan`](CoordinatedPlanner::plan) so the grouped
+    /// execution plane can keep every node's level tracker live while
+    /// running the expensive planning kernel only once per distinct view.
+    pub fn advance_level(&mut self, demand_kw: f64, now: SimTime) -> f64 {
         let dt = match self.last_update {
             Some(last) => now.saturating_since(last),
             None => SimDuration::ZERO,
         };
         self.last_update = Some(now);
         let max_step = self.config.level_slew_kw_per_hour.max(0.0) * dt.as_hours_f64();
-        let gap = demand - self.level_kw;
+        let gap = demand_kw - self.level_kw;
         self.level_kw += gap.clamp(-max_step, max_step);
+        self.level_kw
+    }
 
-        let pending = collect_pending(view, now);
-        match self.config.rule {
-            SchedulingRule::LevelCappedQueue { headroom_kw } => {
-                plan_level_capped(&pending, now, &self.config, headroom_kw, self.level_kw)
+    /// Computes this round's plan and updates the level tracker.
+    pub fn plan(&mut self, view: &SystemView, now: SimTime) -> Plan {
+        self.advance_level(demand_rate_kw(view), now);
+        self.plan_at_level(view, now)
+    }
+
+    /// Computes this round's plan assuming
+    /// [`advance_level`](CoordinatedPlanner::advance_level) already ran.
+    ///
+    /// Early-out: when the `(view fingerprint, level)` key matches the
+    /// previous round's and `now` is still inside that plan's validity
+    /// horizon (no pending device has crossed the forcing threshold in
+    /// the meantime), the memoized plan is reused — only the starts of
+    /// admitted devices, which by construction equal `now`, are refreshed.
+    pub fn plan_at_level(&mut self, view: &SystemView, now: SimTime) -> Plan {
+        let key = (view.fingerprint(), self.level_kw.to_bits());
+        if let Some(cached) = &self.cache {
+            if cached.key == key && now <= cached.valid_until {
+                self.cache_hits += 1;
+                return reissue_plan(&cached.plan, now);
             }
-            SchedulingRule::BalancedPlacement
-            | SchedulingRule::Earliest
-            | SchedulingRule::Latest => plan_by_placement(&pending, now, &self.config),
+        }
+        let planned = plan_with_level_detailed(view, now, &self.config, self.level_kw);
+        if let Some(valid_until) = planned.valid_until {
+            self.cache = Some(CachedPlan {
+                key,
+                plan: planned.plan.clone(),
+                valid_until,
+            });
+        } else {
+            self.cache = None;
+        }
+        planned.plan
+    }
+}
+
+/// Reissues a memoized plan at a later instant: scheduled-ON devices are
+/// (re)started at `now`; queued devices keep their committed latest
+/// starts, which are time-invariant inside the validity horizon.
+fn reissue_plan(plan: &Plan, now: SimTime) -> Plan {
+    let mut reissued = plan.clone();
+    for (device, start) in &mut reissued.starts {
+        if reissued.schedule.is_on(*device) {
+            *start = now;
         }
     }
+    reissued
 }
 
 /// The paper's scheme: EDF admission capped at
@@ -328,7 +431,7 @@ fn plan_level_capped(
     config: &PlanConfig,
     headroom_kw: f64,
     rate_kw: f64,
-) -> Plan {
+) -> PlannedRound {
     let guard = config.laxity_guard.as_micros() as i64;
     // Outstanding work (kW·µs) and the level it needs on average.
     let work_kw_us: f64 = pending
@@ -340,12 +443,29 @@ fn plan_level_capped(
 
     // Safety sets first: running instances continue; endangered
     // obligations are forced regardless of the cap.
+    //
+    // For a fixed (pending, level), `now` enters this rule only through
+    // the forcing test `laxity(now) < guard`: a currently unforced device
+    // becomes forced strictly after `deadline − owed − guard`. The minimum
+    // of that instant over unforced devices bounds how long this round's
+    // output stays valid — which is what lets an unchanged view reuse the
+    // plan without recomputing.
     let mut on_set: Vec<DeviceId> = Vec::new();
     let mut admitted_kw = 0.0;
+    let mut valid_until = SimTime::MAX;
     for p in pending {
         if p.on || p.laxity_micros(now) < guard {
             on_set.push(p.device);
             admitted_kw += p.power_kw;
+        } else {
+            // laxity ≥ guard ⟹ deadline − owed − guard ≥ now: no underflow.
+            let forces_at = SimTime::from_micros(
+                p.deadline
+                    .as_micros()
+                    .saturating_sub(p.owed.as_micros())
+                    .saturating_sub(guard.unsigned_abs()),
+            );
+            valid_until = valid_until.min(forces_at);
         }
     }
 
@@ -368,9 +488,12 @@ fn plan_level_capped(
     }
     starts.sort_by_key(|&(d, _)| d);
 
-    Plan {
-        schedule: Schedule::from_on_set(on_set),
-        starts,
+    PlannedRound {
+        plan: Plan {
+            schedule: Schedule::from_on_set(on_set),
+            starts,
+        },
+        valid_until: Some(valid_until),
     }
 }
 
@@ -465,7 +588,13 @@ mod tests {
     }
 
     /// An active, unplaced device owing `owed` minutes.
-    fn rec(id: u32, on: bool, owed_mins: u64, deadline_mins: u64, arrival_mins: u64) -> StatusRecord {
+    fn rec(
+        id: u32,
+        on: bool,
+        owed_mins: u64,
+        deadline_mins: u64,
+        arrival_mins: u64,
+    ) -> StatusRecord {
         StatusRecord {
             device: DeviceId(id),
             active: true,
@@ -750,12 +879,75 @@ mod tests {
 
     #[test]
     fn planner_admits_more_as_level_rises() {
-        let mut planner = CoordinatedPlanner::new(PlanConfig::default()); // 12 kW/h
+        let mut planner = CoordinatedPlanner::new(PlanConfig::default());
         // Ten pending 15-of-30 obligations with a far deadline: the water
         // level alone admits 5; the demand term cannot exceed that here.
         let v = view_of((0..10).map(|i| rec(i, false, 15, 30, 0)), 10);
         let p0 = planner.plan(&v, t(0));
         assert_eq!(p0.schedule.on_count(), 5, "water level = ceil(150/30)");
+    }
+
+    #[test]
+    fn planner_early_out_reuses_identical_plans() {
+        // A view that does not change round to round, with the level
+        // converged (demand 0 after the devices finish): the memo must
+        // answer without recomputation and with identical output.
+        let mut cached = CoordinatedPlanner::new(PlanConfig::default());
+        let v = view_of((0..4).map(|i| rec(i, false, 15, 300, 0)), 4);
+        let first = cached.plan(&v, t(0));
+        assert_eq!(cached.cache_hits(), 0);
+        // Same view, no time for the level to move (slew × 0 s = 0): hit.
+        let again = cached.plan(&v, t(0));
+        assert_eq!(cached.cache_hits(), 1);
+        assert_eq!(first, again, "memoized plan must be byte-identical");
+        // Check against a fresh planner with the same level history.
+        let mut fresh = CoordinatedPlanner::new(PlanConfig::default());
+        fresh.plan(&v, t(0));
+        let recomputed = fresh.plan(&v, t(0));
+        assert_eq!(again, recomputed);
+    }
+
+    #[test]
+    fn planner_early_out_respects_validity_horizon() {
+        // One queued device approaches its forcing threshold; the memo
+        // must expire before the plan output changes.
+        let mut planner = CoordinatedPlanner::new(PlanConfig {
+            // Freeze the level so the memo key stays constant over time.
+            level_slew_kw_per_hour: 0.0,
+            ..PlanConfig::default()
+        });
+        // Two devices, level 1 admits one: device with the later deadline
+        // queues, then gets forced as its laxity melts.
+        let records = [rec(0, false, 15, 30, 0), rec(1, false, 15, 31, 1)];
+        let v = view_of(records, 2);
+        let p0 = planner.plan(&v, t(0));
+        assert_eq!(p0.schedule.on_count(), 1, "level admits one");
+        // Re-plan each minute with the *same* view: cache may answer while
+        // valid, but the forced switch-on at laxity < guard must appear.
+        let mut first_forced_at = None;
+        for minute in 1..=16 {
+            let p = planner.plan(&v, t(minute));
+            if p.schedule.on_count() == 2 && first_forced_at.is_none() {
+                first_forced_at = Some(minute);
+            }
+        }
+        // d1: deadline 31, owed 15 ⟹ forced strictly after minute 16 - 2 s.
+        assert_eq!(
+            first_forced_at,
+            Some(16),
+            "queued device must be forced exactly when its laxity crosses the guard"
+        );
+        assert!(planner.cache_hits() > 0, "the steady prefix must hit");
+    }
+
+    #[test]
+    fn plan_with_level_matches_planner() {
+        let v = view_of((0..6).map(|i| rec(i, false, 15, 40, 0)), 6);
+        let mut planner = CoordinatedPlanner::new(PlanConfig::default());
+        planner.advance_level(demand_rate_kw(&v), t(3));
+        let from_planner = planner.plan_at_level(&v, t(3));
+        let from_pure = plan_with_level(&v, t(3), &PlanConfig::default(), planner.level_kw());
+        assert_eq!(from_planner, from_pure);
     }
 
     #[test]
@@ -773,4 +965,3 @@ mod tests {
         assert_eq!(candidate_starts(&p, t(10)), vec![t(10)]);
     }
 }
-

@@ -114,17 +114,25 @@ enum CpState {
         /// Last sequence number each node has decoded per origin, to detect
         /// which records are fresh this round.
         last_seen: Vec<Vec<Option<u32>>>,
-        dissemination: DisseminationStats,
         sync: SyncTracker,
-        worst_sync_error: SimDuration,
+        /// Reusable MiniCast working buffers (aggregates, per-flood tallies).
+        scratch: minicast::RoundScratch,
+        /// Reusable status-encoding buffer.
+        encode_buf: Vec<u8>,
     },
 }
 
 /// The communication plane: one [`SystemView`] per node, updated per round
 /// according to the model.
+///
+/// Under [`CpModel::Ideal`] every node's view is identical by definition
+/// (perfect dissemination), so the plane stores **one** shared view and
+/// hands it to every node — O(n) record refreshes per round instead of
+/// O(n²). Lossy and packet models keep genuinely per-node views.
 pub struct CommunicationPlane {
     model: CpModel,
     state: CpState,
+    device_count: usize,
     views: Vec<SystemView>,
     rng: DetRng,
     stats: CpStats,
@@ -173,50 +181,64 @@ impl CommunicationPlane {
                     rssi: topology.rssi_matrix(),
                     stores: vec![ItemStore::new(); topology.len()],
                     last_seen: vec![vec![None; topology.len()]; topology.len()],
-                    dissemination: DisseminationStats::new(),
                     sync: SyncTracker::new(topology.len(), 20.0, st.round_period, seed),
-                    worst_sync_error: SimDuration::ZERO,
+                    scratch: minicast::RoundScratch::default(),
+                    encode_buf: Vec::new(),
                 }
             }
+        };
+        // Packet-mode accumulators live directly in `stats`, so reading
+        // statistics is a borrow instead of a per-call clone.
+        let mut stats = CpStats::default();
+        if matches!(state, CpState::Packet { .. }) {
+            stats.dissemination = Some(DisseminationStats::new());
+            stats.worst_sync_error = Some(SimDuration::ZERO);
+        }
+        // Ideal dissemination keeps all views identical forever: store one.
+        let view_count = match &model {
+            CpModel::Ideal => 1,
+            _ => device_count,
         };
         CommunicationPlane {
             model,
             state,
-            views: vec![SystemView::new(device_count); device_count],
+            device_count,
+            views: vec![SystemView::new(device_count); view_count],
             rng: DetRng::for_stream(seed, "communication-plane"),
-            stats: CpStats::default(),
+            stats,
             round_index: 0,
         }
     }
 
     /// The view node `i` currently holds.
     pub fn view(&self, node: usize) -> &SystemView {
-        &self.views[node]
+        assert!(node < self.device_count, "node out of range");
+        if self.views.len() == 1 {
+            &self.views[0]
+        } else {
+            &self.views[node]
+        }
     }
 
-    /// Statistics accumulated so far.
-    pub fn stats(&self) -> CpStats {
-        let mut stats = self.stats.clone();
-        if let CpState::Packet {
-            dissemination,
-            worst_sync_error,
-            ..
-        } = &self.state
-        {
-            stats.dissemination = Some(dissemination.clone());
-            stats.worst_sync_error = Some(*worst_sync_error);
-        }
-        stats
+    /// Statistics accumulated so far (a borrow — all accumulators,
+    /// including packet-mode dissemination, are folded in place as rounds
+    /// run, so nothing is cloned here).
+    pub fn stats(&self) -> &CpStats {
+        &self.stats
+    }
+
+    /// Consumes the plane, yielding owned statistics — for the one caller
+    /// (the end-of-run outcome) that needs ownership.
+    pub fn into_stats(self) -> CpStats {
+        self.stats
     }
 
     /// Radio-on duty cycle of the protocol itself (packet mode only).
     pub fn radio_duty_cycle(&self, round_period: SimDuration) -> Option<f64> {
-        match &self.state {
-            CpState::Packet { dissemination, .. } => {
-                Some(dissemination.duty_cycle(round_period))
-            }
-            CpState::Abstract => None,
-        }
+        self.stats
+            .dissemination
+            .as_ref()
+            .map(|d| d.duty_cycle(round_period))
     }
 
     /// Executes one CP round: every node publishes `statuses[i]` (version
@@ -226,7 +248,7 @@ impl CommunicationPlane {
     ///
     /// Panics if `statuses` / `seqs` lengths differ from the device count.
     pub fn round(&mut self, statuses: &[StatusRecord], seqs: &[u32]) {
-        let n = self.views.len();
+        let n = self.device_count;
         assert_eq!(statuses.len(), n, "one status per device");
         assert_eq!(seqs.len(), n, "one sequence number per device");
 
@@ -237,10 +259,10 @@ impl CommunicationPlane {
         let mut refreshed = 0u64;
         match (&self.model, &mut self.state) {
             (CpModel::Ideal, _) => {
-                for view in &mut self.views {
-                    for rec in statuses {
-                        view.refresh(*rec);
-                    }
+                // One shared view stands in for all n identical ones.
+                let view = &mut self.views[0];
+                for rec in statuses {
+                    view.refresh(*rec);
                 }
                 refreshed = (n * n) as u64;
             }
@@ -275,26 +297,35 @@ impl CommunicationPlane {
                     rssi,
                     stores,
                     last_seen,
-                    dissemination,
                     sync,
-                    worst_sync_error,
+                    scratch,
+                    encode_buf,
                 },
             ) => {
                 // Publish: each node merges its own fresh item.
                 for (i, (rec, &seq)) in statuses.iter().zip(seqs).enumerate() {
-                    stores[i].merge(&Item::new(NodeId(i as u32), seq, rec.encode()));
+                    encode_buf.clear();
+                    rec.encode_into(encode_buf);
+                    stores[i].merge(&Item::new(NodeId(i as u32), seq, encode_buf.as_slice()));
                 }
-                let report = minicast::run_round(
+                let report = minicast::run_round_with(
                     rssi,
                     stores,
                     NodeId(0),
                     st,
                     self.round_index,
                     &mut self.rng,
+                    scratch,
                 );
-                dissemination.record(&report);
+                self.stats
+                    .dissemination
+                    .as_mut()
+                    .expect("packet mode pre-seeds dissemination stats")
+                    .record(&report);
                 sync.record_round(&report.synced[..n]);
-                *worst_sync_error = (*worst_sync_error).max(sync.worst_boundary_error());
+                let worst = sync.worst_boundary_error();
+                let entry = self.stats.worst_sync_error.get_or_insert(SimDuration::ZERO);
+                *entry = (*entry).max(worst);
                 // Deliver: decode stored items into views. A record counts
                 // as *fresh* only when the stored version matches the
                 // publisher's current sequence number; holding an older

@@ -12,6 +12,7 @@ use crate::simulation::{HanSimulation, SimulationConfig, SimulationOutcome, Stra
 use han_metrics::stats::Summary;
 use han_sim::time::{SimDuration, SimTime};
 use han_workload::scenario::Scenario;
+use rayon::prelude::*;
 
 /// The sampling interval of the paper's plots.
 pub const SAMPLE_INTERVAL: SimDuration = SimDuration::from_mins(1);
@@ -74,6 +75,27 @@ impl Comparison {
 /// Panics if the scenario and CP model are inconsistent (e.g. a packet
 /// topology smaller than the device count).
 pub fn run_strategy(scenario: &Scenario, strategy: Strategy, cp: CpModel) -> StrategyResult {
+    run_strategy_inner(scenario, strategy, cp, false)
+}
+
+/// [`run_strategy`] over the naive per-node execution plane (the
+/// differential-testing and benchmarking oracle of the memoized fast
+/// path). Not part of the supported API surface.
+#[doc(hidden)]
+pub fn run_strategy_reference(
+    scenario: &Scenario,
+    strategy: Strategy,
+    cp: CpModel,
+) -> StrategyResult {
+    run_strategy_inner(scenario, strategy, cp, true)
+}
+
+fn run_strategy_inner(
+    scenario: &Scenario,
+    strategy: Strategy,
+    cp: CpModel,
+    reference_planning: bool,
+) -> StrategyResult {
     let config = SimulationConfig {
         device_count: scenario.device_count,
         device_power_kw: scenario.device_power_kw,
@@ -84,7 +106,8 @@ pub fn run_strategy(scenario: &Scenario, strategy: Strategy, cp: CpModel) -> Str
         cp,
         seed: scenario.seed,
     };
-    let sim = HanSimulation::new(config, scenario.requests()).expect("valid scenario");
+    let mut sim = HanSimulation::new(config, scenario.requests()).expect("valid scenario");
+    sim.set_reference_planning(reference_planning);
     let outcome = sim.run();
     let end = SimTime::ZERO + scenario.duration;
     let samples = outcome.trace.sample(SimTime::ZERO, end, SAMPLE_INTERVAL);
@@ -115,6 +138,31 @@ pub fn compare_seeds(
 ) -> Vec<Comparison> {
     seeds
         .into_iter()
+        .map(|seed| {
+            let scenario = Scenario {
+                seed,
+                ..template.clone()
+            };
+            compare(&scenario, cp.clone())
+        })
+        .collect()
+}
+
+/// Runs `compare` over several seeds **in parallel** (one worker per
+/// core), returning comparisons in seed order.
+///
+/// Seeded runs are fully independent — no shared mutable state — so the
+/// results are identical to [`compare_seeds`], element for element; only
+/// the wall-clock time changes. This is the workhorse of the figure
+/// harnesses and parameter sweeps.
+pub fn compare_many(
+    template: &Scenario,
+    cp: &CpModel,
+    seeds: impl IntoIterator<Item = u64>,
+) -> Vec<Comparison> {
+    let seeds: Vec<u64> = seeds.into_iter().collect();
+    seeds
+        .into_par_iter()
         .map(|seed| {
             let scenario = Scenario {
                 seed,
@@ -180,6 +228,46 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sweep_matches_sequential() {
+        let template = Scenario {
+            duration: SimDuration::from_mins(60),
+            ..Scenario::paper(ArrivalRate::High, 0)
+        };
+        let sequential = compare_seeds(&template, &CpModel::Ideal, 0..4);
+        let parallel = compare_many(&template, &CpModel::Ideal, 0..4);
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.scenario.seed, s.scenario.seed, "seed order preserved");
+            assert_eq!(p.coordinated.samples, s.coordinated.samples);
+            assert_eq!(p.uncoordinated.samples, s.uncoordinated.samples);
+            assert_eq!(
+                p.coordinated.outcome.schedule_digest,
+                s.coordinated.outcome.schedule_digest
+            );
+        }
+    }
+
+    #[test]
+    fn reference_and_memoized_paths_agree() {
+        let scenario = Scenario {
+            duration: SimDuration::from_mins(90),
+            ..Scenario::paper(ArrivalRate::High, 5)
+        };
+        let fast = run_strategy(&scenario, Strategy::coordinated(), CpModel::Ideal);
+        let reference = run_strategy_reference(&scenario, Strategy::coordinated(), CpModel::Ideal);
+        assert_eq!(
+            fast.outcome.schedule_digest, reference.outcome.schedule_digest,
+            "memoized plane must issue byte-identical schedules"
+        );
+        assert_eq!(fast.outcome.trace, reference.outcome.trace);
+        assert_eq!(
+            fast.outcome.divergent_rounds,
+            reference.outcome.divergent_rounds
+        );
+        assert_eq!(fast.samples, reference.samples);
+    }
+
+    #[test]
     fn multi_seed_aggregation() {
         let comparisons = compare_seeds(
             &short_scenario(ArrivalRate::Moderate, 0),
@@ -192,4 +280,3 @@ mod tests {
         assert_eq!(mean_metric(&[], |_| 1.0), 0.0);
     }
 }
-

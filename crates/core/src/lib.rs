@@ -48,8 +48,8 @@ pub mod simulation;
 pub mod state;
 
 pub use algorithm::{
-    demand_rate_kw, plan_coordinated, plan_uncoordinated, CoordinatedPlanner, Plan, PlanConfig,
-    SchedulingRule,
+    demand_rate_kw, plan_coordinated, plan_uncoordinated, plan_with_level, CoordinatedPlanner,
+    Plan, PlanConfig, SchedulingRule,
 };
 pub use cp::{CommunicationPlane, CpModel, CpStats};
 pub use schedule::Schedule;

@@ -16,7 +16,9 @@
 //! uncoordinated baseline it compares against, and a classical centralized
 //! scheduler (an ablation beyond the paper).
 
-use crate::algorithm::{CoordinatedPlanner, PlanConfig, SchedulingRule};
+use crate::algorithm::{
+    demand_rate_kw, plan_with_level, CoordinatedPlanner, Plan, PlanConfig, SchedulingRule,
+};
 use crate::cp::{CommunicationPlane, CpModel, CpStats};
 use crate::schedule::Schedule;
 use han_device::appliance::DeviceId;
@@ -24,10 +26,11 @@ use han_device::duty_cycle::DutyCycleConstraints;
 use han_device::interface::DeviceInterface;
 use han_device::power::Watts;
 use han_device::request::Request;
+use han_device::status::StatusRecord;
 use han_device::Appliance;
 use han_metrics::timeseries::LoadTrace;
 use han_sim::time::{SimDuration, SimTime};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Scheduling strategy under test.
 #[derive(Debug, Clone)]
@@ -142,6 +145,12 @@ pub struct SimulationOutcome {
     pub energy_kwh: f64,
     /// Communication-plane statistics.
     pub cp: CpStats,
+    /// Order-sensitive digest of every node's schedule in every round
+    /// (coordinated strategy only; 0 otherwise). Two runs with equal
+    /// digests issued byte-identical schedules at every node in every
+    /// round — the probe the differential tests use to prove the memoized
+    /// execution plane exactly matches the naive per-node reference.
+    pub schedule_digest: u64,
 }
 
 impl SimulationOutcome {
@@ -163,6 +172,35 @@ pub struct HanSimulation {
     requests: Vec<Request>,
     appliances: Option<Vec<Appliance>>,
     background: Option<LoadTrace>,
+    reference_planning: bool,
+}
+
+/// Reusable per-round working memory for the execution plane, allocated
+/// once per run so the round loop itself allocates nothing in the common
+/// case.
+#[derive(Debug, Default)]
+struct RoundScratch {
+    /// Status records published this round.
+    statuses: Vec<StatusRecord>,
+    /// Per-device status sequence numbers.
+    seqs: Vec<u32>,
+    /// Distinct schedule content hashes this round (divergence probe).
+    hashes: HashSet<u64>,
+    /// `(view fingerprint, level bits)` → index into `plans`.
+    groups: HashMap<(u64, u64), usize>,
+    /// Demand rate memo per view fingerprint.
+    demands: HashMap<u64, f64>,
+    /// One plan per distinct `(view, level)` group this round.
+    plans: Vec<Plan>,
+    /// `plans[i].schedule.content_hash()`, computed once per distinct plan.
+    plan_hashes: Vec<u64>,
+    /// Each node's index into `plans`.
+    node_plan: Vec<usize>,
+}
+
+/// Folds one schedule hash into the order-sensitive run digest.
+fn fold_digest(digest: u64, schedule_hash: u64) -> u64 {
+    (digest.rotate_left(5) ^ schedule_hash).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 impl HanSimulation {
@@ -189,7 +227,22 @@ impl HanSimulation {
             requests,
             appliances: None,
             background: None,
+            reference_planning: false,
         })
+    }
+
+    /// Forces the naive per-node execution plane: every Device Interface
+    /// runs the full planner on its own view every round, with no view
+    /// grouping and no plan memoization — exactly the paper's literal
+    /// formulation.
+    ///
+    /// This is the differential-testing and benchmarking oracle for the
+    /// memoized fast path (the default), which must produce byte-identical
+    /// schedules. It is not part of the supported API surface.
+    #[doc(hidden)]
+    pub fn set_reference_planning(&mut self, on: bool) -> &mut Self {
+        self.reference_planning = on;
+        self
     }
 
     /// Adds an uncontrollable Type-1 background load (instant appliances:
@@ -267,9 +320,9 @@ impl HanSimulation {
         let mut last_command: Vec<bool> = vec![false; n];
         // One planner per node (coordinated) or one for the controller.
         let mut planners: Vec<CoordinatedPlanner> = match &cfg.strategy {
-            Strategy::Coordinated(plan_cfg) => {
-                (0..n).map(|_| CoordinatedPlanner::new(plan_cfg.clone())).collect()
-            }
+            Strategy::Coordinated(plan_cfg) => (0..n)
+                .map(|_| CoordinatedPlanner::new(plan_cfg.clone()))
+                .collect(),
             Strategy::Centralized { plan, .. } => vec![CoordinatedPlanner::new(plan.clone())],
             Strategy::Uncoordinated => Vec::new(),
         };
@@ -277,6 +330,8 @@ impl HanSimulation {
         trace.record(SimTime::ZERO, 0.0);
         let mut now = SimTime::ZERO;
         let mut last_load_kw = 0.0f64;
+        let mut schedule_digest = 0u64;
+        let mut scratch = RoundScratch::default();
 
         while now <= SimTime::ZERO + cfg.duration {
             // 1. Deliver user requests that arrived up to this round. The
@@ -284,9 +339,7 @@ impl HanSimulation {
             // 2-second CP period this costs the user at most one round and
             // keeps all deadlines round-aligned, so forced starts and
             // releases swap within a single round instead of overlapping.
-            while next_request < self.requests.len()
-                && self.requests[next_request].arrival <= now
-            {
+            while next_request < self.requests.len() && self.requests[next_request].arrival <= now {
                 let req = self.requests[next_request];
                 dis[req.device.index()]
                     .handle_request(now, &req)
@@ -301,34 +354,113 @@ impl HanSimulation {
             }
 
             // 3. Communication plane round.
-            let statuses: Vec<_> = dis.iter_mut().map(|di| di.publish(now)).collect();
-            let seqs: Vec<_> = dis.iter().map(DeviceInterface::seq).collect();
+            scratch.statuses.clear();
+            scratch
+                .statuses
+                .extend(dis.iter_mut().map(|di| di.publish(now)));
+            scratch.seqs.clear();
+            scratch.seqs.extend(dis.iter().map(DeviceInterface::seq));
             let uses_cp = !matches!(cfg.strategy, Strategy::Uncoordinated);
             if uses_cp {
-                cp.round(&statuses, &seqs);
+                cp.round(&scratch.statuses, &scratch.seqs);
             }
 
             // 4. Execution plane: per-device decisions.
             match &cfg.strategy {
                 Strategy::Coordinated(plan_cfg) => {
-                    let mut hashes: HashSet<u64> = HashSet::new();
+                    scratch.hashes.clear();
+                    scratch.groups.clear();
+                    scratch.demands.clear();
+                    scratch.plans.clear();
+                    scratch.plan_hashes.clear();
+                    scratch.node_plan.clear();
+
+                    if self.reference_planning {
+                        // Naive reference: the paper's literal formulation —
+                        // every node runs the full planner on its own view.
+                        for (i, planner) in planners.iter_mut().enumerate() {
+                            let view = cp.view(i);
+                            let level = planner.advance_level(demand_rate_kw(view), now);
+                            scratch
+                                .plans
+                                .push(plan_with_level(view, now, plan_cfg, level));
+                            scratch.node_plan.push(i);
+                        }
+                    } else {
+                        // Memoized fast path: group nodes by their view
+                        // fingerprint and run the planner once per distinct
+                        // (view, level). Under an ideal CP every node holds
+                        // the same view, so the planner runs exactly once;
+                        // under loss the common converged case collapses
+                        // the same way. The demand rate — the only other
+                        // O(n) per-node view scan — is memoized per
+                        // fingerprint too, keeping the whole plane at
+                        // O(distinct views) instead of O(n).
+                        // Consecutive nodes almost always share a group
+                        // (all of them, under an ideal CP), so remember
+                        // the previous node's resolution and skip the maps
+                        // entirely on a match.
+                        let mut prev_demand: Option<(u64, f64)> = None;
+                        let mut prev_group: Option<((u64, u64), usize)> = None;
+                        for (i, planner) in planners.iter_mut().enumerate() {
+                            let view = cp.view(i);
+                            let fp = view.fingerprint();
+                            let demand = match prev_demand {
+                                Some((prev_fp, d)) if prev_fp == fp => d,
+                                _ => match scratch.demands.get(&fp) {
+                                    Some(&d) => d,
+                                    None => {
+                                        let d = demand_rate_kw(view);
+                                        scratch.demands.insert(fp, d);
+                                        d
+                                    }
+                                },
+                            };
+                            prev_demand = Some((fp, demand));
+                            let level = planner.advance_level(demand, now);
+                            let key = (fp, level.to_bits());
+                            let plan_idx = match prev_group {
+                                Some((prev_key, idx)) if prev_key == key => idx,
+                                _ => match scratch.groups.get(&key) {
+                                    Some(&idx) => idx,
+                                    None => {
+                                        let plan = planner.plan_at_level(view, now);
+                                        scratch.plans.push(plan);
+                                        let idx = scratch.plans.len() - 1;
+                                        scratch.groups.insert(key, idx);
+                                        idx
+                                    }
+                                },
+                            };
+                            prev_group = Some((key, plan_idx));
+                            scratch.node_plan.push(plan_idx);
+                        }
+                    }
+
+                    // Hash each distinct plan once; the digest and the
+                    // divergence probe both reuse these.
+                    scratch
+                        .plan_hashes
+                        .extend(scratch.plans.iter().map(|p| p.schedule.content_hash()));
+
                     let adopt_placements =
                         matches!(plan_cfg.rule, SchedulingRule::BalancedPlacement);
-                    for i in 0..n {
+                    for (i, di) in dis.iter_mut().enumerate() {
                         let own = DeviceId(i as u32);
-                        let plan = planners[i].plan(cp.view(i), now);
-                        hashes.insert(plan.schedule.content_hash());
+                        let plan = &scratch.plans[scratch.node_plan[i]];
+                        schedule_digest =
+                            fold_digest(schedule_digest, scratch.plan_hashes[scratch.node_plan[i]]);
                         // Placement rules publish the node's own committed
                         // start, making assignments sticky under loss.
-                        if adopt_placements && dis[i].is_active() {
-                            dis[i].set_planned_start(plan.start_of(own));
+                        if adopt_placements && di.is_active() {
+                            di.set_planned_start(plan.start_of(own));
                         }
                         let mut on = plan.schedule.is_on(own);
                         // Local safety overrides: a DI never lets *its own*
                         // device miss its obligation because of the network,
                         // and never cuts its own instance short. The forcing
                         // rule mirrors the planner's (strict threshold).
-                        let cycler = dis[i].cycler();
+                        let cycler = di.cycler();
                         if cycler.is_active() {
                             let guard = plan_cfg.laxity_guard.as_micros() as i64;
                             if matches!(cycler.laxity_micros(now), Some(l) if l < guard) {
@@ -338,9 +470,12 @@ impl HanSimulation {
                         if cycler.is_on() && !cycler.instance_complete(now) {
                             on = true;
                         }
-                        dis[i].command(now, on);
+                        di.command(now, on);
                     }
-                    if hashes.len() > 1 {
+                    // The divergence probe inspects each distinct plan once;
+                    // per-node hashing would rebuild the identical set.
+                    scratch.hashes.extend(scratch.plan_hashes.iter().copied());
+                    if scratch.hashes.len() > 1 {
                         divergent_rounds += 1;
                     }
                 }
@@ -353,7 +488,9 @@ impl HanSimulation {
                     }
                 }
                 Strategy::Centralized {
-                    controller, crash_at, ..
+                    controller,
+                    crash_at,
+                    ..
                 } => {
                     let crashed = crash_at.is_some_and(|c| now >= c);
                     let schedule: Schedule = if crashed {
@@ -390,12 +527,8 @@ impl HanSimulation {
             rounds += 1;
 
             // 5. Record the load (schedulable + Type-1 background).
-            let background_kw = self
-                .background
-                .as_ref()
-                .map_or(0.0, |b| b.value_at(now));
-            let load_kw: f64 =
-                dis.iter().map(|di| di.power().as_kw()).sum::<f64>() + background_kw;
+            let background_kw = self.background.as_ref().map_or(0.0, |b| b.value_at(now));
+            let load_kw: f64 = dis.iter().map(|di| di.power().as_kw()).sum::<f64>() + background_kw;
             if (load_kw - last_load_kw).abs() > 1e-12 || now == SimTime::ZERO {
                 trace.record(now, load_kw);
                 last_load_kw = load_kw;
@@ -425,7 +558,8 @@ impl HanSimulation {
             divergent_rounds,
             requests_delivered: delivered,
             energy_kwh,
-            cp: cp.stats(),
+            cp: cp.into_stats(),
+            schedule_digest,
         }
     }
 }
@@ -554,10 +688,7 @@ mod tests {
         let out = run(Strategy::coordinated(), CpModel::Ideal, vec![]);
         assert_eq!(out.energy_kwh, 0.0);
         assert_eq!(out.requests_delivered, 0);
-        assert_eq!(
-            out.trace.peak(SimTime::ZERO, SimTime::from_mins(40)),
-            0.0
-        );
+        assert_eq!(out.trace.peak(SimTime::ZERO, SimTime::from_mins(40)), 0.0);
     }
 
     #[test]
@@ -613,11 +744,9 @@ mod tests {
     #[test]
     fn background_load_is_added_but_not_scheduled() {
         let reqs = burst(SimTime::from_mins(1), 4);
-        let mut sim = HanSimulation::new(
-            small_config(Strategy::coordinated(), CpModel::Ideal),
-            reqs,
-        )
-        .unwrap();
+        let mut sim =
+            HanSimulation::new(small_config(Strategy::coordinated(), CpModel::Ideal), reqs)
+                .unwrap();
         sim.set_background(han_metrics::LoadTrace::from_pulses([(
             SimTime::from_mins(5),
             SimDuration::from_mins(10),
@@ -645,4 +774,3 @@ mod tests {
         assert_eq!(out.service_rate(), 1.0);
     }
 }
-

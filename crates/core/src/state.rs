@@ -18,6 +18,42 @@ pub struct SystemView {
     records: Vec<Option<StatusRecord>>,
     /// Rounds since each record was last refreshed (0 = this round).
     ages: Vec<u32>,
+    /// Per-slot contribution to the view fingerprint (0 for empty slots).
+    contribs: Vec<u64>,
+    /// XOR of all slot contributions — the incremental view fingerprint.
+    fingerprint: u64,
+}
+
+/// Mixes one record into a 64-bit slot contribution.
+///
+/// Word-at-a-time multiply-xor-shift over every field the planner can
+/// observe, finished with a splitmix64 avalanche so XOR-combining slot
+/// contributions keeps full 64-bit dispersion. This runs on *every*
+/// record refresh — once per (node, origin) delivery per round — so it is
+/// ten 64-bit multiplies, not a byte-stream hash.
+fn record_contribution(rec: &StatusRecord) -> u64 {
+    const NONE_SENTINEL: u64 = u64::MAX;
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h = (h ^ v).wrapping_mul(GOLDEN);
+        h ^= h >> 29;
+    };
+    mix(u64::from(rec.device.0));
+    mix(u64::from(rec.active) | (u64::from(rec.on) << 1));
+    mix(rec.owed.as_micros());
+    mix(rec.deadline.map_or(NONE_SENTINEL, |t| t.as_micros()));
+    mix(u64::from(rec.windows_remaining));
+    mix(rec.arrival.map_or(NONE_SENTINEL, |t| t.as_micros()));
+    mix(rec.planned_start.map_or(NONE_SENTINEL, |t| t.as_micros()));
+    mix(u64::from(rec.power_w));
+    mix(rec.min_dcd.as_micros());
+    mix(rec.max_dcp.as_micros());
+    // splitmix64 finalizer.
+    let mut z = h.wrapping_add(GOLDEN);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SystemView {
@@ -26,6 +62,8 @@ impl SystemView {
         SystemView {
             records: vec![None; device_count],
             ages: vec![0; device_count],
+            contribs: vec![0; device_count],
+            fingerprint: 0,
         }
     }
 
@@ -41,23 +79,53 @@ impl SystemView {
 
     /// Installs a fresh record (age 0).
     ///
+    /// The view fingerprint is updated incrementally in O(1): the slot's
+    /// old contribution is XORed out and the new one XORed in — no full
+    /// rehash of the view.
+    ///
     /// # Panics
     ///
     /// Panics if the record's device id is out of range.
     pub fn refresh(&mut self, record: StatusRecord) {
         let idx = record.device.index();
+        let contrib = record_contribution(&record);
+        self.fingerprint ^= self.contribs[idx] ^ contrib;
+        self.contribs[idx] = contrib;
         self.records[idx] = Some(record);
         self.ages[idx] = 0;
     }
 
     /// Marks the start of a new round: every record not subsequently
     /// refreshed counts one round older.
+    ///
+    /// Ages are deliberately *not* part of the fingerprint (see
+    /// [`SystemView::fingerprint`]), so this is a pure counter sweep.
     pub fn age_all(&mut self) {
         for (age, rec) in self.ages.iter_mut().zip(&self.records) {
             if rec.is_some() {
                 *age = age.saturating_add(1);
             }
         }
+    }
+
+    /// A 64-bit fingerprint of the view's *record contents*, maintained
+    /// incrementally on every [`refresh`](SystemView::refresh).
+    ///
+    /// Two views with equal fingerprints hold (up to a vanishing 2⁻⁶⁴
+    /// collision chance) identical record sets, and therefore — because
+    /// the planner is a pure function of the records — compute identical
+    /// schedules. The coordinated execution plane uses this to run the
+    /// planner once per *distinct* view per round instead of once per
+    /// node.
+    ///
+    /// Record *ages* are excluded by design: the scheduling algorithm is
+    /// age-blind (staleness influences plans only through record
+    /// contents), so including ages would only split groups that plan
+    /// identically. Slot contributions are combined with XOR, which is
+    /// what makes the per-refresh update O(1) rather than a rehash of all
+    /// `n` slots.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The record for a device, if any.
@@ -147,5 +215,81 @@ mod tests {
         v.refresh(active_record(4));
         let ids: Vec<u32> = v.iter().map(|(r, _)| r.device.0).collect();
         assert_eq!(ids, vec![2, 4]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_order() {
+        let mut a = SystemView::new(4);
+        let mut b = SystemView::new(4);
+        assert_eq!(a.fingerprint(), 0, "empty view fingerprints to zero");
+        a.refresh(active_record(1));
+        a.refresh(active_record(3));
+        b.refresh(active_record(3));
+        b.refresh(active_record(1));
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "same records, any refresh order"
+        );
+        assert_ne!(a.fingerprint(), 0);
+    }
+
+    #[test]
+    fn fingerprint_changes_with_record_content() {
+        let mut v = SystemView::new(2);
+        v.refresh(active_record(0));
+        let before = v.fingerprint();
+        let mut changed = active_record(0);
+        changed.owed = SimDuration::from_mins(7);
+        v.refresh(changed);
+        assert_ne!(v.fingerprint(), before, "content change must show");
+        // Restoring the original record restores the fingerprint exactly
+        // (the XOR update is an involution on the slot contribution).
+        v.refresh(active_record(0));
+        assert_eq!(v.fingerprint(), before);
+    }
+
+    #[test]
+    fn fingerprint_ignores_aging() {
+        let mut v = SystemView::new(3);
+        v.refresh(active_record(1));
+        let fresh = v.fingerprint();
+        v.age_all();
+        v.age_all();
+        assert_eq!(
+            v.fingerprint(),
+            fresh,
+            "ages are not planner inputs; the fingerprint is age-blind"
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_slots() {
+        // The same record content in different views of different sizes,
+        // and different device slots, must not collide trivially.
+        let mut a = SystemView::new(3);
+        a.refresh(active_record(0));
+        let mut b = SystemView::new(3);
+        b.refresh(active_record(1));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_matches_identical_refresh_streams() {
+        // Two nodes that saw the same rounds hold the same fingerprint —
+        // the property the grouped execution plane relies on.
+        let mut a = SystemView::new(5);
+        let mut b = SystemView::new(5);
+        for round in 0..10u64 {
+            a.age_all();
+            b.age_all();
+            for id in 0..5 {
+                let mut rec = active_record(id);
+                rec.owed = SimDuration::from_mins(round % 4);
+                a.refresh(rec);
+                b.refresh(rec);
+            }
+            assert_eq!(a.fingerprint(), b.fingerprint());
+        }
     }
 }

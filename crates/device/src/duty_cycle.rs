@@ -42,10 +42,9 @@ impl fmt::Display for ConstraintError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConstraintError::ZeroMinDcd => write!(f, "minDCD must be positive"),
-            ConstraintError::PeriodShorterThanDuration { min_dcd, max_dcp } => write!(
-                f,
-                "maxDCP {max_dcp} is shorter than minDCD {min_dcd}"
-            ),
+            ConstraintError::PeriodShorterThanDuration { min_dcd, max_dcp } => {
+                write!(f, "maxDCP {max_dcp} is shorter than minDCD {min_dcd}")
+            }
         }
     }
 }

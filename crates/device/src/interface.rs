@@ -275,7 +275,8 @@ mod tests {
     #[test]
     fn request_activates() {
         let mut d = di();
-        d.handle_request(t(0), &Request::new(DeviceId(1), t(0))).unwrap();
+        d.handle_request(t(0), &Request::new(DeviceId(1), t(0)))
+            .unwrap();
         assert!(d.is_active());
         assert!(!d.is_on());
         assert_eq!(d.power(), Watts::ZERO);
@@ -294,7 +295,8 @@ mod tests {
     #[test]
     fn command_on_draws_power() {
         let mut d = di();
-        d.handle_request(t(0), &Request::new(DeviceId(1), t(0))).unwrap();
+        d.handle_request(t(0), &Request::new(DeviceId(1), t(0)))
+            .unwrap();
         assert!(d.command(t(0), true));
         assert_eq!(d.power(), Watts::from_kw(1.0));
     }
@@ -302,7 +304,8 @@ mod tests {
     #[test]
     fn early_off_refused_and_counted() {
         let mut d = di();
-        d.handle_request(t(0), &Request::new(DeviceId(1), t(0))).unwrap();
+        d.handle_request(t(0), &Request::new(DeviceId(1), t(0)))
+            .unwrap();
         d.command(t(0), true);
         // 5 minutes in: OFF must be refused.
         assert!(d.command(t(5), false), "element must stay ON");
@@ -322,7 +325,8 @@ mod tests {
     #[test]
     fn advance_counts_misses_and_serves() {
         let mut d = di();
-        d.handle_request(t(0), &Request::new(DeviceId(1), t(0))).unwrap();
+        d.handle_request(t(0), &Request::new(DeviceId(1), t(0)))
+            .unwrap();
         d.command(t(0), true);
         d.command(t(15), false);
         let out = d.advance(t(30));
@@ -331,7 +335,8 @@ mod tests {
         assert_eq!(d.counters().deadline_misses, 0);
 
         let mut d2 = di();
-        d2.handle_request(t(0), &Request::new(DeviceId(1), t(0))).unwrap();
+        d2.handle_request(t(0), &Request::new(DeviceId(1), t(0)))
+            .unwrap();
         d2.advance(t(30));
         assert_eq!(d2.counters().deadline_misses, 1);
     }
@@ -341,7 +346,8 @@ mod tests {
         let mut d = di();
         let idle = d.status(t(0));
         assert!(!idle.active);
-        d.handle_request(t(0), &Request::new(DeviceId(1), t(0))).unwrap();
+        d.handle_request(t(0), &Request::new(DeviceId(1), t(0)))
+            .unwrap();
         d.command(t(2), true);
         let s = d.status(t(10));
         assert!(s.active && s.on);
@@ -354,7 +360,8 @@ mod tests {
     fn seq_increments_on_changes() {
         let mut d = di();
         let s0 = d.seq();
-        d.handle_request(t(0), &Request::new(DeviceId(1), t(0))).unwrap();
+        d.handle_request(t(0), &Request::new(DeviceId(1), t(0)))
+            .unwrap();
         d.command(t(0), true);
         assert!(d.seq() > s0);
     }
@@ -362,7 +369,8 @@ mod tests {
     #[test]
     fn placement_lifecycle() {
         let mut d = di();
-        d.handle_request(t(0), &Request::new(DeviceId(1), t(0))).unwrap();
+        d.handle_request(t(0), &Request::new(DeviceId(1), t(0)))
+            .unwrap();
         assert_eq!(d.planned_start(), None);
         let s0 = d.seq();
         d.set_planned_start(Some(t(15)));
@@ -377,7 +385,8 @@ mod tests {
         assert_eq!(d.planned_start(), None);
         // Status carries placement and power.
         let mut d2 = di();
-        d2.handle_request(t(0), &Request::new(DeviceId(1), t(0))).unwrap();
+        d2.handle_request(t(0), &Request::new(DeviceId(1), t(0)))
+            .unwrap();
         d2.set_planned_start(Some(t(9)));
         let s = d2.status(t(1));
         assert_eq!(s.planned_start, Some(t(9)));

@@ -77,7 +77,10 @@ impl fmt::Display for DecodeStatusError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeStatusError::WrongLength { got } => {
-                write!(f, "status record must be {STATUS_WIRE_BYTES} bytes, got {got}")
+                write!(
+                    f,
+                    "status record must be {STATUS_WIRE_BYTES} bytes, got {got}"
+                )
             }
             DecodeStatusError::BadFlags { flags } => {
                 write!(f, "undefined status flag bits in {flags:#04x}")
@@ -109,6 +112,14 @@ impl StatusRecord {
     /// Serializes to the 23-byte wire format.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(STATUS_WIRE_BYTES);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serializes to the 23-byte wire format, appending to `out` — lets
+    /// per-round publishers reuse one buffer instead of allocating.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(STATUS_WIRE_BYTES);
         out.push(self.device.0 as u8);
         let mut flags = 0u8;
         if self.active {
@@ -118,27 +129,29 @@ impl StatusRecord {
             flags |= 0b10;
         }
         out.push(flags);
-        let owed_secs = u16::try_from(self.owed.as_secs().min(u64::from(u16::MAX))).expect("capped");
+        let owed_secs =
+            u16::try_from(self.owed.as_secs().min(u64::from(u16::MAX))).expect("capped");
         out.extend_from_slice(&owed_secs.to_le_bytes());
-        let deadline = self
-            .deadline
-            .map_or(NONE_U32, |d| u32::try_from(d.as_secs().min(u64::from(NONE_U32 - 1))).expect("capped"));
+        let deadline = self.deadline.map_or(NONE_U32, |d| {
+            u32::try_from(d.as_secs().min(u64::from(NONE_U32 - 1))).expect("capped")
+        });
         out.extend_from_slice(&deadline.to_le_bytes());
         out.push(u8::try_from(self.windows_remaining.min(255)).expect("capped"));
-        let arrival = self
-            .arrival
-            .map_or(NONE_U32, |a| u32::try_from(a.as_secs().min(u64::from(NONE_U32 - 1))).expect("capped"));
+        let arrival = self.arrival.map_or(NONE_U32, |a| {
+            u32::try_from(a.as_secs().min(u64::from(NONE_U32 - 1))).expect("capped")
+        });
         out.extend_from_slice(&arrival.to_le_bytes());
-        let planned = self
-            .planned_start
-            .map_or(NONE_U32, |p| u32::try_from(p.as_secs().min(u64::from(NONE_U32 - 1))).expect("capped"));
+        let planned = self.planned_start.map_or(NONE_U32, |p| {
+            u32::try_from(p.as_secs().min(u64::from(NONE_U32 - 1))).expect("capped")
+        });
         out.extend_from_slice(&planned.to_le_bytes());
         out.extend_from_slice(&self.power_w.to_le_bytes());
-        let min_dcd = u16::try_from(self.min_dcd.as_secs().min(u64::from(u16::MAX))).expect("capped");
+        let min_dcd =
+            u16::try_from(self.min_dcd.as_secs().min(u64::from(u16::MAX))).expect("capped");
         out.extend_from_slice(&min_dcd.to_le_bytes());
-        let max_dcp = u16::try_from(self.max_dcp.as_secs().min(u64::from(u16::MAX))).expect("capped");
+        let max_dcp =
+            u16::try_from(self.max_dcp.as_secs().min(u64::from(u16::MAX))).expect("capped");
         out.extend_from_slice(&max_dcp.to_le_bytes());
-        out
     }
 
     /// Decodes the 23-byte wire format.

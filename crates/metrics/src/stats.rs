@@ -74,7 +74,10 @@ impl fmt::Display for Summary {
 ///
 /// Panics if `samples` is empty or `p` is outside `[0, 100]`.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
-    assert!(!samples.is_empty(), "cannot take percentile of empty series");
+    assert!(
+        !samples.is_empty(),
+        "cannot take percentile of empty series"
+    );
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
@@ -94,10 +97,7 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
 ///
 /// Returns 0 for series shorter than 2.
 pub fn max_step_up(samples: &[f64]) -> f64 {
-    samples
-        .windows(2)
-        .map(|w| w[1] - w[0])
-        .fold(0.0, f64::max)
+    samples.windows(2).map(|w| w[1] - w[0]).fold(0.0, f64::max)
 }
 
 /// Reduction of `candidate` relative to `baseline`, in percent.

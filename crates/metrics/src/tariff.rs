@@ -128,7 +128,10 @@ mod tests {
         trace.record(SimTime::from_secs(17 * 3600 + 1800), 0.0);
         let tariff = TimeOfUseTariff::typical_residential();
         let cost = tariff.energy_cost(&trace, SimTime::ZERO, SimTime::from_hours(24));
-        assert!((cost - (0.5 * 0.18 + 0.5 * 0.32)).abs() < 1e-9, "cost {cost}");
+        assert!(
+            (cost - (0.5 * 0.18 + 0.5 * 0.32)).abs() < 1e-9,
+            "cost {cost}"
+        );
     }
 
     #[test]

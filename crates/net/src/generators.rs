@@ -67,7 +67,10 @@ pub fn star(n: usize, radius_m: f64, channel: ChannelModel) -> Topology {
     let mut positions = vec![Position::new(0.0, 0.0)];
     for i in 1..n {
         let theta = 2.0 * std::f64::consts::PI * i as f64 / (n - 1).max(1) as f64;
-        positions.push(Position::new(radius_m * theta.cos(), radius_m * theta.sin()));
+        positions.push(Position::new(
+            radius_m * theta.cos(),
+            radius_m * theta.sin(),
+        ));
     }
     Topology::new(positions, channel, DEFAULT_TX_POWER)
 }
@@ -97,7 +100,10 @@ pub fn random_geometric(
     for _ in 0..n {
         let mut placed = None;
         for _attempt in 0..10_000 {
-            let p = Position::new(rng.gen_range_f64(0.0, width_m), rng.gen_range_f64(0.0, height_m));
+            let p = Position::new(
+                rng.gen_range_f64(0.0, width_m),
+                rng.gen_range_f64(0.0, height_m),
+            );
             if positions
                 .iter()
                 .all(|q| q.distance_to(p) >= min_separation_m)
@@ -107,7 +113,10 @@ pub fn random_geometric(
             }
         }
         let p = placed.unwrap_or_else(|| {
-            Position::new(rng.gen_range_f64(0.0, width_m), rng.gen_range_f64(0.0, height_m))
+            Position::new(
+                rng.gen_range_f64(0.0, width_m),
+                rng.gen_range_f64(0.0, height_m),
+            )
         });
         positions.push(p);
     }

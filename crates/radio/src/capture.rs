@@ -127,9 +127,19 @@ pub fn resolve_slot(
     });
     let strongest = by_power[0];
 
-    let identical = by_power.iter().all(|s| s.content_id == strongest.content_id);
-    let min_offset = by_power.iter().map(|s| s.offset).min().unwrap_or(SimDuration::ZERO);
-    let max_offset = by_power.iter().map(|s| s.offset).max().unwrap_or(SimDuration::ZERO);
+    let identical = by_power
+        .iter()
+        .all(|s| s.content_id == strongest.content_id);
+    let min_offset = by_power
+        .iter()
+        .map(|s| s.offset)
+        .min()
+        .unwrap_or(SimDuration::ZERO);
+    let max_offset = by_power
+        .iter()
+        .map(|s| s.offset)
+        .max()
+        .unwrap_or(SimDuration::ZERO);
     let spread = max_offset - min_offset;
 
     let (signal, interference_dbm) = if identical && spread <= config.ci_window {

@@ -179,10 +179,7 @@ mod tests {
     fn shadowing_seed_changes_realization() {
         let ch1 = ChannelModel::indoor_office(1);
         let ch2 = ChannelModel::indoor_office(2);
-        assert_ne!(
-            ch1.rssi(Dbm(0.0), 10.0, 3),
-            ch2.rssi(Dbm(0.0), 10.0, 3)
-        );
+        assert_ne!(ch1.rssi(Dbm(0.0), 10.0, 3), ch2.rssi(Dbm(0.0), 10.0, 3));
     }
 
     #[test]

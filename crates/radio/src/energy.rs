@@ -156,9 +156,8 @@ impl EnergyMeter {
     /// Total energy consumed, in millijoules.
     pub fn energy_mj(&self) -> f64 {
         let p = &self.profile;
-        let mj = |d: SimDuration, state: RadioState| {
-            d.as_secs_f64() * p.current_ma(state) * p.voltage
-        };
+        let mj =
+            |d: SimDuration, state: RadioState| d.as_secs_f64() * p.current_ma(state) * p.voltage;
         mj(self.tx_time, RadioState::Tx)
             + mj(self.rx_time, RadioState::Rx)
             + mj(self.idle_time, RadioState::Idle)

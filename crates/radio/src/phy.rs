@@ -55,7 +55,10 @@ impl std::fmt::Display for PhyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PhyError::PayloadTooLarge { requested, max } => {
-                write!(f, "payload of {requested} bytes exceeds PHY maximum of {max}")
+                write!(
+                    f,
+                    "payload of {requested} bytes exceeds PHY maximum of {max}"
+                )
             }
         }
     }
@@ -149,10 +152,7 @@ mod tests {
     fn full_frame_air_time() {
         // 4 + 1 + 1 + 127 = 133 bytes => 4256 us.
         assert_eq!(max_frame_air_time().as_micros(), 4256);
-        assert_eq!(
-            air_time(MAX_PAYLOAD_BYTES).unwrap(),
-            max_frame_air_time()
-        );
+        assert_eq!(air_time(MAX_PAYLOAD_BYTES).unwrap(), max_frame_air_time());
     }
 
     #[test]

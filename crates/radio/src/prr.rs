@@ -123,9 +123,6 @@ mod tests {
 
     #[test]
     fn below_sensitivity_zero_even_with_low_noise() {
-        assert_eq!(
-            packet_reception_rate(Dbm(-102.0), Dbm(-120.0), FRAME),
-            0.0
-        );
+        assert_eq!(packet_reception_rate(Dbm(-102.0), Dbm(-120.0), FRAME), 0.0);
     }
 }

@@ -93,10 +93,7 @@ impl fmt::Display for Milliwatt {
 /// Sums a set of interfering signal powers (in dBm) in the linear domain and
 /// returns the total in dBm.
 pub fn sum_power_dbm(levels: impl IntoIterator<Item = Dbm>) -> Dbm {
-    let total: f64 = levels
-        .into_iter()
-        .map(|l| l.to_milliwatt().value())
-        .sum();
+    let total: f64 = levels.into_iter().map(|l| l.to_milliwatt().value()).sum();
     Milliwatt(total).to_dbm()
 }
 

@@ -304,7 +304,10 @@ mod tests {
         engine.run_to_completion(&mut world);
         assert_eq!(
             world.seen,
-            vec![(SimTime::from_secs(1), Ev::A), (SimTime::from_secs(5), Ev::B)]
+            vec![
+                (SimTime::from_secs(1), Ev::A),
+                (SimTime::from_secs(5), Ev::B)
+            ]
         );
     }
 

@@ -398,14 +398,23 @@ mod tests {
         let late = SimTime::from_secs(5);
         assert_eq!(early.saturating_since(late), SimDuration::ZERO);
         assert_eq!(late.saturating_since(early), SimDuration::from_secs(4));
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]
     fn rounding() {
         let step = SimDuration::from_secs(2);
-        assert_eq!(SimTime::from_millis(4500).floor_to(step), SimTime::from_secs(4));
-        assert_eq!(SimTime::from_millis(4500).ceil_to(step), SimTime::from_secs(6));
+        assert_eq!(
+            SimTime::from_millis(4500).floor_to(step),
+            SimTime::from_secs(4)
+        );
+        assert_eq!(
+            SimTime::from_millis(4500).ceil_to(step),
+            SimTime::from_secs(6)
+        );
         assert_eq!(SimTime::from_secs(4).ceil_to(step), SimTime::from_secs(4));
     }
 

@@ -157,7 +157,10 @@ impl Trace {
 
     /// Counts retained events in `category`.
     pub fn count_category(&self, category: &str) -> usize {
-        self.events.iter().filter(|e| e.category == category).count()
+        self.events
+            .iter()
+            .filter(|e| e.category == category)
+            .count()
     }
 
     /// Counts retained events at exactly `level`.

@@ -73,8 +73,11 @@ pub fn run_collection_round(
         if items.is_empty() {
             continue;
         }
-        let payload =
-            AGGREGATE_HEADER_BYTES + items.iter().map(crate::item::Item::wire_bytes).sum::<usize>();
+        let payload = AGGREGATE_HEADER_BYTES
+            + items
+                .iter()
+                .map(crate::item::Item::wire_bytes)
+                .sum::<usize>();
         let content = origin.0 as u64 ^ (round_index << 32) ^ (k as u64) << 8;
         let out = glossy::flood(
             rssi,
@@ -128,8 +131,14 @@ mod tests {
         let mut stores = vec![ItemStore::new(); 9];
         publish_all(&mut stores);
         let mut rng = DetRng::new(1);
-        let report =
-            run_collection_round(&rssi, &mut stores, NodeId(4), &StConfig::default(), 0, &mut rng);
+        let report = run_collection_round(
+            &rssi,
+            &mut stores,
+            NodeId(4),
+            &StConfig::default(),
+            0,
+            &mut rng,
+        );
         assert_eq!(report.published, 9);
         assert_eq!(report.sink_coverage, 9);
         assert!((report.sink_reliability - 1.0).abs() < 1e-12);
@@ -158,8 +167,14 @@ mod tests {
         let rssi = topo.rssi_matrix();
         let mut stores = vec![ItemStore::new(); 3];
         let mut rng = DetRng::new(3);
-        let report =
-            run_collection_round(&rssi, &mut stores, NodeId(0), &StConfig::default(), 0, &mut rng);
+        let report = run_collection_round(
+            &rssi,
+            &mut stores,
+            NodeId(0),
+            &StConfig::default(),
+            0,
+            &mut rng,
+        );
         assert_eq!(report.published, 0);
         assert!((report.sink_reliability - 1.0).abs() < 1e-12);
     }

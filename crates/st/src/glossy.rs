@@ -12,9 +12,9 @@
 //! phase.
 
 use crate::config::StConfig;
+use han_net::NodeId;
 use han_radio::capture::{resolve_slot, IncomingSignal, SlotOutcome};
 use han_radio::units::Dbm;
-use han_net::NodeId;
 use han_sim::rng::DetRng;
 use han_sim::time::SimDuration;
 
@@ -81,7 +81,10 @@ pub fn flood(
 ) -> FloodOutcome {
     let n = rssi.len();
     assert!(initiator.index() < n, "initiator out of range");
-    assert!(rssi.iter().all(|row| row.len() == n), "rssi matrix not square");
+    assert!(
+        rssi.iter().all(|row| row.len() == n),
+        "rssi matrix not square"
+    );
 
     let mut received = vec![false; n];
     let mut first_rx_slot = vec![None; n];
@@ -100,10 +103,8 @@ pub fn flood(
 
         // Offsets are drawn once per transmitter per slot, shared by all
         // receivers (the transmitter is early or late for everyone).
-        let offsets: Vec<SimDuration> = transmitters
-            .iter()
-            .map(|_| draw_offset(cfg, rng))
-            .collect();
+        let offsets: Vec<SimDuration> =
+            transmitters.iter().map(|_| draw_offset(cfg, rng)).collect();
 
         let mut newly_received: Vec<usize> = Vec::new();
         for listener in 0..n {

@@ -78,6 +78,39 @@ impl RoundReport {
     }
 }
 
+/// Reusable working memory for [`run_round_with`].
+///
+/// The aggregate/origins buffers are rebuilt once per *phase* (n + 1
+/// times per round), so reusing them is the real win; the per-node tally
+/// vectors are handed off into the returned [`RoundReport`] (whose
+/// per-node vectors are the function's product and necessarily fresh)
+/// and regrown on the next reset. Item clones into the aggregate are
+/// cheap: payloads are refcounted [`Bytes`], so "cloning" an item copies
+/// a pointer, never the payload.
+///
+/// [`Bytes`]: bytes::Bytes
+#[derive(Debug, Default, Clone)]
+pub struct RoundScratch {
+    aggregate: Vec<Item>,
+    origins: Vec<NodeId>,
+    tx_count: Vec<u32>,
+    listen_slots: Vec<u32>,
+    tx_air: Vec<SimDuration>,
+}
+
+impl RoundScratch {
+    fn reset(&mut self, n: usize) {
+        self.aggregate.clear();
+        self.origins.clear();
+        self.tx_count.clear();
+        self.tx_count.resize(n, 0);
+        self.listen_slots.clear();
+        self.listen_slots.resize(n, 0);
+        self.tx_air.clear();
+        self.tx_air.resize(n, SimDuration::ZERO);
+    }
+}
+
 /// Builds the aggregate for a phase initiator: its own item first, then
 /// other stored items chosen round-robin by `(origin + rotation)`.
 pub(crate) fn build_aggregate(
@@ -86,17 +119,33 @@ pub(crate) fn build_aggregate(
     rotation: u64,
     max_payload: usize,
 ) -> Vec<Item> {
+    let mut out = Vec::new();
+    let mut origins = Vec::new();
+    build_aggregate_into(store, own, rotation, max_payload, &mut out, &mut origins);
+    out
+}
+
+/// [`build_aggregate`] into caller-owned buffers (cleared first).
+pub(crate) fn build_aggregate_into(
+    store: &ItemStore,
+    own: NodeId,
+    rotation: u64,
+    max_payload: usize,
+    out: &mut Vec<Item>,
+    origins: &mut Vec<NodeId>,
+) {
+    out.clear();
     let mut budget = max_payload.saturating_sub(AGGREGATE_HEADER_BYTES);
-    let mut out: Vec<Item> = Vec::new();
     if let Some(own_item) = store.get(own) {
         if own_item.wire_bytes() <= budget {
             budget -= own_item.wire_bytes();
             out.push(own_item.clone());
         }
     }
-    let origins = store.origins();
+    origins.clear();
+    origins.extend(store.iter().map(|item| item.origin));
     if origins.is_empty() {
-        return out;
+        return;
     }
     let start = (rotation as usize) % origins.len();
     for k in 0..origins.len() {
@@ -110,7 +159,6 @@ pub(crate) fn build_aggregate(
             out.push(item.clone());
         }
     }
-    out
 }
 
 /// Content identity of an aggregate (order-sensitive, like real bits on air).
@@ -146,26 +194,44 @@ pub fn run_round(
     round_index: u64,
     rng: &mut DetRng,
 ) -> RoundReport {
+    let mut scratch = RoundScratch::default();
+    run_round_with(
+        rssi,
+        stores,
+        initiator,
+        config,
+        round_index,
+        rng,
+        &mut scratch,
+    )
+}
+
+/// [`run_round`] with caller-owned [`RoundScratch`], so a long-running
+/// communication plane reuses its working buffers round after round
+/// instead of reallocating them.
+#[allow(clippy::too_many_arguments)]
+pub fn run_round_with(
+    rssi: &[Vec<Dbm>],
+    stores: &mut [ItemStore],
+    initiator: NodeId,
+    config: &StConfig,
+    round_index: u64,
+    rng: &mut DetRng,
+    scratch: &mut RoundScratch,
+) -> RoundReport {
     let n = rssi.len();
     assert_eq!(stores.len(), n, "one item store per node required");
     config.validate().expect("invalid ST configuration");
+    scratch.reset(n);
 
-    let mut tx_count = vec![0u32; n];
-    let mut listen_slots = vec![0u32; n];
-    let mut tx_air = vec![SimDuration::ZERO; n];
-
-    let absorb = |out: &FloodOutcome,
-                      tx_count: &mut Vec<u32>,
-                      listen_slots: &mut Vec<u32>,
-                      tx_air: &mut Vec<SimDuration>,
-                      frame_payload: usize| {
+    fn absorb(out: &FloodOutcome, scratch: &mut RoundScratch, frame_payload: usize) {
         let air = phy::air_time(frame_payload).expect("aggregate exceeds frame");
-        for i in 0..n {
-            tx_count[i] += out.tx_count[i];
-            listen_slots[i] += out.listen_slots[i];
-            tx_air[i] += air * u64::from(out.tx_count[i]);
+        for i in 0..out.tx_count.len() {
+            scratch.tx_count[i] += out.tx_count[i];
+            scratch.listen_slots[i] += out.listen_slots[i];
+            scratch.tx_air[i] += air * u64::from(out.tx_count[i]);
         }
-    };
+    }
 
     // Phase 0: sync beacon (8-byte payload).
     let beacon_payload = 8;
@@ -177,37 +243,33 @@ pub fn run_round(
         config,
         rng,
     );
-    absorb(
-        &sync_out,
-        &mut tx_count,
-        &mut listen_slots,
-        &mut tx_air,
-        beacon_payload,
-    );
+    absorb(&sync_out, scratch, beacon_payload);
     let synced = sync_out.received.clone();
     let mut phases = 1;
 
     // Data phases: every node initiates once, in rotated TDMA order.
     for k in 0..n {
         let origin = NodeId(((round_index as usize + k) % n) as u32);
-        let items = build_aggregate(
+        build_aggregate_into(
             &stores[origin.index()],
             origin,
             round_index.wrapping_add(k as u64),
             config.max_packet_payload,
+            &mut scratch.aggregate,
+            &mut scratch.origins,
         );
         phases += 1;
-        if items.is_empty() {
+        if scratch.aggregate.is_empty() {
             // Nothing to send: the phase stays silent, everyone listens.
-            for (i, ls) in listen_slots.iter_mut().enumerate() {
+            for (i, ls) in scratch.listen_slots.iter_mut().enumerate() {
                 if i != origin.index() {
                     *ls += config.flood_slots as u32;
                 }
             }
             continue;
         }
-        let payload = aggregate_payload_bytes(&items);
-        let content = aggregate_content_key(&items, round_index, k);
+        let payload = aggregate_payload_bytes(&scratch.aggregate);
+        let content = aggregate_content_key(&scratch.aggregate, round_index, k);
         let out = glossy::flood(
             rssi,
             origin,
@@ -216,16 +278,10 @@ pub fn run_round(
             config,
             rng,
         );
-        absorb(
-            &out,
-            &mut tx_count,
-            &mut listen_slots,
-            &mut tx_air,
-            payload,
-        );
+        absorb(&out, scratch, payload);
         for (node, store) in stores.iter_mut().enumerate() {
             if out.received[node] && node != origin.index() {
-                store.merge_all(items.iter());
+                store.merge_all(scratch.aggregate.iter());
             }
         }
     }
@@ -247,7 +303,7 @@ pub fn run_round(
     let all_to_all = coverage.iter().all(|&c| c >= published);
 
     let radio_on: Vec<SimDuration> = (0..n)
-        .map(|i| tx_air[i] + config.slot_len * u64::from(listen_slots[i]))
+        .map(|i| scratch.tx_air[i] + config.slot_len * u64::from(scratch.listen_slots[i]))
         .collect();
 
     RoundReport {
@@ -257,8 +313,8 @@ pub fn run_round(
         reliability,
         all_to_all,
         synced,
-        tx_count,
-        listen_slots,
+        tx_count: std::mem::take(&mut scratch.tx_count),
+        listen_slots: std::mem::take(&mut scratch.listen_slots),
         radio_on,
         phases,
     }
@@ -288,7 +344,14 @@ mod tests {
         let mut stores = vec![ItemStore::new(); 9];
         publish_all(&mut stores, 1);
         let mut rng = DetRng::new(1);
-        let report = run_round(&rssi, &mut stores, NodeId(0), &StConfig::default(), 0, &mut rng);
+        let report = run_round(
+            &rssi,
+            &mut stores,
+            NodeId(0),
+            &StConfig::default(),
+            0,
+            &mut rng,
+        );
         assert!(report.all_to_all, "coverage={:?}", report.coverage);
         assert_eq!(report.published, 9);
         assert!((report.reliability - 1.0).abs() < 1e-12);
@@ -302,7 +365,14 @@ mod tests {
         let mut stores = vec![ItemStore::new(); 26];
         publish_all(&mut stores, 1);
         let mut rng = DetRng::new(7);
-        let report = run_round(&rssi, &mut stores, NodeId(0), &StConfig::default(), 0, &mut rng);
+        let report = run_round(
+            &rssi,
+            &mut stores,
+            NodeId(0),
+            &StConfig::default(),
+            0,
+            &mut rng,
+        );
         assert!(
             report.reliability > 0.95,
             "reliability {} too low",
@@ -339,7 +409,14 @@ mod tests {
         let rssi = topo.rssi_matrix();
         let mut stores = vec![ItemStore::new(); 3];
         let mut rng = DetRng::new(1);
-        let report = run_round(&rssi, &mut stores, NodeId(0), &StConfig::default(), 0, &mut rng);
+        let report = run_round(
+            &rssi,
+            &mut stores,
+            NodeId(0),
+            &StConfig::default(),
+            0,
+            &mut rng,
+        );
         assert_eq!(report.published, 0);
         assert!(report.all_to_all);
         assert!((report.reliability - 1.0).abs() < 1e-12);
@@ -396,7 +473,14 @@ mod tests {
         let mut stores = vec![ItemStore::new(); 4];
         publish_all(&mut stores, 1);
         let mut rng = DetRng::new(2);
-        let report = run_round(&rssi, &mut stores, NodeId(0), &StConfig::default(), 0, &mut rng);
+        let report = run_round(
+            &rssi,
+            &mut stores,
+            NodeId(0),
+            &StConfig::default(),
+            0,
+            &mut rng,
+        );
         assert!(!report.all_to_all);
         // Each node can know at most its island: 2 of 4 published.
         assert!(report.coverage.iter().all(|&c| c == 2));
@@ -427,10 +511,24 @@ mod tests {
         let mut stores = vec![ItemStore::new(); 4];
         publish_all(&mut stores, 1);
         let mut rng = DetRng::new(5);
-        run_round(&rssi, &mut stores, NodeId(0), &StConfig::default(), 0, &mut rng);
+        run_round(
+            &rssi,
+            &mut stores,
+            NodeId(0),
+            &StConfig::default(),
+            0,
+            &mut rng,
+        );
         // Node 2 publishes seq 2; everyone should adopt it next round.
         stores[2].merge(&Item::new(NodeId(2), 2, vec![9u8; 8]));
-        run_round(&rssi, &mut stores, NodeId(0), &StConfig::default(), 1, &mut rng);
+        run_round(
+            &rssi,
+            &mut stores,
+            NodeId(0),
+            &StConfig::default(),
+            1,
+            &mut rng,
+        );
         for (i, store) in stores.iter().enumerate() {
             assert_eq!(store.seq_of(NodeId(2)), Some(2), "node {i} kept stale item");
         }

@@ -139,7 +139,10 @@ mod tests {
         // 56.4 mW.
         let e = stats.energy_per_node_per_day_mj(cfg.round_period);
         let expected = dc * 86_400.0 * 18.8 * 3.0;
-        assert!((e - expected).abs() < expected * 1e-9, "e={e} expected={expected}");
+        assert!(
+            (e - expected).abs() < expected * 1e-9,
+            "e={e} expected={expected}"
+        );
     }
 
     #[test]

@@ -76,8 +76,7 @@ impl SyncTracker {
 
     /// Worst-case round-boundary error of a node: `|drift| × outage time`.
     pub fn boundary_error(&self, node: usize) -> SimDuration {
-        let outage_s =
-            self.round_period.as_secs_f64() * f64::from(self.rounds_since_sync[node]);
+        let outage_s = self.round_period.as_secs_f64() * f64::from(self.rounds_since_sync[node]);
         let err_s = self.drift_ppm[node].abs() * 1e-6 * outage_s;
         SimDuration::from_secs_f64(err_s)
     }
@@ -131,7 +130,9 @@ mod tests {
         for i in 0..10 {
             assert_eq!(a.drift_ppm(i), b.drift_ppm(i));
         }
-        let distinct = (1..10).filter(|&i| a.drift_ppm(i) != a.drift_ppm(0)).count();
+        let distinct = (1..10)
+            .filter(|&i| a.drift_ppm(i) != a.drift_ppm(0))
+            .count();
         assert!(distinct > 0, "crystals should differ");
     }
 

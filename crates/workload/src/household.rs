@@ -130,10 +130,7 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(
-            evening > night * 10,
-            "evening {evening} vs night {night}"
-        );
+        assert!(evening > night * 10, "evening {evening} vs night {night}");
     }
 
     #[test]

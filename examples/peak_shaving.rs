@@ -18,8 +18,7 @@ fn main() {
         let template = Scenario::paper(rate, 0);
         let comparisons = compare_seeds(&template, &CpModel::Ideal, seeds.clone());
 
-        let mean_unco_peak =
-            mean_metric(&comparisons, |c| c.uncoordinated.summary.peak);
+        let mean_unco_peak = mean_metric(&comparisons, |c| c.uncoordinated.summary.peak);
         let mean_coord_peak = mean_metric(&comparisons, |c| c.coordinated.summary.peak);
         let mean_unco_std = mean_metric(&comparisons, |c| c.uncoordinated.summary.std_dev);
         let mean_coord_std = mean_metric(&comparisons, |c| c.coordinated.summary.std_dev);
@@ -27,9 +26,21 @@ fn main() {
         let mean_coord_avg = mean_metric(&comparisons, |c| c.coordinated.summary.mean);
 
         let mut report = ComparisonReport::new(format!("arrival rate {rate}"));
-        report.push(ComparisonRow::new("peak load (kW)", mean_unco_peak, mean_coord_peak));
-        report.push(ComparisonRow::new("load std dev (kW)", mean_unco_std, mean_coord_std));
-        report.push(ComparisonRow::new("average load (kW)", mean_unco_avg, mean_coord_avg));
+        report.push(ComparisonRow::new(
+            "peak load (kW)",
+            mean_unco_peak,
+            mean_coord_peak,
+        ));
+        report.push(ComparisonRow::new(
+            "load std dev (kW)",
+            mean_unco_std,
+            mean_coord_std,
+        ));
+        report.push(ComparisonRow::new(
+            "average load (kW)",
+            mean_unco_avg,
+            mean_coord_avg,
+        ));
         println!("{}", report.to_table());
 
         let best_peak = comparisons

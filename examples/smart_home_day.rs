@@ -18,8 +18,16 @@ fn main() {
     // A household fleet: two ACs, water heater, room heater, fridge and a
     // water cooler — six schedulable devices of very different sizes.
     let fleet = vec![
-        Appliance::with_power(DeviceId(0), ApplianceKind::AirConditioner, Watts::from_kw(1.5)),
-        Appliance::with_power(DeviceId(1), ApplianceKind::AirConditioner, Watts::from_kw(1.0)),
+        Appliance::with_power(
+            DeviceId(0),
+            ApplianceKind::AirConditioner,
+            Watts::from_kw(1.5),
+        ),
+        Appliance::with_power(
+            DeviceId(1),
+            ApplianceKind::AirConditioner,
+            Watts::from_kw(1.0),
+        ),
         Appliance::with_power(DeviceId(2), ApplianceKind::WaterHeater, Watts::from_kw(2.0)),
         Appliance::with_power(DeviceId(3), ApplianceKind::RoomHeater, Watts::from_kw(1.8)),
         Appliance::with_power(DeviceId(4), ApplianceKind::Fridge, Watts::from_kw(0.15)),
@@ -29,7 +37,10 @@ fn main() {
     let profile = DailyProfile::typical_household();
     let duration = SimDuration::from_hours(24);
     let requests = generate_household(&profile, fleet.len(), duration, 7);
-    println!("generated {} requests over 24 h (evening-heavy profile)", requests.len());
+    println!(
+        "generated {} requests over 24 h (evening-heavy profile)",
+        requests.len()
+    );
 
     let config = |strategy| SimulationConfig {
         device_count: fleet.len(),
@@ -76,9 +87,21 @@ fn main() {
     let coord_s = Summary::of(&coord.trace.sample(SimTime::ZERO, end, minute));
 
     let mut report = ComparisonReport::new("24-hour household, heterogeneous fleet");
-    report.push(ComparisonRow::new("peak load (kW)", unco_s.peak, coord_s.peak));
-    report.push(ComparisonRow::new("load std dev (kW)", unco_s.std_dev, coord_s.std_dev));
-    report.push(ComparisonRow::new("energy (kWh)", unco.energy_kwh, coord.energy_kwh));
+    report.push(ComparisonRow::new(
+        "peak load (kW)",
+        unco_s.peak,
+        coord_s.peak,
+    ));
+    report.push(ComparisonRow::new(
+        "load std dev (kW)",
+        unco_s.std_dev,
+        coord_s.std_dev,
+    ));
+    report.push(ComparisonRow::new(
+        "energy (kWh)",
+        unco.energy_kwh,
+        coord.energy_kwh,
+    ));
     println!("\n{}", report.to_table());
     println!(
         "coordinated: {} windows served, {} deadline misses, {} requests",

@@ -49,7 +49,10 @@ fn main() {
             d.mean_reliability() * 100.0,
             d.worst_reliability() * 100.0
         );
-        println!("  all-to-all round rate     : {:.1}%", d.all_to_all_rate() * 100.0);
+        println!(
+            "  all-to-all round rate     : {:.1}%",
+            d.all_to_all_rate() * 100.0
+        );
         println!(
             "  radio on per node per round: {} (duty cycle {:.1}%)",
             d.mean_radio_on_per_round(),
@@ -62,9 +65,7 @@ fn main() {
         );
     }
     if let Some(err) = outcome.cp.worst_sync_error {
-        println!(
-            "  worst clock-sync error    : {err} (20 ppm crystals, beacon every round)"
-        );
+        println!("  worst clock-sync error    : {err} (20 ppm crystals, beacon every round)");
     }
 
     println!("\nexecution plane:");
@@ -76,8 +77,14 @@ fn main() {
     );
     println!("  windows served            : {}", outcome.windows_served);
     println!("  deadline misses           : {}", outcome.deadline_misses);
-    println!("  refused early-off commands: {}", outcome.refused_early_off);
-    println!("  energy delivered          : {:.2} kWh", outcome.energy_kwh);
+    println!(
+        "  refused early-off commands: {}",
+        outcome.refused_early_off
+    );
+    println!(
+        "  energy delivered          : {:.2} kWh",
+        outcome.energy_kwh
+    );
 
     let end = SimTime::ZERO + duration;
     let peak = outcome.trace.peak(SimTime::ZERO, end);

@@ -42,10 +42,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--rate" => {
                 let v = value("--rate")?;
@@ -82,8 +79,12 @@ fn parse_args() -> Result<Args, String> {
                     return Err(format!("unknown cp model '{v}' (ideal|lossy:P|packet)"));
                 };
             }
-            "--minutes" => args.minutes = value("--minutes")?.parse().map_err(|e| format!("{e}"))?,
-            "--devices" => args.devices = value("--devices")?.parse().map_err(|e| format!("{e}"))?,
+            "--minutes" => {
+                args.minutes = value("--minutes")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--devices" => {
+                args.devices = value("--devices")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--csv" => args.csv = true,
             "--help" | "-h" => {

@@ -46,7 +46,10 @@ fn paper_shape_holds_across_rates_and_seeds() {
 fn energy_is_conserved_between_strategies() {
     // Coordination shifts load in time; it must not shed or add energy.
     for seed in 0..3 {
-        let c = compare(&Scenario::paper(ArrivalRate::Moderate, seed), CpModel::Ideal);
+        let c = compare(
+            &Scenario::paper(ArrivalRate::Moderate, seed),
+            CpModel::Ideal,
+        );
         let gap = (c.coordinated.outcome.energy_kwh - c.uncoordinated.outcome.energy_kwh).abs();
         // Tail effects: instances deferred near the end of the run may be
         // truncated; allow a small fraction of one instance.
@@ -181,8 +184,16 @@ fn heterogeneous_fleet_respects_power_weighting() {
     let duration = SimDuration::from_mins(90);
     let fleet = vec![
         Appliance::with_power(DeviceId(0), ApplianceKind::WaterHeater, Watts::from_kw(3.0)),
-        Appliance::with_power(DeviceId(1), ApplianceKind::AirConditioner, Watts::from_kw(1.0)),
-        Appliance::with_power(DeviceId(2), ApplianceKind::AirConditioner, Watts::from_kw(1.0)),
+        Appliance::with_power(
+            DeviceId(1),
+            ApplianceKind::AirConditioner,
+            Watts::from_kw(1.0),
+        ),
+        Appliance::with_power(
+            DeviceId(2),
+            ApplianceKind::AirConditioner,
+            Watts::from_kw(1.0),
+        ),
         Appliance::with_power(DeviceId(3), ApplianceKind::Fridge, Watts::from_kw(0.2)),
     ];
     let requests = burst(SimTime::from_mins(1), 4);

@@ -42,7 +42,10 @@ fn divergence_grows_with_loss_but_stays_safe() {
     );
     // Divergence may cost peak quality, never correctness.
     assert_eq!(high.deadline_misses, 0);
-    assert_eq!(high.refused_early_off, 0, "interlocks should not even trigger");
+    assert_eq!(
+        high.refused_early_off, 0,
+        "interlocks should not even trigger"
+    );
 }
 
 #[test]

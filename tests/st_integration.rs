@@ -26,7 +26,10 @@ fn packet_level_cp_sustains_the_scheduler() {
     let outcome = HanSimulation::new(packet_config(Strategy::coordinated(), 20, 3), requests)
         .unwrap()
         .run();
-    assert_eq!(outcome.deadline_misses, 0, "obligations must survive the real CP");
+    assert_eq!(
+        outcome.deadline_misses, 0,
+        "obligations must survive the real CP"
+    );
     assert!(
         outcome.cp.delivery_rate() > 0.95,
         "record delivery {} too low",
@@ -40,7 +43,10 @@ fn packet_level_cp_sustains_the_scheduler() {
     );
     // The protocol must fit its 2-second period.
     let duty = d.duty_cycle(SimDuration::from_secs(2));
-    assert!(duty < 1.0, "radio duty cycle {duty} exceeds the round period");
+    assert!(
+        duty < 1.0,
+        "radio duty cycle {duty} exceeds the round period"
+    );
 }
 
 #[test]

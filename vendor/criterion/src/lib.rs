@@ -1,0 +1,249 @@
+//! Vendored minimal stand-in for the `criterion` benchmark crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the subset of criterion's API its benches use: benchmark groups,
+//! `bench_function` / `bench_with_input`, `sample_size`, `Throughput`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over
+//! `sample_size` samples whose per-sample iteration count targets roughly
+//! 100 ms of work; the report prints min / median / max time per
+//! iteration (and throughput when configured). No statistical analysis,
+//! plots, or baselines — swap in the real crate for those.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Compatibility no-op (the real crate parses CLI args here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the work performed per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark that takes an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report already printed per benchmark).
+    pub fn finish(self) {}
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        // Warm-up & calibration: find an iteration count worth ~100 ms.
+        let mut bencher = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let target = Duration::from_millis(100);
+        let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                iterations: iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let min = samples[0];
+        let med = samples[samples.len() / 2];
+        let max = samples[samples.len() - 1];
+        let mut line = format!(
+            "{}/{id}  time: [{} {} {}]",
+            self.name,
+            fmt_time(min),
+            fmt_time(med),
+            fmt_time(max)
+        );
+        if let Some(tp) = self.throughput {
+            let (amount, unit) = match tp {
+                Throughput::Elements(e) => (e as f64, "elem/s"),
+                Throughput::Bytes(b) => (b as f64, "B/s"),
+            };
+            line.push_str(&format!("  thrpt: {:.3e} {unit}", amount / med));
+        }
+        eprintln!("{line}");
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        let mut ran = 0u32;
+        g.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran += 1;
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        g.finish();
+        assert!(ran >= 3, "bench closure must run for every sample");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

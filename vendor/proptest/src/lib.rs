@@ -1,0 +1,706 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the subset of proptest this repository's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` and `boxed`,
+//! * range strategies (`0u64..600`, `-100.0f64..-40.0`, …), [`Just`],
+//!   `any::<bool|u8|u16|u32|u64|usize>()`, tuple strategies,
+//! * `prop::collection::vec`, `prop::collection::btree_map`,
+//!   `prop::option::of`,
+//! * the `proptest!`, `prop_compose!`, `prop_oneof!`, `prop_assert!` and
+//!   `prop_assert_eq!` macros, with `ProptestConfig::with_cases`.
+//!
+//! Cases are generated from a deterministic per-test seed (FNV of the test
+//! name), so failures are reproducible run to run. Deliberately *not*
+//! implemented: shrinking, persistence of failing cases, `prop_recursive`,
+//! weighted `prop_oneof!` arms. Swap in the real crate (same API) once the
+//! registry is reachable.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::marker::PhantomData;
+
+pub mod prelude {
+    //! Everything a property test usually imports.
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRng,
+        Union,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic splitmix64 generator driving value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` (`bound` = 0 yields 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_new_value(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A strategy backed by a generation closure (used by `prop_compose!`).
+pub struct FnStrategy<T, F: Fn(&mut TestRng) -> T> {
+    f: F,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> FnStrategy<T, F> {
+    /// Wraps a generation closure.
+    pub fn new(f: F) -> Self {
+        FnStrategy {
+            f,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: fmt::Debug, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<T, F> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Uniform choice among type-erased alternatives (used by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// Builds a union; panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].new_value(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: ranges, any, tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+/// Types with a canonical "any value" strategy.
+pub trait ArbitraryValue: fmt::Debug + Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, moderately sized values — the tests want usable numbers.
+        (rng.unit_f64() - 0.5) * 2e6
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Default)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An arbitrary value of `T` (proptest's `any::<T>()`).
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+// ---------------------------------------------------------------------------
+// Collection / option strategies
+// ---------------------------------------------------------------------------
+
+pub mod prop {
+    //! The `prop::` namespace mirrored from the real crate.
+
+    pub mod collection {
+        //! Collection strategies.
+        use super::super::{Strategy, TestRng};
+        use std::collections::BTreeMap;
+        use std::fmt;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with sizes drawn from a range.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// A `Vec` of values from `element`, with `size` in the given range.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.new_value(rng);
+                (0..len).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeMap`s with sizes drawn from a range.
+        pub struct BTreeMapStrategy<K, V> {
+            key: K,
+            value: V,
+            size: Range<usize>,
+        }
+
+        /// A `BTreeMap` built from `size` draws of `(key, value)`; duplicate
+        /// keys collapse, exactly as in the real crate.
+        pub fn btree_map<K: Strategy, V: Strategy>(
+            key: K,
+            value: V,
+            size: Range<usize>,
+        ) -> BTreeMapStrategy<K, V>
+        where
+            K::Value: Ord,
+        {
+            BTreeMapStrategy { key, value, size }
+        }
+
+        impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+        where
+            K::Value: Ord + fmt::Debug,
+        {
+            type Value = BTreeMap<K::Value, V::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+                let len = self.size.new_value(rng);
+                (0..len)
+                    .map(|_| (self.key.new_value(rng), self.value.new_value(rng)))
+                    .collect()
+            }
+        }
+    }
+
+    pub mod option {
+        //! `Option` strategies.
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy for `Option`s (`None` one time in four).
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `Some` of a value from `inner` three times out of four.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.new_value(rng))
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Configuration of a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed assertion inside a property test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Result type of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs one case body (macro plumbing; keeps the generated code free of
+/// immediately-invoked closures).
+#[doc(hidden)]
+pub fn __run_body<F: FnOnce() -> TestCaseResult>(body: F) -> TestCaseResult {
+    body()
+}
+
+/// Drives `cases` generated cases of one property; panics on the first
+/// failing case, printing the generated inputs.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, TestCaseResult),
+{
+    // Deterministic per-test seed: FNV-1a of the test name.
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = TestRng::new(seed);
+    for case_index in 0..config.cases {
+        let (inputs, result) = case(&mut rng);
+        if let Err(e) = result {
+            panic!(
+                "proptest '{test_name}' failed at case {case_index}/{}: {e}\n  inputs: {inputs}",
+                config.cases
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests (minimal mirror of proptest's macro).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::run_cases(&config, stringify!($name), |rng| {
+                    $(let $arg = $crate::Strategy::new_value(&($strategy), rng);)*
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),*),
+                        $(&$arg),*
+                    );
+                    let result: $crate::TestCaseResult = $crate::__run_body(|| {
+                        $body
+                        Ok(())
+                    });
+                    (inputs, result)
+                });
+            }
+        )*
+    };
+}
+
+/// Declares a named composite strategy function.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])*
+     $vis:vis fn $name:ident($($outer:tt)*)
+        ($($arg:ident in $strategy:expr),* $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::FnStrategy::new(move |rng: &mut $crate::TestRng| {
+                $(let $arg = $crate::Strategy::new_value(&($strategy), rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not the
+/// process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Step {
+        Up(u64),
+        Down,
+    }
+
+    fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+        prop::collection::vec(
+            prop_oneof![(1u64..100).prop_map(Step::Up), Just(Step::Down)],
+            1..20,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..10, f in -2.0f64..3.0, b in any::<bool>()) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((-2.0..3.0).contains(&f));
+            prop_assert!(u64::from(b) <= 1);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(0u32..4, 2..6),
+            m in prop::collection::btree_map(0u8..20, any::<u16>(), 0..10),
+            o in prop::option::of(1usize..3)
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 4));
+            prop_assert!(m.len() < 10);
+            if let Some(x) = o {
+                prop_assert!((1..3).contains(&x));
+            }
+        }
+
+        #[test]
+        fn oneof_and_tuples(steps in arb_steps(), pair in (0u8..3, 10u8..13)) {
+            prop_assert!(!steps.is_empty());
+            prop_assert!(pair.0 < 3 && pair.1 >= 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_cases_respected(_x in 0u8..2) {
+            // Body runs; count is asserted indirectly via determinism below.
+        }
+    }
+
+    prop_compose! {
+        /// A small even number.
+        fn arb_even()(half in 0u32..50) -> u32 {
+            half * 2
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_strategy_applies_body(even in arb_even()) {
+            prop_assert_eq!(even % 2, 0);
+            prop_assert!(even < 100);
+        }
+    }
+
+    #[test]
+    fn determinism_per_test_name() {
+        let mut a = Vec::new();
+        run_cases_collect("some_test", &mut a);
+        let mut b = Vec::new();
+        run_cases_collect("some_test", &mut b);
+        assert_eq!(a, b, "same test name must regenerate the same cases");
+        let mut c = Vec::new();
+        run_cases_collect("other_test", &mut c);
+        assert_ne!(a, c, "different test names draw different cases");
+    }
+
+    fn run_cases_collect(name: &str, out: &mut Vec<u64>) {
+        crate::run_cases(&ProptestConfig::with_cases(5), name, |rng| {
+            out.push(Strategy::new_value(&(0u64..1_000_000), rng));
+            (String::new(), Ok(()))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_case_panics_with_inputs() {
+        crate::run_cases(&ProptestConfig::with_cases(3), "doomed", |_rng| {
+            ("x = 1".into(), Err(TestCaseError::fail("always fails")))
+        });
+    }
+}

@@ -1,0 +1,234 @@
+//! Vendored minimal stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the tiny subset of rayon's data-parallel API that the experiment
+//! sweeps use: `into_par_iter()` / `par_iter()` followed by `map(...)` and
+//! `collect::<Vec<_>>()`. The implementation fans items out over
+//! `std::thread::scope` in contiguous, order-preserving chunks — one chunk
+//! per available core — so results are returned in input order, exactly
+//! like real rayon's indexed collect.
+//!
+//! Deliberately *not* implemented: work stealing, nested parallelism
+//! tuning, lazy adaptor fusion beyond a single `map`, reductions. Swap in
+//! the real crate (same API) once the registry is reachable.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::thread;
+
+pub mod prelude {
+    //! The rayon-compatible prelude: parallel-iterator traits.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel call will use at most.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// An eager parallel iterator over an owned collection of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A parallel iterator with a pending `map` stage.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Conversion into a [`ParIter`] (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type produced by the parallel iterator.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// Borrowing conversion (rayon's `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced by the parallel iterator (a reference).
+    type Item: Send + 'a;
+    /// Creates a parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+macro_rules! range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+range_par_iter!(u8, u16, u32, u64, usize, i32, i64);
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The subset of rayon's `ParallelIterator` the sweeps use.
+pub trait ParallelIterator: Sized {
+    /// Item type flowing out of this stage.
+    type Item: Send;
+
+    /// Runs the pipeline to completion, returning items in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Collects results in input order (rayon's indexed `collect`).
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        C::from(self.run())
+    }
+
+    /// Applies `op` to every item (parallel, order of side effects
+    /// unspecified — as with real rayon).
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.run().into_iter().for_each(op);
+    }
+
+    /// Number of items produced.
+    fn count(self) -> usize {
+        self.run().len()
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T, R, F> ParallelIterator for ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync + Send,
+{
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        parallel_map(self.items, &self.f)
+    }
+}
+
+/// Order-preserving parallel map over owned items: contiguous chunks, one
+/// scoped thread per chunk beyond the first (which runs on the caller).
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Split into `threads` contiguous chunks of near-equal size.
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let base = n / threads;
+    let extra = n % threads;
+    let mut items = items.into_iter();
+    for k in 0..threads {
+        let take = base + usize::from(k < extra);
+        chunks.push(items.by_ref().take(take).collect());
+    }
+
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(threads);
+    thread::scope(|scope| {
+        let mut rest = chunks.into_iter();
+        let first = rest.next().expect("at least one chunk");
+        let handles: Vec<_> = rest
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        out.push(first.into_iter().map(f).collect());
+        for h in handles {
+            out.push(h.join().expect("parallel map worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, &s) in squares.iter().enumerate() {
+            assert_eq!(s, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u32, 2, 3, 4, 5];
+        let doubled: Vec<u32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+        assert_eq!(data.len(), 5, "source still owned by caller");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(none.is_empty());
+        let one: Vec<u8> = vec![7u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}
