@@ -18,40 +18,40 @@ fn bench_end_to_end(c: &mut Criterion) {
     let scenario = Scenario::paper(ArrivalRate::High, 0);
     group.bench_function("uncoordinated", |b| {
         b.iter(|| {
-            std::hint::black_box(run_strategy(
-                &scenario,
-                Strategy::Uncoordinated,
-                CpModel::Ideal,
-            ))
+            std::hint::black_box(
+                run_strategy(&scenario, Strategy::Uncoordinated, CpModel::Ideal)
+                    .expect("valid scenario"),
+            )
         });
     });
     group.bench_function("coordinated_ideal_cp", |b| {
         b.iter(|| {
-            std::hint::black_box(run_strategy(
-                &scenario,
-                Strategy::coordinated(),
-                CpModel::Ideal,
-            ))
+            std::hint::black_box(
+                run_strategy(&scenario, Strategy::coordinated(), CpModel::Ideal)
+                    .expect("valid scenario"),
+            )
         });
     });
     group.bench_function("coordinated_naive_reference", |b| {
         b.iter(|| {
-            std::hint::black_box(run_strategy_reference(
-                &scenario,
-                Strategy::coordinated(),
-                CpModel::Ideal,
-            ))
+            std::hint::black_box(
+                run_strategy_reference(&scenario, Strategy::coordinated(), CpModel::Ideal)
+                    .expect("valid scenario"),
+            )
         });
     });
     group.bench_function("coordinated_lossy_record_10pct", |b| {
         b.iter(|| {
-            std::hint::black_box(run_strategy(
-                &scenario,
-                Strategy::coordinated(),
-                CpModel::LossyRecord {
-                    miss_probability: 0.1,
-                },
-            ))
+            std::hint::black_box(
+                run_strategy(
+                    &scenario,
+                    Strategy::coordinated(),
+                    CpModel::LossyRecord {
+                        miss_probability: 0.1,
+                    },
+                )
+                .expect("valid scenario"),
+            )
         });
     });
     group.finish();

@@ -8,12 +8,13 @@
 //! Run with: `cargo run --release -p han-bench --bin ablation`
 
 use han_core::cp::CpModel;
-use han_core::experiment::{run_strategy, StrategyResult};
+use han_core::experiment::{collect_results, run_strategy, StrategyResult};
 use han_core::{PlanConfig, SchedulingRule, Strategy};
+use han_workload::fleet::ScenarioError;
 use han_workload::scenario::{ArrivalRate, Scenario};
 use rayon::prelude::*;
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     let seeds = 0..3u64;
     println!("# scheduling-rule ablation: paper scenario, high rate, mean over 3 seeds");
     println!("rule,peak_kw,std_kw,mean_kw,deadline_misses");
@@ -36,20 +37,21 @@ fn main() {
     let grid: Vec<(usize, u64)> = (0..rules.len())
         .flat_map(|r| seeds.clone().map(move |s| (r, s)))
         .collect();
-    let results: Vec<(usize, StrategyResult)> = grid
-        .into_par_iter()
-        .map(|(rule_idx, seed)| {
-            let scenario = Scenario::paper(ArrivalRate::High, seed);
-            let strategy = match rules[rule_idx].1 {
-                None => Strategy::Uncoordinated,
-                Some(rule) => Strategy::Coordinated(PlanConfig {
-                    rule,
-                    ..PlanConfig::default()
-                }),
-            };
-            (rule_idx, run_strategy(&scenario, strategy, CpModel::Ideal))
-        })
-        .collect();
+    let results: Vec<(usize, StrategyResult)> = collect_results(
+        grid.into_par_iter()
+            .map(|(rule_idx, seed)| {
+                let scenario = Scenario::paper(ArrivalRate::High, seed);
+                let strategy = match rules[rule_idx].1 {
+                    None => Strategy::Uncoordinated,
+                    Some(rule) => Strategy::Coordinated(PlanConfig {
+                        rule,
+                        ..PlanConfig::default()
+                    }),
+                };
+                run_strategy(&scenario, strategy, CpModel::Ideal).map(|r| (rule_idx, r))
+            })
+            .collect(),
+    )?;
     let n = seeds.count() as f64;
     for (rule_idx, (name, _)) in rules.iter().enumerate() {
         let mut peak = 0.0;
@@ -93,13 +95,14 @@ fn main() {
         ),
         ("packet_minicast", CpModel::paper_packet(0)),
     ];
-    let cp_results: Vec<(&str, StrategyResult)> = cps
-        .into_par_iter()
-        .map(|(name, cp)| {
-            let scenario = scenario.clone();
-            (name, run_strategy(&scenario, Strategy::coordinated(), cp))
-        })
-        .collect();
+    let cp_results: Vec<(&str, StrategyResult)> = collect_results(
+        cps.into_par_iter()
+            .map(|(name, cp)| {
+                let scenario = scenario.clone();
+                run_strategy(&scenario, Strategy::coordinated(), cp).map(|r| (name, r))
+            })
+            .collect(),
+    )?;
     for (name, r) in cp_results {
         println!(
             "{name},{:.2},{:.2},{},{},{:.2}",
@@ -110,4 +113,5 @@ fn main() {
             r.outcome.cp.delivery_rate() * 100.0
         );
     }
+    Ok(())
 }

@@ -11,16 +11,17 @@
 //! Run with: `cargo run --release -p han-bench --bin claims`
 
 use han_core::cp::CpModel;
-use han_core::experiment::{compare, Comparison};
+use han_core::experiment::{collect_results, compare, Comparison};
 use han_core::simulation::{HanSimulation, SimulationConfig, Strategy};
 use han_device::duty_cycle::DutyCycleConstraints;
 use han_metrics::stats::{reduction_percent, Summary};
 use han_sim::time::{SimDuration, SimTime};
 use han_workload::burst;
+use han_workload::fleet::{FleetSpec, ScenarioError};
 use han_workload::scenario::{ArrivalRate, Scenario};
 use rayon::prelude::*;
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     println!("claim,paper,measured,where");
 
     // Random workloads: best case over seeds and rates. The (rate, seed)
@@ -31,16 +32,13 @@ fn main() {
         .into_iter()
         .flat_map(|rate| (0..5u64).map(move |seed| (rate, seed)))
         .collect();
-    let comparisons: Vec<(ArrivalRate, u64, Comparison)> = grid
-        .into_par_iter()
-        .map(|(rate, seed)| {
-            (
-                rate,
-                seed,
-                compare(&Scenario::paper(rate, seed), CpModel::Ideal),
-            )
-        })
-        .collect();
+    let comparisons: Vec<(ArrivalRate, u64, Comparison)> = collect_results(
+        grid.into_par_iter()
+            .map(|(rate, seed)| {
+                compare(&Scenario::paper(rate, seed), CpModel::Ideal).map(|c| (rate, seed, c))
+            })
+            .collect(),
+    )?;
 
     let mut best_peak = f64::NEG_INFINITY;
     let mut best_std = f64::NEG_INFINITY;
@@ -62,9 +60,8 @@ fn main() {
     // The synchronized-burst workload: the mechanism's exact 50 % case.
     let duration = SimDuration::from_mins(120);
     let config = |strategy| SimulationConfig {
-        device_count: 20,
-        device_power_kw: 1.0,
-        constraints: DutyCycleConstraints::paper(),
+        fleet: FleetSpec::uniform(20, 1.0, DutyCycleConstraints::paper())
+            .expect("valid uniform fleet"),
         duration,
         round_period: SimDuration::from_secs(2),
         strategy,
@@ -72,12 +69,8 @@ fn main() {
         seed: 1,
     };
     let requests = burst(SimTime::from_mins(2), 20);
-    let unco = HanSimulation::new(config(Strategy::Uncoordinated), requests.clone())
-        .expect("valid config")
-        .run();
-    let coord = HanSimulation::new(config(Strategy::coordinated()), requests)
-        .expect("valid config")
-        .run();
+    let unco = HanSimulation::new(config(Strategy::Uncoordinated), requests.clone())?.run();
+    let coord = HanSimulation::new(config(Strategy::coordinated()), requests)?.run();
     let end = SimTime::ZERO + duration;
     let minute = SimDuration::from_mins(1);
     let unco_s = Summary::of(&unco.trace.sample(SimTime::ZERO, end, minute));
@@ -90,4 +83,5 @@ fn main() {
     println!("std-dev reduction (best random run),up to 58%,{best_std:.0}%,{best_std_at}");
     println!("std-dev reduction (synchronized burst),up to 58%,{burst_std_red:.0}%,burst of 20");
     println!("average load change,~0%,{worst_avg_gap:.1}% worst case,all rates/seeds");
+    Ok(())
 }

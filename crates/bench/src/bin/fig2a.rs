@@ -10,11 +10,12 @@ use han_bench::harness::ascii_series;
 use han_core::cp::CpModel;
 use han_core::experiment::compare;
 use han_metrics::report::series_csv;
+use han_workload::fleet::ScenarioError;
 use han_workload::scenario::{ArrivalRate, Scenario};
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     let scenario = Scenario::paper(ArrivalRate::High, 0);
-    let c = compare(&scenario, CpModel::Ideal);
+    let c = compare(&scenario, CpModel::Ideal)?;
 
     let minutes: Vec<f64> = (0..c.uncoordinated.samples.len())
         .map(|m| m as f64)
@@ -60,4 +61,5 @@ fn main() {
         c.std_reduction_percent(),
         c.average_gap_percent()
     );
+    Ok(())
 }

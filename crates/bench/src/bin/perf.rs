@@ -11,7 +11,10 @@
 //! * simulation rounds per second,
 //! * multi-seed sweep throughput via the parallel
 //!   [`compare_many`](han_core::experiment::compare_many) versus the
-//!   sequential `compare_seeds`.
+//!   sequential `compare_seeds`,
+//! * **neighborhood scale**: 8 homes × 26 devices on one feeder through
+//!   [`Neighborhood::run`](han_core::neighborhood::Neighborhood::run)
+//!   (one home per worker), seeding the multi-home perf trajectory.
 //!
 //! Run with: `cargo run --release -p han-bench --bin perf`
 
@@ -19,11 +22,14 @@ use han_core::cp::CpModel;
 use han_core::experiment::{
     compare_many, compare_seeds, run_strategy, run_strategy_reference, StrategyResult,
 };
+use han_core::neighborhood::Neighborhood;
 use han_core::Strategy;
+use han_workload::fleet::ScenarioError;
 use han_workload::scenario::{ArrivalRate, Scenario};
 use std::time::Instant;
 
 const SWEEP_SEEDS: std::ops::Range<u64> = 0..6;
+const NEIGHBORHOOD_HOMES: usize = 8;
 
 /// Median wall-clock seconds of `runs` invocations of `f`.
 fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
@@ -38,14 +44,14 @@ fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     let scenario = Scenario::paper(ArrivalRate::High, 0);
     let runs = 5;
 
     // Correctness gate before timing anything: the fast path must issue
     // byte-identical schedules to the reference path.
-    let fast: StrategyResult = run_strategy(&scenario, Strategy::coordinated(), CpModel::Ideal);
-    let reference = run_strategy_reference(&scenario, Strategy::coordinated(), CpModel::Ideal);
+    let fast: StrategyResult = run_strategy(&scenario, Strategy::coordinated(), CpModel::Ideal)?;
+    let reference = run_strategy_reference(&scenario, Strategy::coordinated(), CpModel::Ideal)?;
     assert_eq!(
         fast.outcome.schedule_digest, reference.outcome.schedule_digest,
         "memoized plane diverged from the reference plane"
@@ -53,18 +59,16 @@ fn main() {
     let rounds = fast.outcome.rounds;
 
     let memoized_s = median_secs(runs, || {
-        std::hint::black_box(run_strategy(
-            &scenario,
-            Strategy::coordinated(),
-            CpModel::Ideal,
-        ));
+        std::hint::black_box(
+            run_strategy(&scenario, Strategy::coordinated(), CpModel::Ideal)
+                .expect("paper scenario is valid"),
+        );
     });
     let naive_s = median_secs(runs, || {
-        std::hint::black_box(run_strategy_reference(
-            &scenario,
-            Strategy::coordinated(),
-            CpModel::Ideal,
-        ));
+        std::hint::black_box(
+            run_strategy_reference(&scenario, Strategy::coordinated(), CpModel::Ideal)
+                .expect("paper scenario is valid"),
+        );
     });
     let speedup = naive_s / memoized_s;
     let rounds_per_sec = rounds as f64 / memoized_s;
@@ -81,14 +85,43 @@ fn main() {
     let sweep_template = Scenario::paper(ArrivalRate::High, 0);
     let seed_count = SWEEP_SEEDS.end - SWEEP_SEEDS.start;
     let parallel_s = median_secs(3, || {
-        std::hint::black_box(compare_many(&sweep_template, &CpModel::Ideal, SWEEP_SEEDS));
+        std::hint::black_box(
+            compare_many(&sweep_template, &CpModel::Ideal, SWEEP_SEEDS).expect("valid sweep"),
+        );
     });
     let sequential_s = median_secs(3, || {
-        std::hint::black_box(compare_seeds(&sweep_template, &CpModel::Ideal, SWEEP_SEEDS));
+        std::hint::black_box(
+            compare_seeds(&sweep_template, &CpModel::Ideal, SWEEP_SEEDS).expect("valid sweep"),
+        );
     });
     let sweep_throughput = seed_count as f64 / parallel_s;
     let sweep_scaling = sequential_s / parallel_s;
     let workers = rayon::current_num_threads();
+
+    // Neighborhood scale: 8 paper homes (each 26 devices, 350 min, both
+    // strategies) on one feeder, one home per worker.
+    let hood = Neighborhood::uniform(
+        "perf street",
+        &Scenario::paper(ArrivalRate::High, 0),
+        CpModel::Ideal,
+        NEIGHBORHOOD_HOMES,
+    )?;
+    // Warm-up + correctness probe. The guaranteed property (obligations
+    // always met) gates CI; feeder peak movement is reported, not
+    // asserted — per-home peak reduction does not mathematically imply
+    // feeder-sum peak reduction.
+    let report = hood.run()?;
+    for home in &report.homes {
+        assert_eq!(
+            home.comparison.coordinated.outcome.deadline_misses, 0,
+            "{}: coordination must keep every obligation",
+            home.name
+        );
+    }
+    let hood_s = median_secs(3, || {
+        std::hint::black_box(hood.run().expect("valid neighborhood"));
+    });
+    let homes_per_sec = NEIGHBORHOOD_HOMES as f64 / hood_s;
 
     println!("# paper config: 26 devices, 350 min, high rate, ideal CP");
     println!("end_to_end_memoized_s,{memoized_s:.4}");
@@ -97,11 +130,13 @@ fn main() {
     println!("rounds_per_sec,{rounds_per_sec:.0}");
     println!("sweep_comparisons_per_sec,{sweep_throughput:.2}");
     println!("sweep_parallel_scaling_x,{sweep_scaling:.2} (over {workers} workers)");
+    println!("neighborhood_wall_s,{hood_s:.4} ({NEIGHBORHOOD_HOMES} homes x 26 devices)");
+    println!("neighborhood_homes_per_sec,{homes_per_sec:.2}");
 
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": 1,\n",
+            "  \"schema\": 2,\n",
             "  \"config\": {{\"devices\": 26, \"minutes\": 350, \"rate_per_hour\": 30, \"cp\": \"ideal\"}},\n",
             "  \"rounds\": {rounds},\n",
             "  \"end_to_end\": {{\n",
@@ -117,6 +152,15 @@ fn main() {
             "    \"comparisons_per_sec\": {cps:.3},\n",
             "    \"parallel_scaling\": {scaling:.3},\n",
             "    \"workers\": {workers}\n",
+            "  }},\n",
+            "  \"neighborhood\": {{\n",
+            "    \"homes\": {homes},\n",
+            "    \"devices_per_home\": 26,\n",
+            "    \"minutes\": 350,\n",
+            "    \"wall_s\": {hood_s:.6},\n",
+            "    \"homes_per_sec\": {hps:.3},\n",
+            "    \"feeder_peak_reduction_percent\": {feeder_red:.2},\n",
+            "    \"coincidence_factor_coordinated\": {cf:.4}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -131,7 +175,13 @@ fn main() {
         cps = sweep_throughput,
         scaling = sweep_scaling,
         workers = workers,
+        homes = NEIGHBORHOOD_HOMES,
+        hood_s = hood_s,
+        hps = homes_per_sec,
+        feeder_red = report.feeder_peak_reduction_percent(),
+        cf = report.coincidence_factor_coordinated(),
     );
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     eprintln!("wrote BENCH_engine.json");
+    Ok(())
 }

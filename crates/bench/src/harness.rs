@@ -13,6 +13,7 @@ pub const SEEDS: std::ops::Range<u64> = 0..5;
 /// sequential sweep).
 pub fn paper_comparisons(rate: ArrivalRate) -> Vec<Comparison> {
     compare_many(&Scenario::paper(rate, 0), &CpModel::Ideal, SEEDS)
+        .expect("paper scenario is valid")
 }
 
 /// Per-rate aggregate of a metric over seeds.

@@ -11,11 +11,24 @@ use crate::cp::CpModel;
 use crate::simulation::{HanSimulation, SimulationConfig, SimulationOutcome, Strategy};
 use han_metrics::stats::Summary;
 use han_sim::time::{SimDuration, SimTime};
+use han_workload::fleet::ScenarioError;
 use han_workload::scenario::Scenario;
 use rayon::prelude::*;
 
 /// The sampling interval of the paper's plots.
 pub const SAMPLE_INTERVAL: SimDuration = SimDuration::from_mins(1);
+
+/// Collects a parallel stage's per-item results, surfacing the **first
+/// error in input order**.
+///
+/// Parallel sweeps collect `Vec<Result<_, _>>` and then fold through
+/// here, rather than collecting straight into a `Result`, for two
+/// reasons: the error a sweep reports stays deterministic regardless of
+/// worker interleaving, and the vendored rayon shim's `collect` only
+/// supports `From<Vec<Item>>` targets.
+pub fn collect_results<T>(results: Vec<Result<T, ScenarioError>>) -> Result<Vec<T>, ScenarioError> {
+    results.into_iter().collect()
+}
 
 /// One strategy's result on a scenario.
 #[derive(Debug, Clone)]
@@ -70,11 +83,21 @@ impl Comparison {
 
 /// Runs one strategy on a scenario and samples the result.
 ///
+/// # Errors
+///
+/// [`ScenarioError`] if the scenario or derived simulation configuration
+/// is invalid (empty fleet, bad rate or loss probability, packet topology
+/// smaller than the fleet, …).
+///
 /// # Panics
 ///
-/// Panics if the scenario and CP model are inconsistent (e.g. a packet
-/// topology smaller than the device count).
-pub fn run_strategy(scenario: &Scenario, strategy: Strategy, cp: CpModel) -> StrategyResult {
+/// Panics only on an invalid custom [`han_st::StConfig`] inside a
+/// packet-mode CP (the default configuration is always valid).
+pub fn run_strategy(
+    scenario: &Scenario,
+    strategy: Strategy,
+    cp: CpModel,
+) -> Result<StrategyResult, ScenarioError> {
     run_strategy_inner(scenario, strategy, cp, false)
 }
 
@@ -86,7 +109,7 @@ pub fn run_strategy_reference(
     scenario: &Scenario,
     strategy: Strategy,
     cp: CpModel,
-) -> StrategyResult {
+) -> Result<StrategyResult, ScenarioError> {
     run_strategy_inner(scenario, strategy, cp, true)
 }
 
@@ -95,47 +118,55 @@ fn run_strategy_inner(
     strategy: Strategy,
     cp: CpModel,
     reference_planning: bool,
-) -> StrategyResult {
+) -> Result<StrategyResult, ScenarioError> {
+    scenario.validate()?;
     let config = SimulationConfig {
-        device_count: scenario.device_count,
-        device_power_kw: scenario.device_power_kw,
-        constraints: scenario.constraints,
+        fleet: scenario.fleet.clone(),
         duration: scenario.duration,
         round_period: SimDuration::from_secs(2),
         strategy,
         cp,
         seed: scenario.seed,
     };
-    let mut sim = HanSimulation::new(config, scenario.requests()).expect("valid scenario");
+    let mut sim = HanSimulation::new(config, scenario.requests())?;
     sim.set_reference_planning(reference_planning);
     let outcome = sim.run();
     let end = SimTime::ZERO + scenario.duration;
     let samples = outcome.trace.sample(SimTime::ZERO, end, SAMPLE_INTERVAL);
     let summary = Summary::of(&samples);
-    StrategyResult {
+    Ok(StrategyResult {
         outcome,
         samples,
         summary,
-    }
+    })
 }
 
 /// Runs both strategies on the same workload.
-pub fn compare(scenario: &Scenario, cp: CpModel) -> Comparison {
-    let uncoordinated = run_strategy(scenario, Strategy::Uncoordinated, cp.clone());
-    let coordinated = run_strategy(scenario, Strategy::coordinated(), cp);
-    Comparison {
+///
+/// # Errors
+///
+/// [`ScenarioError`] if the scenario is invalid.
+pub fn compare(scenario: &Scenario, cp: CpModel) -> Result<Comparison, ScenarioError> {
+    let uncoordinated = run_strategy(scenario, Strategy::Uncoordinated, cp.clone())?;
+    let coordinated = run_strategy(scenario, Strategy::coordinated(), cp)?;
+    Ok(Comparison {
         scenario: scenario.clone(),
         uncoordinated,
         coordinated,
-    }
+    })
 }
 
-/// Runs `compare` over several seeds and returns all comparisons.
+/// Runs `compare` over several seeds and returns all comparisons in seed
+/// order.
+///
+/// # Errors
+///
+/// [`ScenarioError`] for the first invalid derived scenario.
 pub fn compare_seeds(
     template: &Scenario,
     cp: &CpModel,
     seeds: impl IntoIterator<Item = u64>,
-) -> Vec<Comparison> {
+) -> Result<Vec<Comparison>, ScenarioError> {
     seeds
         .into_iter()
         .map(|seed| {
@@ -154,23 +185,29 @@ pub fn compare_seeds(
 /// Seeded runs are fully independent — no shared mutable state — so the
 /// results are identical to [`compare_seeds`], element for element; only
 /// the wall-clock time changes. This is the workhorse of the figure
-/// harnesses and parameter sweeps.
+/// harnesses, parameter sweeps and the neighborhood layer.
+///
+/// # Errors
+///
+/// [`ScenarioError`] for the first invalid derived scenario.
 pub fn compare_many(
     template: &Scenario,
     cp: &CpModel,
     seeds: impl IntoIterator<Item = u64>,
-) -> Vec<Comparison> {
+) -> Result<Vec<Comparison>, ScenarioError> {
     let seeds: Vec<u64> = seeds.into_iter().collect();
-    seeds
-        .into_par_iter()
-        .map(|seed| {
-            let scenario = Scenario {
-                seed,
-                ..template.clone()
-            };
-            compare(&scenario, cp.clone())
-        })
-        .collect()
+    collect_results(
+        seeds
+            .into_par_iter()
+            .map(|seed| {
+                let scenario = Scenario {
+                    seed,
+                    ..template.clone()
+                };
+                compare(&scenario, cp.clone())
+            })
+            .collect(),
+    )
 }
 
 /// Mean of a per-comparison metric across seeds.
@@ -197,7 +234,8 @@ mod tests {
     fn high_rate_comparison_matches_paper_shape() {
         // The full paper scenario (350 min): coordination must cut the peak
         // and the variation substantially while leaving the average intact.
-        let comparison = compare(&Scenario::paper(ArrivalRate::High, 3), CpModel::Ideal);
+        let comparison =
+            compare(&Scenario::paper(ArrivalRate::High, 3), CpModel::Ideal).expect("valid");
         assert!(
             comparison.peak_reduction_percent() > 20.0,
             "peak reduction {}",
@@ -222,7 +260,8 @@ mod tests {
             &short_scenario(ArrivalRate::Low, 2),
             Strategy::Uncoordinated,
             CpModel::Ideal,
-        );
+        )
+        .expect("valid");
         // 0..=120 minutes inclusive.
         assert_eq!(result.samples.len(), 121);
     }
@@ -233,8 +272,8 @@ mod tests {
             duration: SimDuration::from_mins(60),
             ..Scenario::paper(ArrivalRate::High, 0)
         };
-        let sequential = compare_seeds(&template, &CpModel::Ideal, 0..4);
-        let parallel = compare_many(&template, &CpModel::Ideal, 0..4);
+        let sequential = compare_seeds(&template, &CpModel::Ideal, 0..4).expect("valid");
+        let parallel = compare_many(&template, &CpModel::Ideal, 0..4).expect("valid");
         assert_eq!(parallel.len(), sequential.len());
         for (p, s) in parallel.iter().zip(&sequential) {
             assert_eq!(p.scenario.seed, s.scenario.seed, "seed order preserved");
@@ -253,8 +292,9 @@ mod tests {
             duration: SimDuration::from_mins(90),
             ..Scenario::paper(ArrivalRate::High, 5)
         };
-        let fast = run_strategy(&scenario, Strategy::coordinated(), CpModel::Ideal);
-        let reference = run_strategy_reference(&scenario, Strategy::coordinated(), CpModel::Ideal);
+        let fast = run_strategy(&scenario, Strategy::coordinated(), CpModel::Ideal).expect("valid");
+        let reference = run_strategy_reference(&scenario, Strategy::coordinated(), CpModel::Ideal)
+            .expect("valid");
         assert_eq!(
             fast.outcome.schedule_digest, reference.outcome.schedule_digest,
             "memoized plane must issue byte-identical schedules"
@@ -273,7 +313,8 @@ mod tests {
             &short_scenario(ArrivalRate::Moderate, 0),
             &CpModel::Ideal,
             0..3,
-        );
+        )
+        .expect("valid");
         assert_eq!(comparisons.len(), 3);
         let mean_peak = mean_metric(&comparisons, Comparison::peak_reduction_percent);
         assert!(mean_peak.is_finite());

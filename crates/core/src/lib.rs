@@ -14,13 +14,16 @@
 //! * [`cp`] — communication-plane models from ideal to packet-level
 //!   MiniCast on the FlockLab-like testbed;
 //! * [`simulation`] — the round-by-round two-plane simulation
-//!   ([`simulation::HanSimulation`]);
-//! * [`experiment`] — the shared harness the figure reproductions use.
+//!   ([`simulation::HanSimulation`]), configured by a heterogeneous
+//!   [`han_workload::fleet::FleetSpec`];
+//! * [`experiment`] — the shared harness the figure reproductions use;
+//! * [`neighborhood`] — many homes on one feeder
+//!   ([`neighborhood::Neighborhood`]), run one-home-per-worker with a
+//!   feeder-level [`neighborhood::NeighborhoodReport`].
 //!
 //! # Examples
 //!
-//! Eight simultaneous 1 kW requests: uncoordinated stacks 8 kW, the
-//! coordinated plane halves the peak without losing energy:
+//! The paper scenario, coordinated vs. uncoordinated:
 //!
 //! ```
 //! use han_core::cp::CpModel;
@@ -33,8 +36,9 @@
 //!     duration: SimDuration::from_mins(60),
 //!     ..Scenario::paper(ArrivalRate::High, 7)
 //! };
-//! let c = compare(&scenario, CpModel::Ideal);
+//! let c = compare(&scenario, CpModel::Ideal)?;
 //! assert!(c.coordinated.summary.peak <= c.uncoordinated.summary.peak);
+//! # Ok::<(), han_workload::fleet::ScenarioError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -43,6 +47,7 @@
 pub mod algorithm;
 pub mod cp;
 pub mod experiment;
+pub mod neighborhood;
 pub mod schedule;
 pub mod simulation;
 pub mod state;
@@ -52,6 +57,7 @@ pub use algorithm::{
     Plan, PlanConfig, SchedulingRule,
 };
 pub use cp::{CommunicationPlane, CpModel, CpStats};
+pub use neighborhood::{Home, HomeResult, Neighborhood, NeighborhoodReport};
 pub use schedule::Schedule;
 pub use simulation::{HanSimulation, SimulationConfig, SimulationOutcome, Strategy};
 pub use state::SystemView;

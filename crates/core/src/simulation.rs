@@ -22,14 +22,12 @@ use crate::algorithm::{
 use crate::cp::{CommunicationPlane, CpModel, CpStats};
 use crate::schedule::Schedule;
 use han_device::appliance::DeviceId;
-use han_device::duty_cycle::DutyCycleConstraints;
 use han_device::interface::DeviceInterface;
-use han_device::power::Watts;
 use han_device::request::Request;
 use han_device::status::StatusRecord;
-use han_device::Appliance;
 use han_metrics::timeseries::LoadTrace;
 use han_sim::time::{SimDuration, SimTime};
+use han_workload::fleet::{FleetSpec, ScenarioError};
 use std::collections::{HashMap, HashSet};
 
 /// Scheduling strategy under test.
@@ -62,12 +60,9 @@ impl Strategy {
 /// Full simulation configuration.
 #[derive(Debug, Clone)]
 pub struct SimulationConfig {
-    /// Number of Type-2 devices.
-    pub device_count: usize,
-    /// Rated power per device, kW.
-    pub device_power_kw: f64,
-    /// Duty-cycle constraints for every device.
-    pub constraints: DutyCycleConstraints,
+    /// The device fleet under management (count, rated powers and
+    /// duty-cycle constraints all come from here).
+    pub fleet: FleetSpec,
     /// Total simulated duration.
     pub duration: SimDuration,
     /// Communication-plane round period (paper: 2 s).
@@ -85,9 +80,7 @@ impl SimulationConfig {
     /// the fast configuration used by most experiments.
     pub fn paper(strategy: Strategy, seed: u64) -> Self {
         SimulationConfig {
-            device_count: 26,
-            device_power_kw: 1.0,
-            constraints: DutyCycleConstraints::paper(),
+            fleet: FleetSpec::paper(),
             duration: SimDuration::from_mins(350),
             round_period: SimDuration::from_secs(2),
             strategy,
@@ -100,24 +93,45 @@ impl SimulationConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.device_count == 0 {
-            return Err("need at least one device".into());
-        }
-        if self.device_power_kw < 0.0 || !self.device_power_kw.is_finite() {
-            return Err("device power must be finite and non-negative".into());
-        }
+    /// [`ScenarioError`] for the first violated constraint.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        // The fleet is valid by construction (`FleetSpec::new` is the only
+        // way to build one), so only the cross-field checks remain.
         if self.round_period.is_zero() {
-            return Err("round period must be positive".into());
+            return Err(ScenarioError::ZeroRoundPeriod);
         }
         if self.duration < self.round_period {
-            return Err("duration must cover at least one round".into());
+            return Err(ScenarioError::DurationTooShort {
+                duration: self.duration,
+                round_period: self.round_period,
+            });
         }
         if let Strategy::Centralized { controller, .. } = &self.strategy {
-            if controller.index() >= self.device_count {
-                return Err(format!("controller {controller} out of range"));
+            if controller.index() >= self.fleet.device_count() {
+                return Err(ScenarioError::ControllerOutOfRange {
+                    controller: *controller,
+                    device_count: self.fleet.device_count(),
+                });
             }
+        }
+        match &self.cp {
+            CpModel::Packet { topology, .. } => {
+                if topology.len() < self.fleet.device_count() {
+                    return Err(ScenarioError::TopologyTooSmall {
+                        nodes: topology.len(),
+                        device_count: self.fleet.device_count(),
+                    });
+                }
+            }
+            CpModel::LossyRound { miss_probability }
+            | CpModel::LossyRecord { miss_probability } => {
+                if !(0.0..=1.0).contains(miss_probability) {
+                    return Err(ScenarioError::InvalidProbability {
+                        probability: *miss_probability,
+                    });
+                }
+            }
+            CpModel::Ideal => {}
         }
         Ok(())
     }
@@ -170,7 +184,6 @@ impl SimulationOutcome {
 pub struct HanSimulation {
     config: SimulationConfig,
     requests: Vec<Request>,
-    appliances: Option<Vec<Appliance>>,
     background: Option<LoadTrace>,
     reference_planning: bool,
 }
@@ -206,26 +219,29 @@ fn fold_digest(digest: u64, schedule_hash: u64) -> u64 {
 impl HanSimulation {
     /// Creates a simulation over a request trace.
     ///
-    /// Requests are sorted by arrival; requests addressed to devices outside
-    /// `0..device_count` are rejected.
+    /// Requests are sorted by arrival; requests addressed to devices
+    /// outside the fleet are rejected.
     ///
     /// # Errors
     ///
-    /// Returns a message describing the first invalid configuration item or
+    /// [`ScenarioError`] for the first invalid configuration item or
     /// request.
-    pub fn new(config: SimulationConfig, requests: Vec<Request>) -> Result<Self, String> {
+    pub fn new(config: SimulationConfig, requests: Vec<Request>) -> Result<Self, ScenarioError> {
         config.validate()?;
+        let device_count = config.fleet.device_count();
         let mut requests = requests;
         for r in &requests {
-            if r.device.index() >= config.device_count {
-                return Err(format!("request targets unknown device {}", r.device));
+            if r.device.index() >= device_count {
+                return Err(ScenarioError::UnknownDevice {
+                    device: r.device,
+                    device_count,
+                });
             }
         }
         requests.sort_by_key(|r| (r.arrival, r.device));
         Ok(HanSimulation {
             config,
             requests,
-            appliances: None,
             background: None,
             reference_planning: false,
         })
@@ -254,61 +270,19 @@ impl HanSimulation {
         self
     }
 
-    /// Creates a simulation over an explicit, possibly heterogeneous,
-    /// appliance fleet (different rated powers per device). The
-    /// `device_count` and `device_power_kw` of the config are overridden by
-    /// the fleet.
-    ///
-    /// # Errors
-    ///
-    /// Returns a message if the fleet is empty, ids are not `0..n` in
-    /// order, or a request targets an unknown device.
-    pub fn with_appliances(
-        mut config: SimulationConfig,
-        appliances: Vec<Appliance>,
-        requests: Vec<Request>,
-    ) -> Result<Self, String> {
-        if appliances.is_empty() {
-            return Err("appliance fleet must not be empty".into());
-        }
-        for (i, a) in appliances.iter().enumerate() {
-            if a.id().index() != i {
-                return Err(format!(
-                    "appliance ids must be contiguous from 0; found {} at index {i}",
-                    a.id()
-                ));
-            }
-        }
-        config.device_count = appliances.len();
-        let mut sim = HanSimulation::new(config, requests)?;
-        sim.appliances = Some(appliances);
-        Ok(sim)
-    }
-
     /// Runs the simulation to completion.
     pub fn run(self) -> SimulationOutcome {
         let cfg = &self.config;
-        let n = cfg.device_count;
-        let power = Watts::from_kw(cfg.device_power_kw);
+        let n = cfg.fleet.device_count();
 
-        let mut dis: Vec<DeviceInterface> = match &self.appliances {
-            Some(fleet) => fleet
-                .iter()
-                .map(|a| DeviceInterface::new(a.clone(), cfg.constraints))
-                .collect(),
-            None => (0..n)
-                .map(|i| {
-                    DeviceInterface::new(
-                        Appliance::with_power(
-                            DeviceId(i as u32),
-                            han_device::ApplianceKind::AirConditioner,
-                            power,
-                        ),
-                        cfg.constraints,
-                    )
-                })
-                .collect(),
-        };
+        // Per-spec construction: each device carries its class's rated
+        // power and duty-cycle constraints (the planner and wire format
+        // are heterogeneity-aware end to end).
+        let mut dis: Vec<DeviceInterface> = cfg
+            .fleet
+            .specs()
+            .map(|spec| DeviceInterface::new(spec.appliance(), spec.constraints))
+            .collect();
 
         let mut cp = CommunicationPlane::new(cfg.cp.clone(), n, cfg.seed);
         let mut trace = LoadTrace::new();
@@ -567,13 +541,12 @@ impl HanSimulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use han_device::duty_cycle::DutyCycleConstraints;
     use han_workload::burst;
 
     fn small_config(strategy: Strategy, cp: CpModel) -> SimulationConfig {
         SimulationConfig {
-            device_count: 10,
-            device_power_kw: 1.0,
-            constraints: DutyCycleConstraints::paper(),
+            fleet: FleetSpec::uniform(10, 1.0, DutyCycleConstraints::paper()).expect("valid fleet"),
             duration: SimDuration::from_mins(40),
             round_period: SimDuration::from_secs(2),
             strategy,
@@ -694,12 +667,18 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         let mut cfg = small_config(Strategy::coordinated(), CpModel::Ideal);
-        cfg.device_count = 0;
-        assert!(HanSimulation::new(cfg, vec![]).is_err());
+        cfg.duration = SimDuration::from_micros(1);
+        assert!(matches!(
+            HanSimulation::new(cfg, vec![]),
+            Err(ScenarioError::DurationTooShort { .. })
+        ));
 
         let mut cfg = small_config(Strategy::coordinated(), CpModel::Ideal);
-        cfg.duration = SimDuration::from_micros(1);
-        assert!(HanSimulation::new(cfg, vec![]).is_err());
+        cfg.round_period = SimDuration::ZERO;
+        assert!(matches!(
+            HanSimulation::new(cfg, vec![]),
+            Err(ScenarioError::ZeroRoundPeriod)
+        ));
 
         let cfg = small_config(
             Strategy::Centralized {
@@ -709,11 +688,41 @@ mod tests {
             },
             CpModel::Ideal,
         );
-        assert!(HanSimulation::new(cfg, vec![]).is_err());
+        assert!(matches!(
+            HanSimulation::new(cfg, vec![]),
+            Err(ScenarioError::ControllerOutOfRange { .. })
+        ));
 
         let cfg = small_config(Strategy::coordinated(), CpModel::Ideal);
         let bad = vec![Request::new(DeviceId(42), SimTime::ZERO)];
-        assert!(HanSimulation::new(cfg, bad).is_err());
+        assert!(matches!(
+            HanSimulation::new(cfg, bad),
+            Err(ScenarioError::UnknownDevice { .. })
+        ));
+
+        // A packet topology smaller than the fleet is a typed error, not
+        // the communication plane's assert.
+        let mut cfg = small_config(Strategy::coordinated(), CpModel::paper_packet(0));
+        cfg.fleet = FleetSpec::uniform(30, 1.0, DutyCycleConstraints::paper()).unwrap();
+        assert!(matches!(
+            HanSimulation::new(cfg, vec![]),
+            Err(ScenarioError::TopologyTooSmall {
+                nodes: 26,
+                device_count: 30
+            })
+        ));
+
+        // Same for an out-of-range loss probability.
+        let cfg = small_config(
+            Strategy::coordinated(),
+            CpModel::LossyRound {
+                miss_probability: 1.5,
+            },
+        );
+        assert!(matches!(
+            HanSimulation::new(cfg, vec![]),
+            Err(ScenarioError::InvalidProbability { .. })
+        ));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use han_device::appliance::DeviceId;
 use han_device::duty_cycle::DutyCycleConstraints;
 use han_device::request::Request;
 use han_sim::time::{SimDuration, SimTime};
+use han_workload::fleet::FleetSpec;
 use proptest::prelude::*;
 
 fn run(
@@ -23,9 +24,8 @@ fn run(
     reference: bool,
 ) -> SimulationOutcome {
     let config = SimulationConfig {
-        device_count: devices,
-        device_power_kw: 1.0,
-        constraints: DutyCycleConstraints::paper(),
+        fleet: FleetSpec::uniform(devices, 1.0, DutyCycleConstraints::paper())
+            .expect("valid fleet"),
         duration: SimDuration::from_mins(45),
         round_period: SimDuration::from_secs(2),
         strategy: Strategy::coordinated(),

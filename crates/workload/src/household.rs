@@ -64,6 +64,20 @@ impl DailyProfile {
     pub fn mean_rate(&self) -> f64 {
         self.hourly_rate.iter().sum::<f64>() / 24.0
     }
+
+    /// The mean rate over `[0, duration)` (wrapping daily) — the honest
+    /// expectation for experiments shorter than a full day, where the
+    /// whole-day mean can be off by the peak-to-trough ratio.
+    pub fn mean_rate_over(&self, duration: SimDuration) -> f64 {
+        let hours = duration.as_hours_f64();
+        if hours == 0.0 {
+            return 0.0;
+        }
+        let full = hours.floor() as u64;
+        let mut rate_hours: f64 = (0..full).map(|h| self.hourly_rate[(h % 24) as usize]).sum();
+        rate_hours += (hours - full as f64) * self.hourly_rate[(full % 24) as usize];
+        rate_hours / hours
+    }
 }
 
 /// Generates requests over `duration` following `profile`, spread uniformly
@@ -152,6 +166,19 @@ mod tests {
         let a = generate_household(&p, 5, SimDuration::from_hours(48), 1);
         let b = generate_household(&p, 5, SimDuration::from_hours(48), 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_rate_over_window() {
+        let p = DailyProfile::typical_household();
+        // First six hours: five at 0.5/h (night) plus one at 2.0/h.
+        assert!((p.mean_rate_over(SimDuration::from_hours(6)) - 0.75).abs() < 1e-12);
+        // A full day matches the whole-day mean; so does any multiple.
+        assert!((p.mean_rate_over(SimDuration::from_hours(24)) - p.mean_rate()).abs() < 1e-12);
+        assert!((p.mean_rate_over(SimDuration::from_hours(48)) - p.mean_rate()).abs() < 1e-12);
+        // Fractional hours weight the partial slot: 4.5 h of night.
+        assert!((p.mean_rate_over(SimDuration::from_mins(270)) - 0.5).abs() < 1e-12);
+        assert_eq!(p.mean_rate_over(SimDuration::ZERO), 0.0);
     }
 
     #[test]

@@ -1,13 +1,17 @@
-//! # han-workload — request workloads for the HAN experiments
+//! # han-workload — fleets and request workloads for the HAN experiments
 //!
+//! * [`fleet`] — what runs: [`fleet::DeviceClass`] (one group of identical
+//!   appliances) composed into a validated, possibly heterogeneous
+//!   [`fleet::FleetSpec`], with the typed [`fleet::ScenarioError`];
 //! * [`arrivals`] — homogeneous Poisson arrivals
 //!   ([`arrivals::PoissonArrivals`], the paper's "randomly arriving"
 //!   requests), trace replay and synchronized bursts;
-//! * [`scenario`] — the paper's exact evaluation setups
-//!   ([`scenario::Scenario::paper`]: 26 × 1 kW devices, 15/30 min
-//!   constraints, 350 min, rates 4 / 18 / 30 per hour);
-//! * [`household`] — inhomogeneous (time-of-day) workloads for the richer
-//!   examples.
+//! * [`household`] — inhomogeneous (time-of-day) arrival profiles;
+//! * [`scenario`] — fleet + workload + duration + seed, composed through
+//!   the validating [`scenario::ScenarioBuilder`]; the paper's exact
+//!   evaluation setup ([`scenario::Scenario::paper`]: 26 × 1 kW devices,
+//!   15/30 min constraints, 350 min, rates 4 / 18 / 30 per hour) and the
+//!   time-of-day [`scenario::Scenario::typical_day`] are one-line presets.
 //!
 //! # Examples
 //!
@@ -19,14 +23,38 @@
 //! assert!(!requests.is_empty());
 //! assert!((scenario.expected_average_load_kw() - 7.5).abs() < 1e-9);
 //! ```
+//!
+//! A heterogeneous fleet on a time-of-day workload:
+//!
+//! ```
+//! use han_device::duty_cycle::DutyCycleConstraints;
+//! use han_device::ApplianceKind;
+//! use han_sim::time::SimDuration;
+//! use han_workload::fleet::DeviceClass;
+//! use han_workload::household::DailyProfile;
+//! use han_workload::scenario::Scenario;
+//!
+//! let scenario = Scenario::builder("household")
+//!     .class(DeviceClass::new("ac", ApplianceKind::AirConditioner, 1.5,
+//!                             DutyCycleConstraints::paper(), 2))
+//!     .class(DeviceClass::new("geyser", ApplianceKind::WaterHeater, 2.0,
+//!                             DutyCycleConstraints::paper(), 1))
+//!     .daily(DailyProfile::typical_household())
+//!     .duration(SimDuration::from_hours(24))
+//!     .build()?;
+//! assert_eq!(scenario.device_count(), 3);
+//! # Ok::<(), han_workload::fleet::ScenarioError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod fleet;
 pub mod household;
 pub mod scenario;
 
 pub use arrivals::{burst, PoissonArrivals, TraceArrivals};
+pub use fleet::{DeviceClass, DeviceSpec, FleetSpec, ScenarioError};
 pub use household::{generate_household, DailyProfile};
-pub use scenario::{ArrivalRate, Scenario};
+pub use scenario::{ArrivalRate, Scenario, ScenarioBuilder, Workload};

@@ -1,11 +1,16 @@
-//! The paper's evaluation scenarios.
+//! Evaluation scenarios: a fleet, a workload, a duration, a seed.
 //!
-//! Section III fixes: 26 devices of 1 kW each, minDCD = 15 min,
-//! maxDCP = 30 min, experiments of 350 minutes, and three aggregate request
-//! rates — high (30/h), moderate (18/h) and low (4/h).
+//! The paper's Section III fixes one shape — 26 identical 1 kW devices,
+//! minDCD = 15 min, maxDCP = 30 min, 350-minute experiments at three
+//! aggregate request rates (30/h, 18/h, 4/h) — available as the one-line
+//! preset [`Scenario::paper`]. Everything else composes through
+//! [`ScenarioBuilder`]: heterogeneous fleets via
+//! [`FleetSpec`](crate::fleet::FleetSpec) and time-varying workloads via
+//! [`Workload`].
 
-use crate::arrivals::PoissonArrivals;
-use han_device::duty_cycle::DutyCycleConstraints;
+use crate::arrivals::{PoissonArrivals, TraceArrivals};
+use crate::fleet::{DeviceClass, FleetSpec, ScenarioError};
+use crate::household::{generate_household, DailyProfile};
 use han_device::request::Request;
 use han_sim::time::SimDuration;
 use std::fmt;
@@ -47,19 +52,82 @@ impl fmt::Display for ArrivalRate {
     }
 }
 
-/// A complete experiment scenario.
+/// The request source driving a scenario.
+///
+/// Unifies the constant-rate Poisson process of the paper's evaluation,
+/// the inhomogeneous time-of-day process from [`crate::household`], and
+/// fixed replay traces under one generator interface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// Homogeneous Poisson arrivals at a constant aggregate rate.
+    Poisson {
+        /// Aggregate request rate, per hour.
+        rate_per_hour: f64,
+    },
+    /// Inhomogeneous Poisson arrivals following a 24-hour rate profile
+    /// (morning/evening household peaks), via thinning.
+    Daily(DailyProfile),
+    /// A fixed request trace, replayed as-is (the seed is ignored).
+    Trace(TraceArrivals),
+}
+
+impl Workload {
+    /// Generates the request trace over `duration` across `device_count`
+    /// devices, deterministically in `seed`.
+    pub fn generate(&self, device_count: usize, duration: SimDuration, seed: u64) -> Vec<Request> {
+        match self {
+            Workload::Poisson { rate_per_hour } => {
+                PoissonArrivals::new(*rate_per_hour, device_count).generate(duration, seed)
+            }
+            Workload::Daily(profile) => generate_household(profile, device_count, duration, seed),
+            Workload::Trace(trace) => trace.requests().to_vec(),
+        }
+    }
+
+    /// Mean aggregate arrival rate, requests per hour, over `[0, duration)`
+    /// (daily profiles integrate only the simulated window; traces average
+    /// their request count over it).
+    pub fn mean_rate_per_hour(&self, duration: SimDuration) -> f64 {
+        match self {
+            Workload::Poisson { rate_per_hour } => *rate_per_hour,
+            Workload::Daily(profile) => profile.mean_rate_over(duration),
+            Workload::Trace(trace) => {
+                let hours = duration.as_hours_f64();
+                if hours == 0.0 {
+                    0.0
+                } else {
+                    trace.requests().len() as f64 / hours
+                }
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), ScenarioError> {
+        if let Workload::Poisson { rate_per_hour } = self {
+            if !rate_per_hour.is_finite() || *rate_per_hour < 0.0 {
+                return Err(ScenarioError::InvalidRate {
+                    rate_per_hour: *rate_per_hour,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A complete experiment scenario: fleet + workload + duration + seed.
+///
+/// Build one with [`Scenario::builder`], or use the presets
+/// [`Scenario::paper`] and [`Scenario::typical_day`]. Fields are public so
+/// sweeps can derive variants with struct-update syntax
+/// (`Scenario { seed, ..template.clone() }`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Descriptive name used in reports.
     pub name: String,
-    /// Number of Type-2 devices (paper: 26).
-    pub device_count: usize,
-    /// Rated power per device, kW (paper: 1.0).
-    pub device_power_kw: f64,
-    /// Duty-cycle constraints (paper: 15/30 min).
-    pub constraints: DutyCycleConstraints,
-    /// Aggregate request rate, per hour.
-    pub rate_per_hour: f64,
+    /// The device fleet under management.
+    pub fleet: FleetSpec,
+    /// The request source.
+    pub workload: Workload,
     /// Experiment duration (paper: 350 min).
     pub duration: SimDuration,
     /// Workload RNG seed.
@@ -67,37 +135,192 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// The paper's scenario at a given arrival-rate regime.
+    /// Starts building a scenario.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use han_workload::fleet::DeviceClass;
+    /// use han_workload::scenario::Scenario;
+    /// use han_device::duty_cycle::DutyCycleConstraints;
+    /// use han_device::ApplianceKind;
+    /// use han_sim::time::SimDuration;
+    ///
+    /// let scenario = Scenario::builder("two-class home")
+    ///     .class(DeviceClass::new("ac", ApplianceKind::AirConditioner, 1.5,
+    ///                             DutyCycleConstraints::paper(), 2))
+    ///     .class(DeviceClass::new("heater", ApplianceKind::WaterHeater, 2.0,
+    ///                             DutyCycleConstraints::paper(), 1))
+    ///     .poisson(12.0)
+    ///     .duration(SimDuration::from_mins(120))
+    ///     .seed(7)
+    ///     .build()?;
+    /// assert_eq!(scenario.device_count(), 3);
+    /// assert!(!scenario.requests().is_empty());
+    /// # Ok::<(), han_workload::fleet::ScenarioError>(())
+    /// ```
+    pub fn builder(name: impl Into<String>) -> ScenarioBuilder {
+        ScenarioBuilder {
+            name: name.into(),
+            classes: Vec::new(),
+            fleet: None,
+            workload: None,
+            duration: SimDuration::from_mins(350),
+            seed: 0,
+        }
+    }
+
+    /// The paper's scenario at a given arrival-rate regime: 26 × 1 kW
+    /// devices, 15/30 min constraints, 350 minutes.
     pub fn paper(rate: ArrivalRate, seed: u64) -> Self {
         Scenario {
             name: format!("paper {rate}"),
-            device_count: 26,
-            device_power_kw: 1.0,
-            constraints: DutyCycleConstraints::paper(),
-            rate_per_hour: rate.per_hour(),
+            fleet: FleetSpec::paper(),
+            workload: Workload::Poisson {
+                rate_per_hour: rate.per_hour(),
+            },
             duration: SimDuration::from_mins(350),
             seed,
         }
     }
 
+    /// A 24-hour day on the paper's fleet driven by the
+    /// [`DailyProfile::typical_household`] time-of-day profile — quiet
+    /// nights, a morning spike and a strong evening peak.
+    pub fn typical_day(seed: u64) -> Self {
+        Scenario {
+            name: "typical day".into(),
+            fleet: FleetSpec::paper(),
+            workload: Workload::Daily(DailyProfile::typical_household()),
+            duration: SimDuration::from_hours(24),
+            seed,
+        }
+    }
+
+    /// Number of devices in the fleet.
+    pub fn device_count(&self) -> usize {
+        self.fleet.device_count()
+    }
+
     /// Generates this scenario's request trace.
     pub fn requests(&self) -> Vec<Request> {
-        PoissonArrivals::new(self.rate_per_hour, self.device_count)
-            .generate(self.duration, self.seed)
+        self.workload
+            .generate(self.fleet.device_count(), self.duration, self.seed)
     }
 
     /// Expected average load implied by the workload, in kW: every request
-    /// obliges one minDCD instance of one device.
+    /// obliges one minDCD instance of one uniformly random device.
     pub fn expected_average_load_kw(&self) -> f64 {
-        let energy_per_request_kwh =
-            self.device_power_kw * self.constraints.min_dcd().as_hours_f64();
-        self.rate_per_hour * energy_per_request_kwh
+        self.workload.mean_rate_per_hour(self.duration) * self.fleet.mean_energy_per_request_kwh()
+    }
+
+    /// Validates the scenario's own fields (workload and duration; the
+    /// fleet is valid by construction — [`FleetSpec::new`] is the only way
+    /// to build one).
+    ///
+    /// Scenarios from [`Scenario::builder`] are already validated; this
+    /// re-checks after direct field edits.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError`] for the first violated constraint.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        self.workload.validate()?;
+        if self.duration.is_zero() {
+            return Err(ScenarioError::ZeroDuration);
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`Scenario`].
+///
+/// Collect device classes with [`class`](ScenarioBuilder::class) (or set a
+/// whole [`fleet`](ScenarioBuilder::fleet)), pick a workload, then
+/// [`build`](ScenarioBuilder::build). All validation reports a typed
+/// [`ScenarioError`] — nothing panics on bad input.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    name: String,
+    classes: Vec<DeviceClass>,
+    fleet: Option<FleetSpec>,
+    workload: Option<Workload>,
+    duration: SimDuration,
+    seed: u64,
+}
+
+impl ScenarioBuilder {
+    /// Appends a device class to the fleet (ids continue contiguously).
+    pub fn class(mut self, class: DeviceClass) -> Self {
+        self.classes.push(class);
+        self
+    }
+
+    /// Uses an already-assembled fleet; classes added with
+    /// [`class`](ScenarioBuilder::class) are appended after it.
+    pub fn fleet(mut self, fleet: FleetSpec) -> Self {
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Selects constant-rate Poisson arrivals.
+    pub fn poisson(self, rate_per_hour: f64) -> Self {
+        self.workload(Workload::Poisson { rate_per_hour })
+    }
+
+    /// Selects inhomogeneous time-of-day arrivals.
+    pub fn daily(self, profile: DailyProfile) -> Self {
+        self.workload(Workload::Daily(profile))
+    }
+
+    /// Selects any workload source.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Sets the experiment duration (default: the paper's 350 minutes).
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the workload RNG seed (default: 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and assembles the scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError`] if the fleet is empty or invalid, no workload was
+    /// selected, a rate is invalid, or the duration is zero.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        let mut classes = match self.fleet {
+            Some(fleet) => fleet.classes().to_vec(),
+            None => Vec::new(),
+        };
+        classes.extend(self.classes);
+        let scenario = Scenario {
+            name: self.name,
+            fleet: FleetSpec::new(classes)?,
+            workload: self.workload.ok_or(ScenarioError::MissingWorkload)?,
+            duration: self.duration,
+            seed: self.seed,
+        };
+        scenario.validate()?;
+        Ok(scenario)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use han_device::appliance::{ApplianceKind, DeviceId};
+    use han_device::duty_cycle::DutyCycleConstraints;
+    use han_sim::time::SimTime;
 
     #[test]
     fn rates_match_paper() {
@@ -110,11 +333,19 @@ mod tests {
     #[test]
     fn paper_scenario_parameters() {
         let s = Scenario::paper(ArrivalRate::High, 1);
-        assert_eq!(s.device_count, 26);
-        assert_eq!(s.device_power_kw, 1.0);
+        assert_eq!(s.device_count(), 26);
         assert_eq!(s.duration, SimDuration::from_mins(350));
-        assert_eq!(s.constraints.min_dcd(), SimDuration::from_mins(15));
-        assert_eq!(s.constraints.max_dcp(), SimDuration::from_mins(30));
+        for spec in s.fleet.specs() {
+            assert_eq!(spec.power.as_kw(), 1.0);
+            assert_eq!(spec.constraints.min_dcd(), SimDuration::from_mins(15));
+            assert_eq!(spec.constraints.max_dcp(), SimDuration::from_mins(30));
+        }
+        assert_eq!(
+            s.workload,
+            Workload::Poisson {
+                rate_per_hour: 30.0
+            }
+        );
     }
 
     #[test]
@@ -139,6 +370,132 @@ mod tests {
             reqs.len()
         );
         assert!(reqs.iter().all(|r| r.device.index() < 26));
+    }
+
+    #[test]
+    fn paper_requests_identical_to_raw_poisson() {
+        // The preset must stay byte-identical to the pre-fleet API's
+        // direct PoissonArrivals path (same seed stream, same assignment).
+        let s = Scenario::paper(ArrivalRate::Moderate, 9);
+        let direct = PoissonArrivals::new(18.0, 26).generate(s.duration, 9);
+        assert_eq!(s.requests(), direct);
+    }
+
+    #[test]
+    fn typical_day_preset_wires_daily_profile() {
+        let s = Scenario::typical_day(3);
+        assert_eq!(s.duration, SimDuration::from_hours(24));
+        assert!(matches!(s.workload, Workload::Daily(_)));
+        let reqs = s.requests();
+        assert!(!reqs.is_empty());
+        // Evening-heavy: more requests in 18–22 h than 0–5 h.
+        let evening = reqs
+            .iter()
+            .filter(|r| (18..22).contains(&(r.arrival.as_secs() / 3600)))
+            .count();
+        let night = reqs
+            .iter()
+            .filter(|r| (r.arrival.as_secs() / 3600) < 5)
+            .count();
+        assert!(evening > night, "evening {evening} vs night {night}");
+        // Identical to the raw household generator.
+        assert_eq!(
+            reqs,
+            generate_household(
+                &DailyProfile::typical_household(),
+                26,
+                SimDuration::from_hours(24),
+                3
+            )
+        );
+    }
+
+    #[test]
+    fn builder_composes_heterogeneous_scenarios() {
+        let s = Scenario::builder("mixed")
+            .class(DeviceClass::new(
+                "ac",
+                ApplianceKind::AirConditioner,
+                1.5,
+                DutyCycleConstraints::paper(),
+                2,
+            ))
+            .class(DeviceClass::new(
+                "fridge",
+                ApplianceKind::Fridge,
+                0.15,
+                DutyCycleConstraints::paper(),
+                1,
+            ))
+            .poisson(10.0)
+            .duration(SimDuration::from_mins(60))
+            .seed(5)
+            .build()
+            .unwrap();
+        assert_eq!(s.device_count(), 3);
+        assert_eq!(s.seed, 5);
+        assert!(s.requests().iter().all(|r| r.device.index() < 3));
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_fleet_plus_classes_appends() {
+        let s = Scenario::builder("extended paper")
+            .fleet(FleetSpec::paper())
+            .class(DeviceClass::new(
+                "heater",
+                ApplianceKind::WaterHeater,
+                2.0,
+                DutyCycleConstraints::paper(),
+                2,
+            ))
+            .poisson(4.0)
+            .build()
+            .unwrap();
+        assert_eq!(s.device_count(), 28);
+    }
+
+    #[test]
+    fn builder_rejects_bad_inputs() {
+        let err = Scenario::builder("no fleet").poisson(4.0).build();
+        assert_eq!(err, Err(ScenarioError::EmptyFleet));
+
+        let err = Scenario::builder("no workload")
+            .class(DeviceClass::paper(2))
+            .build();
+        assert_eq!(err, Err(ScenarioError::MissingWorkload));
+
+        let err = Scenario::builder("bad rate")
+            .class(DeviceClass::paper(2))
+            .poisson(-3.0)
+            .build();
+        assert!(matches!(err, Err(ScenarioError::InvalidRate { .. })));
+
+        let err = Scenario::builder("zero duration")
+            .class(DeviceClass::paper(2))
+            .poisson(4.0)
+            .duration(SimDuration::ZERO)
+            .build();
+        assert_eq!(err, Err(ScenarioError::ZeroDuration));
+    }
+
+    #[test]
+    fn trace_workload_replays_fixed_requests() {
+        let trace = TraceArrivals::new(vec![
+            Request::new(DeviceId(1), SimTime::from_mins(10)),
+            Request::new(DeviceId(0), SimTime::from_mins(5)),
+        ]);
+        let s = Scenario::builder("replay")
+            .class(DeviceClass::paper(2))
+            .workload(Workload::Trace(trace))
+            .duration(SimDuration::from_mins(30))
+            .build()
+            .unwrap();
+        let reqs = s.requests();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].device, DeviceId(0));
+        // Mean rate of a trace: 2 requests over 0.5 h = 4/h.
+        assert!((s.workload.mean_rate_per_hour(s.duration) - 4.0).abs() < 1e-12);
     }
 
     #[test]

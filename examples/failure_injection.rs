@@ -21,9 +21,7 @@ fn run(strategy: Strategy, loss: f64) -> SimulationOutcome {
     let duration = SimDuration::from_mins(DURATION_MINS);
     let requests = PoissonArrivals::new(30.0, 26).generate(duration, 11);
     let config = SimulationConfig {
-        device_count: 26,
-        device_power_kw: 1.0,
-        constraints: DutyCycleConstraints::paper(),
+        fleet: FleetSpec::paper(),
         duration,
         round_period: SimDuration::from_secs(2),
         strategy,

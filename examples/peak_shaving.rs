@@ -9,14 +9,14 @@
 use smart_han::core::experiment::{compare_seeds, mean_metric, Comparison};
 use smart_han::prelude::*;
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     let seeds = 0..5u64;
     println!("paper scenario: 26 devices x 1 kW, minDCD 15 min, maxDCP 30 min, 350 min");
     println!("averaged over {} seeds\n", seeds.clone().count());
 
     for rate in ArrivalRate::all() {
         let template = Scenario::paper(rate, 0);
-        let comparisons = compare_seeds(&template, &CpModel::Ideal, seeds.clone());
+        let comparisons = compare_seeds(&template, &CpModel::Ideal, seeds.clone())?;
 
         let mean_unco_peak = mean_metric(&comparisons, |c| c.uncoordinated.summary.peak);
         let mean_coord_peak = mean_metric(&comparisons, |c| c.coordinated.summary.peak);
@@ -55,4 +55,5 @@ fn main() {
             "best single run: peak reduction {best_peak:.0}%, std-dev reduction {best_std:.0}%\n"
         );
     }
+    Ok(())
 }

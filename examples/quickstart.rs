@@ -10,16 +10,15 @@
 use smart_han::prelude::*;
 use smart_han::workload::burst;
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     // Six 1 kW Type-2 devices, paper constraints (15 min of every 30 min),
     // all requested at once at t = 2 min.
     let requests = burst(SimTime::from_mins(2), 6);
     let duration = SimDuration::from_mins(45);
 
     let config = |strategy| SimulationConfig {
-        device_count: 6,
-        device_power_kw: 1.0,
-        constraints: DutyCycleConstraints::paper(),
+        fleet: FleetSpec::uniform(6, 1.0, DutyCycleConstraints::paper())
+            .expect("valid uniform fleet"),
         duration,
         round_period: SimDuration::from_secs(2),
         strategy,
@@ -27,12 +26,8 @@ fn main() {
         seed: 1,
     };
 
-    let unco = HanSimulation::new(config(Strategy::Uncoordinated), requests.clone())
-        .expect("valid config")
-        .run();
-    let coord = HanSimulation::new(config(Strategy::coordinated()), requests)
-        .expect("valid config")
-        .run();
+    let unco = HanSimulation::new(config(Strategy::Uncoordinated), requests.clone())?.run();
+    let coord = HanSimulation::new(config(Strategy::coordinated()), requests)?.run();
 
     let end = SimTime::ZERO + duration;
     let minute = SimDuration::from_mins(1);
@@ -70,4 +65,5 @@ fn main() {
         coord.windows_served + coord.deadline_misses,
         coord.deadline_misses
     );
+    Ok(())
 }

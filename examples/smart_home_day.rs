@@ -12,40 +12,70 @@
 use smart_han::device::thermal::ThermalModel;
 use smart_han::metrics::tariff::{demand_charge, TimeOfUseTariff};
 use smart_han::prelude::*;
-use smart_han::workload::{generate_household, DailyProfile};
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     // A household fleet: two ACs, water heater, room heater, fridge and a
-    // water cooler — six schedulable devices of very different sizes.
-    let fleet = vec![
-        Appliance::with_power(
-            DeviceId(0),
+    // water cooler — six schedulable devices of very different sizes —
+    // composed through the validating scenario builder, driven by the
+    // time-of-day household profile.
+    let paper = DutyCycleConstraints::paper;
+    let scenario = Scenario::builder("24-hour household")
+        .class(DeviceClass::new(
+            "bedroom ac",
             ApplianceKind::AirConditioner,
-            Watts::from_kw(1.5),
-        ),
-        Appliance::with_power(
-            DeviceId(1),
+            1.5,
+            paper(),
+            1,
+        ))
+        .class(DeviceClass::new(
+            "living ac",
             ApplianceKind::AirConditioner,
-            Watts::from_kw(1.0),
-        ),
-        Appliance::with_power(DeviceId(2), ApplianceKind::WaterHeater, Watts::from_kw(2.0)),
-        Appliance::with_power(DeviceId(3), ApplianceKind::RoomHeater, Watts::from_kw(1.8)),
-        Appliance::with_power(DeviceId(4), ApplianceKind::Fridge, Watts::from_kw(0.15)),
-        Appliance::with_power(DeviceId(5), ApplianceKind::WaterCooler, Watts::from_kw(0.5)),
-    ];
+            1.0,
+            paper(),
+            1,
+        ))
+        .class(DeviceClass::new(
+            "geyser",
+            ApplianceKind::WaterHeater,
+            2.0,
+            paper(),
+            1,
+        ))
+        .class(DeviceClass::new(
+            "room heater",
+            ApplianceKind::RoomHeater,
+            1.8,
+            paper(),
+            1,
+        ))
+        .class(DeviceClass::new(
+            "fridge",
+            ApplianceKind::Fridge,
+            0.15,
+            paper(),
+            1,
+        ))
+        .class(DeviceClass::new(
+            "cooler",
+            ApplianceKind::WaterCooler,
+            0.5,
+            paper(),
+            1,
+        ))
+        .daily(DailyProfile::typical_household())
+        .duration(SimDuration::from_hours(24))
+        .seed(7)
+        .build()?;
 
-    let profile = DailyProfile::typical_household();
-    let duration = SimDuration::from_hours(24);
-    let requests = generate_household(&profile, fleet.len(), duration, 7);
+    let duration = scenario.duration;
+    let requests = scenario.requests();
     println!(
         "generated {} requests over 24 h (evening-heavy profile)",
         requests.len()
     );
 
     let config = |strategy| SimulationConfig {
-        device_count: fleet.len(),
-        device_power_kw: 1.0, // overridden by the fleet
-        constraints: DutyCycleConstraints::paper(),
+        fleet: scenario.fleet.clone(),
         duration,
         round_period: SimDuration::from_secs(2),
         strategy,
@@ -67,17 +97,10 @@ fn main() {
         ),
     ]);
 
-    let mut unco_sim = HanSimulation::with_appliances(
-        config(Strategy::Uncoordinated),
-        fleet.clone(),
-        requests.clone(),
-    )
-    .expect("valid config");
+    let mut unco_sim = HanSimulation::new(config(Strategy::Uncoordinated), requests.clone())?;
     unco_sim.set_background(background.clone());
     let unco = unco_sim.run();
-    let mut coord_sim =
-        HanSimulation::with_appliances(config(Strategy::coordinated()), fleet, requests)
-            .expect("valid config");
+    let mut coord_sim = HanSimulation::new(config(Strategy::coordinated()), requests)?;
     coord_sim.set_background(background);
     let coord = coord_sim.run();
 
@@ -143,4 +166,5 @@ billing (ToU energy + {demand_rate}/kW demand charge): {cost_unco:.2} -> {cost_c
         worst_c,
         room.required_duty_fraction(27.0) * 100.0
     );
+    Ok(())
 }

@@ -19,9 +19,7 @@ fn main() {
     );
 
     let config = SimulationConfig {
-        device_count: 26,
-        device_power_kw: 1.0,
-        constraints: DutyCycleConstraints::paper(),
+        fleet: FleetSpec::paper(),
         duration,
         round_period: SimDuration::from_secs(2),
         strategy: Strategy::coordinated(),

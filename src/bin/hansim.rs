@@ -6,6 +6,9 @@
 //! ```text
 //! Usage: hansim [OPTIONS]
 //!   --rate <low|moderate|high|N>   aggregate request rate (default: high)
+//!   --workload <poisson|daily>     arrival process (default: poisson;
+//!                                  daily = time-of-day household profile,
+//!                                  ignores --rate)
 //!   --strategy <coordinated|uncoordinated|centralized|compare>
 //!                                  scheduling strategy (default: compare)
 //!   --cp <ideal|lossy:P|packet>    communication plane (default: ideal)
@@ -22,6 +25,7 @@ use std::process::ExitCode;
 
 struct Args {
     rate: f64,
+    workload: String,
     strategy: String,
     cp: CpModel,
     minutes: u64,
@@ -33,6 +37,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         rate: 30.0,
+        workload: "poisson".into(),
         strategy: "compare".into(),
         cp: CpModel::Ideal,
         minutes: 350,
@@ -54,6 +59,13 @@ fn parse_args() -> Result<Args, String> {
                         .parse()
                         .map_err(|_| format!("bad rate '{n}' (low|moderate|high|N)"))?,
                 };
+            }
+            "--workload" => {
+                let v = value("--workload")?;
+                match v.as_str() {
+                    "poisson" | "daily" => args.workload = v,
+                    other => return Err(format!("unknown workload '{other}' (poisson|daily)")),
+                }
             }
             "--strategy" => {
                 let v = value("--strategy")?;
@@ -117,7 +129,7 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!(
-                "usage: hansim [--rate low|moderate|high|N] \
+                "usage: hansim [--rate low|moderate|high|N] [--workload poisson|daily] \
                  [--strategy coordinated|uncoordinated|centralized|compare] \
                  [--cp ideal|lossy:P|packet] [--minutes N] [--devices N] \
                  [--seed N] [--csv]"
@@ -126,14 +138,24 @@ fn main() -> ExitCode {
         }
     };
 
-    let scenario = Scenario {
-        name: format!("cli {}/h", args.rate),
-        device_count: args.devices,
-        device_power_kw: 1.0,
-        constraints: DutyCycleConstraints::paper(),
-        rate_per_hour: args.rate,
-        duration: SimDuration::from_mins(args.minutes),
-        seed: args.seed,
+    let workload = match args.workload.as_str() {
+        "daily" => Workload::Daily(DailyProfile::typical_household()),
+        _ => Workload::Poisson {
+            rate_per_hour: args.rate,
+        },
+    };
+    let scenario = match Scenario::builder(format!("cli {}/h", args.rate))
+        .class(DeviceClass::paper(args.devices))
+        .workload(workload)
+        .duration(SimDuration::from_mins(args.minutes))
+        .seed(args.seed)
+        .build()
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     };
 
     let named: Vec<(&str, Strategy)> = if args.strategy == "compare" {
@@ -148,15 +170,16 @@ fn main() -> ExitCode {
         )]
     };
 
-    let results: Vec<_> = named
-        .iter()
-        .map(|(name, strategy)| {
-            (
-                *name,
-                run_strategy(&scenario, strategy.clone(), args.cp.clone()),
-            )
-        })
-        .collect();
+    let mut results: Vec<(&str, StrategyResult)> = Vec::new();
+    for (name, strategy) in &named {
+        match run_strategy(&scenario, strategy.clone(), args.cp.clone()) {
+            Ok(r) => results.push((*name, r)),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if args.csv {
         let minutes: Vec<f64> = (0..results[0].1.samples.len()).map(|m| m as f64).collect();
@@ -168,9 +191,13 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    let workload_desc = match args.workload.as_str() {
+        "daily" => "time-of-day household".to_string(),
+        _ => format!("{}/h", args.rate),
+    };
     println!(
-        "{} devices x 1 kW, {}/h requests, {} min, seed {} (sampled every {})",
-        args.devices, args.rate, args.minutes, args.seed, SAMPLE_INTERVAL
+        "{} devices x 1 kW, {workload_desc} requests, {} min, seed {} (sampled every {})",
+        args.devices, args.minutes, args.seed, SAMPLE_INTERVAL
     );
     for (name, r) in &results {
         println!(

@@ -36,8 +36,29 @@
 //!     duration: SimDuration::from_mins(60), // keep the doctest quick
 //!     ..Scenario::paper(ArrivalRate::High, 42)
 //! };
-//! let c = compare(&scenario, CpModel::Ideal);
+//! let c = compare(&scenario, CpModel::Ideal)?;
 //! assert!(c.coordinated.summary.peak <= c.uncoordinated.summary.peak);
+//! # Ok::<(), smart_han::workload::fleet::ScenarioError>(())
+//! ```
+//!
+//! Or build a heterogeneous multi-home neighborhood and read the
+//! feeder-level report:
+//!
+//! ```
+//! use smart_han::prelude::*;
+//!
+//! let home = Scenario::builder("mixed home")
+//!     .class(DeviceClass::new("ac", ApplianceKind::AirConditioner, 1.5,
+//!                             DutyCycleConstraints::paper(), 2))
+//!     .class(DeviceClass::new("geyser", ApplianceKind::WaterHeater, 2.0,
+//!                             DutyCycleConstraints::paper(), 1))
+//!     .poisson(8.0)
+//!     .duration(SimDuration::from_mins(60)) // keep the doctest quick
+//!     .build()?;
+//! let hood = Neighborhood::uniform("street", &home, CpModel::Ideal, 3)?;
+//! let report = hood.run()?;
+//! assert!(report.coincidence_factor_coordinated() <= 1.0);
+//! # Ok::<(), smart_han::workload::fleet::ScenarioError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -53,19 +74,27 @@ pub use han_st as st;
 pub use han_workload as workload;
 
 /// The most commonly used types, importable in one line.
+///
+/// Note: `DeviceClass` here is the fleet-spec class from
+/// [`han_workload::fleet`] (name, kind, rated power, constraints, count);
+/// the paper's Type-1/Type-2 appliance classification enum remains at
+/// [`device::DeviceClass`](han_device::appliance::DeviceClass).
 pub mod prelude {
     pub use han_core::cp::CpModel;
     pub use han_core::experiment::{compare, run_strategy, Comparison, StrategyResult};
+    pub use han_core::neighborhood::{Home, HomeResult, Neighborhood, NeighborhoodReport};
     pub use han_core::{
         HanSimulation, PlanConfig, SchedulingRule, SimulationConfig, SimulationOutcome, Strategy,
     };
     pub use han_device::{
-        Appliance, ApplianceKind, DeviceClass, DeviceId, DeviceInterface, DutyCycleConstraints,
-        Request, Watts,
+        Appliance, ApplianceKind, DeviceId, DeviceInterface, DutyCycleConstraints, Request, Watts,
     };
     pub use han_metrics::{ComparisonReport, ComparisonRow, LoadTrace, Summary};
     pub use han_net::{NodeId, Topology};
     pub use han_sim::{DetRng, SimDuration, SimTime};
     pub use han_st::StConfig;
-    pub use han_workload::{ArrivalRate, PoissonArrivals, Scenario};
+    pub use han_workload::{
+        ArrivalRate, DailyProfile, DeviceClass, FleetSpec, PoissonArrivals, Scenario,
+        ScenarioBuilder, ScenarioError, Workload,
+    };
 }

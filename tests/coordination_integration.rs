@@ -10,7 +10,8 @@ fn paper_shape_holds_across_rates_and_seeds() {
     // Fig. 2(b)/(c) shape: coordination never worsens the peak, cuts the
     // variation at moderate/high rates, and leaves the average intact.
     for rate in ArrivalRate::all() {
-        let comparisons = compare_seeds(&Scenario::paper(rate, 0), &CpModel::Ideal, 0..3);
+        let comparisons =
+            compare_seeds(&Scenario::paper(rate, 0), &CpModel::Ideal, 0..3).expect("valid");
         for c in &comparisons {
             assert!(
                 c.coordinated.summary.peak <= c.uncoordinated.summary.peak + 1e-9,
@@ -49,7 +50,8 @@ fn energy_is_conserved_between_strategies() {
         let c = compare(
             &Scenario::paper(ArrivalRate::Moderate, seed),
             CpModel::Ideal,
-        );
+        )
+        .expect("valid");
         let gap = (c.coordinated.outcome.energy_kwh - c.uncoordinated.outcome.energy_kwh).abs();
         // Tail effects: instances deferred near the end of the run may be
         // truncated; allow a small fraction of one instance.
@@ -69,9 +71,7 @@ fn synchronized_burst_halves_the_peak_exactly() {
     for k in [2usize, 3, 5, 8] {
         let duration = SimDuration::from_mins(60);
         let config = |strategy| SimulationConfig {
-            device_count: 2 * k,
-            device_power_kw: 1.0,
-            constraints: DutyCycleConstraints::paper(),
+            fleet: FleetSpec::uniform(2 * k, 1.0, DutyCycleConstraints::paper()).unwrap(),
             duration,
             round_period: SimDuration::from_secs(2),
             strategy,
@@ -96,8 +96,8 @@ fn synchronized_burst_halves_the_peak_exactly() {
 #[test]
 fn deterministic_across_identical_runs() {
     let scenario = Scenario::paper(ArrivalRate::High, 9);
-    let a = compare(&scenario, CpModel::Ideal);
-    let b = compare(&scenario, CpModel::Ideal);
+    let a = compare(&scenario, CpModel::Ideal).expect("valid");
+    let b = compare(&scenario, CpModel::Ideal).expect("valid");
     assert_eq!(a.coordinated.samples, b.coordinated.samples);
     assert_eq!(a.uncoordinated.samples, b.uncoordinated.samples);
 }
@@ -105,7 +105,7 @@ fn deterministic_across_identical_runs() {
 #[test]
 fn schedules_agree_on_every_round_under_ideal_cp() {
     let scenario = Scenario::paper(ArrivalRate::High, 4);
-    let c = compare(&scenario, CpModel::Ideal);
+    let c = compare(&scenario, CpModel::Ideal).expect("valid");
     assert_eq!(
         c.coordinated.outcome.divergent_rounds, 0,
         "identical views must yield identical schedules"
@@ -118,9 +118,7 @@ fn centralized_matches_coordinated_when_healthy() {
     let duration = SimDuration::from_mins(120);
     let requests = PoissonArrivals::new(18.0, 26).generate(duration, 2);
     let config = |strategy| SimulationConfig {
-        device_count: 26,
-        device_power_kw: 1.0,
-        constraints: DutyCycleConstraints::paper(),
+        fleet: FleetSpec::paper(),
         duration,
         round_period: SimDuration::from_secs(2),
         strategy,
@@ -150,9 +148,7 @@ fn controller_crash_breaks_centralized_but_not_decentralized() {
     let duration = SimDuration::from_mins(150);
     let requests = PoissonArrivals::new(30.0, 26).generate(duration, 7);
     let config = |strategy| SimulationConfig {
-        device_count: 26,
-        device_power_kw: 1.0,
-        constraints: DutyCycleConstraints::paper(),
+        fleet: FleetSpec::paper(),
         duration,
         round_period: SimDuration::from_secs(2),
         strategy,
@@ -182,34 +178,23 @@ fn controller_crash_breaks_centralized_but_not_decentralized() {
 #[test]
 fn heterogeneous_fleet_respects_power_weighting() {
     let duration = SimDuration::from_mins(90);
-    let fleet = vec![
-        Appliance::with_power(DeviceId(0), ApplianceKind::WaterHeater, Watts::from_kw(3.0)),
-        Appliance::with_power(
-            DeviceId(1),
-            ApplianceKind::AirConditioner,
-            Watts::from_kw(1.0),
-        ),
-        Appliance::with_power(
-            DeviceId(2),
-            ApplianceKind::AirConditioner,
-            Watts::from_kw(1.0),
-        ),
-        Appliance::with_power(DeviceId(3), ApplianceKind::Fridge, Watts::from_kw(0.2)),
-    ];
+    let paper = DutyCycleConstraints::paper;
+    let fleet = FleetSpec::new(vec![
+        DeviceClass::new("heater", ApplianceKind::WaterHeater, 3.0, paper(), 1),
+        DeviceClass::new("ac", ApplianceKind::AirConditioner, 1.0, paper(), 2),
+        DeviceClass::new("fridge", ApplianceKind::Fridge, 0.2, paper(), 1),
+    ])
+    .unwrap();
     let requests = burst(SimTime::from_mins(1), 4);
     let config = SimulationConfig {
-        device_count: 4,
-        device_power_kw: 1.0,
-        constraints: DutyCycleConstraints::paper(),
+        fleet,
         duration,
         round_period: SimDuration::from_secs(2),
         strategy: Strategy::coordinated(),
         cp: CpModel::Ideal,
         seed: 1,
     };
-    let outcome = HanSimulation::with_appliances(config, fleet, requests)
-        .unwrap()
-        .run();
+    let outcome = HanSimulation::new(config, requests).unwrap().run();
     let end = SimTime::ZERO + duration;
     let peak = outcome.trace.peak(SimTime::ZERO, end);
     // Total 5.2 kW of simultaneous demand; the water level is

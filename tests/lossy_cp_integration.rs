@@ -16,6 +16,7 @@ fn lossy_outcome(loss: f64, seed: u64) -> SimulationOutcome {
             miss_probability: loss,
         },
     )
+    .expect("valid scenario")
     .outcome
 }
 
@@ -61,6 +62,7 @@ fn per_record_loss_is_milder_than_round_loss() {
             miss_probability: 0.3,
         },
     )
+    .expect("valid scenario")
     .outcome;
     let round_loss = run_strategy(
         &scenario,
@@ -69,6 +71,7 @@ fn per_record_loss_is_milder_than_round_loss() {
             miss_probability: 0.3,
         },
     )
+    .expect("valid scenario")
     .outcome;
     assert!(
         record_loss.cp.delivery_rate() >= round_loss.cp.delivery_rate() - 0.05,
@@ -83,14 +86,15 @@ fn coordination_still_beats_baseline_under_loss() {
         duration: SimDuration::from_mins(350),
         ..Scenario::paper(ArrivalRate::High, 1)
     };
-    let unco = run_strategy(&scenario, Strategy::Uncoordinated, CpModel::Ideal);
+    let unco = run_strategy(&scenario, Strategy::Uncoordinated, CpModel::Ideal).expect("valid");
     let coord = run_strategy(
         &scenario,
         Strategy::coordinated(),
         CpModel::LossyRound {
             miss_probability: 0.3,
         },
-    );
+    )
+    .expect("valid");
     assert!(
         coord.summary.peak <= unco.summary.peak,
         "even a lossy CP should not lose to the baseline ({} vs {})",

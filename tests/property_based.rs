@@ -9,9 +9,7 @@ use smart_han::prelude::*;
 
 fn run(strategy: HanStrategy, requests: Vec<Request>, devices: usize) -> SimulationOutcome {
     let config = SimulationConfig {
-        device_count: devices,
-        device_power_kw: 1.0,
-        constraints: DutyCycleConstraints::paper(),
+        fleet: FleetSpec::uniform(devices, 1.0, DutyCycleConstraints::paper()).unwrap(),
         duration: SimDuration::from_mins(120),
         round_period: SimDuration::from_secs(2),
         strategy,

@@ -9,9 +9,7 @@ use smart_han::workload::burst;
 
 fn packet_config(strategy: Strategy, minutes: u64, channel_seed: u64) -> SimulationConfig {
     SimulationConfig {
-        device_count: 26,
-        device_power_kw: 1.0,
-        constraints: DutyCycleConstraints::paper(),
+        fleet: FleetSpec::paper(),
         duration: SimDuration::from_mins(minutes),
         round_period: SimDuration::from_secs(2),
         strategy,
@@ -108,9 +106,7 @@ fn desynchronized_network_degrades_gracefully() {
         ..StConfig::default()
     };
     let config = SimulationConfig {
-        device_count: 26,
-        device_power_kw: 1.0,
-        constraints: DutyCycleConstraints::paper(),
+        fleet: FleetSpec::paper(),
         duration: SimDuration::from_mins(15),
         round_period: SimDuration::from_secs(2),
         strategy: Strategy::coordinated(),
