@@ -53,6 +53,7 @@ use crate::state::SystemView;
 use han_device::appliance::DeviceId;
 use han_device::status::StatusRecord;
 use han_sim::time::{SimDuration, SimTime};
+use han_workload::signal::PowerCapProfile;
 
 /// How outstanding instances are scheduled inside their windows.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,6 +91,15 @@ pub struct PlanConfig {
     /// chase Poisson clumps on the maxDCP timescale — that refusal is the
     /// smoothing. The water level floor keeps bursts feasible regardless.
     pub level_slew_kw_per_hour: f64,
+    /// Optional grid-side admission cap (the per-home face of a
+    /// feeder-level signal). When set, the served level of the
+    /// [`SchedulingRule::LevelCappedQueue`] rule is clipped to the cap in
+    /// force at planning time, and the plan's validity horizon ends at the
+    /// next cap boundary. `None` (the default) and an
+    /// [unlimited](PowerCapProfile::unlimited) profile are bit-identical:
+    /// the level is untouched and no boundary exists. Forcing is
+    /// cap-oblivious, so obligations are met under any signal.
+    pub admission_cap: Option<PowerCapProfile>,
 }
 
 impl Default for PlanConfig {
@@ -100,6 +110,7 @@ impl Default for PlanConfig {
             laxity_guard: SimDuration::from_secs(2),
             smoothing_horizon: SimDuration::from_mins(30),
             level_slew_kw_per_hour: 12.0,
+            admission_cap: None,
         }
     }
 }
@@ -439,7 +450,20 @@ fn plan_level_capped(
         .map(|p| p.owed.as_micros() as f64 * p.power_kw)
         .sum();
     let horizon_us = config.smoothing_horizon.as_micros().max(1) as f64;
-    let level_kw = (work_kw_us / horizon_us).max(rate_kw).ceil() + headroom_kw;
+    let mut level_kw = (work_kw_us / horizon_us).max(rate_kw).ceil() + headroom_kw;
+    // Grid-side signal: the admission level never exceeds the cap in force.
+    // The cap is piecewise constant, so the plan computed here can only be
+    // reused until the next cap boundary — fold that into the validity
+    // horizon below. An unlimited profile clips nothing and has no
+    // boundary, keeping the uncapped behavior bit-identical.
+    let mut cap_boundary = SimTime::MAX;
+    if let Some(cap) = &config.admission_cap {
+        level_kw = level_kw.min(cap.cap_at(now));
+        if let Some(boundary) = cap.next_change_after(now) {
+            // Valid through the last instant *before* the boundary.
+            cap_boundary = SimTime::from_micros(boundary.as_micros().saturating_sub(1));
+        }
+    }
 
     // Safety sets first: running instances continue; endangered
     // obligations are forced regardless of the cap.
@@ -452,7 +476,7 @@ fn plan_level_capped(
     // plan without recomputing.
     let mut on_set: Vec<DeviceId> = Vec::new();
     let mut admitted_kw = 0.0;
-    let mut valid_until = SimTime::MAX;
+    let mut valid_until = cap_boundary;
     for p in pending {
         if p.on || p.laxity_micros(now) < guard {
             on_set.push(p.device);
@@ -948,6 +972,74 @@ mod tests {
         let from_planner = planner.plan_at_level(&v, t(3));
         let from_pure = plan_with_level(&v, t(3), &PlanConfig::default(), planner.level_kw());
         assert_eq!(from_planner, from_pure);
+    }
+
+    #[test]
+    fn admission_cap_limits_served_level() {
+        // Ten pending 15-of-30 obligations with far deadlines: the water
+        // level alone would admit 5; a 2 kW cap admits 2, and the rest
+        // queue at their latest feasible starts.
+        let cfg = PlanConfig {
+            admission_cap: Some(PowerCapProfile::constant(2.0).unwrap()),
+            ..PlanConfig::default()
+        };
+        let v = view_of((0..10).map(|i| rec(i, false, 15, 60, 0)), 10);
+        let p = plan_coordinated(&v, t(0), &cfg);
+        assert_eq!(p.schedule.on_count(), 2, "cap clips the admission level");
+        // All ten still have committed starts (queued at latest start).
+        assert_eq!(p.starts.len(), 10);
+    }
+
+    #[test]
+    fn unlimited_cap_is_bit_identical_to_none() {
+        let capped = PlanConfig {
+            admission_cap: Some(PowerCapProfile::unlimited()),
+            ..PlanConfig::default()
+        };
+        let v = view_of((0..8).map(|i| rec(i, false, 15, 40, i as u64)), 8);
+        for minute in [0, 5, 12] {
+            let a = plan_coordinated(&v, t(minute), &PlanConfig::default());
+            let b = plan_coordinated(&v, t(minute), &capped);
+            assert_eq!(a, b, "unlimited profile must be the identity signal");
+        }
+    }
+
+    #[test]
+    fn cap_never_blocks_forced_devices() {
+        // A zero cap admits nothing voluntarily, but a device at its last
+        // feasible instant is still forced ON: obligations beat signals.
+        let cfg = PlanConfig {
+            admission_cap: Some(PowerCapProfile::constant(0.0).unwrap()),
+            ..PlanConfig::default()
+        };
+        let v = view_of([rec(0, false, 15, 15, 0), rec(1, false, 15, 120, 0)], 2);
+        let p = plan_coordinated(&v, t(0), &cfg);
+        assert!(p.schedule.is_on(DeviceId(0)), "forced despite the cap");
+        assert!(!p.schedule.is_on(DeviceId(1)), "relaxed device respects it");
+    }
+
+    #[test]
+    fn cap_boundary_expires_the_plan_memo() {
+        // The cap rises at minute 10; the memoized plan from minute 0 must
+        // not be reused past the boundary even though the view and the
+        // level are unchanged.
+        let cap = PowerCapProfile::from_steps(vec![(t(0), 1.0), (t(10), 5.0)]).unwrap();
+        let mut planner = CoordinatedPlanner::new(PlanConfig {
+            level_slew_kw_per_hour: 0.0, // freeze the level: memo key constant
+            admission_cap: Some(cap),
+            ..PlanConfig::default()
+        });
+        let v = view_of((0..5).map(|i| rec(i, false, 15, 120, 0)), 5);
+        let before = planner.plan(&v, t(0));
+        assert_eq!(before.schedule.on_count(), 1, "1 kW cap admits one");
+        let still_before = planner.plan(&v, t(9));
+        assert_eq!(still_before.schedule.on_count(), 1);
+        let after = planner.plan(&v, t(10));
+        assert_eq!(
+            after.schedule.on_count(),
+            3,
+            "once the cap lifts, the water level (ceil 2.5) governs again"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::cp::CpModel;
 use crate::simulation::{HanSimulation, SimulationConfig, SimulationOutcome, Strategy};
 use han_metrics::stats::Summary;
+use han_metrics::tariff::{Billing, CostBreakdown};
 use han_sim::time::{SimDuration, SimTime};
 use han_workload::fleet::ScenarioError;
 use han_workload::scenario::Scenario;
@@ -79,6 +80,34 @@ impl Comparison {
             (self.coordinated.summary.mean - base).abs() / base * 100.0
         }
     }
+
+    /// Prices both strategies' exact load traces over the scenario window
+    /// under a billing scheme. Coordination attacks the demand-charge
+    /// component directly (it cuts the peak); energy charges move only as
+    /// far as load shifts across tariff boundaries.
+    pub fn costs(&self, billing: &Billing) -> CostComparison {
+        let end = SimTime::ZERO + self.scenario.duration;
+        CostComparison {
+            uncoordinated: billing.cost(&self.uncoordinated.outcome.trace, SimTime::ZERO, end),
+            coordinated: billing.cost(&self.coordinated.outcome.trace, SimTime::ZERO, end),
+        }
+    }
+}
+
+/// Priced uncoordinated-vs-coordinated comparison of one load shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostComparison {
+    /// Bill without coordination.
+    pub uncoordinated: CostBreakdown,
+    /// Bill with coordination.
+    pub coordinated: CostBreakdown,
+}
+
+impl CostComparison {
+    /// Total-bill saving achieved by coordination, percent.
+    pub fn savings_percent(&self) -> f64 {
+        han_metrics::stats::reduction_percent(self.uncoordinated.total(), self.coordinated.total())
+    }
 }
 
 /// Runs one strategy on a scenario and samples the result.
@@ -120,6 +149,17 @@ fn run_strategy_inner(
     reference_planning: bool,
 ) -> Result<StrategyResult, ScenarioError> {
     scenario.validate()?;
+    // Signal-aware planning hook: a scenario carrying a grid-side
+    // admission cap hands it to the coordinated planner (an explicitly
+    // configured cap on the strategy wins; the uncoordinated baseline and
+    // the centralized ablation ignore signals by design).
+    let strategy = match strategy {
+        Strategy::Coordinated(mut plan) if plan.admission_cap.is_none() => {
+            plan.admission_cap = scenario.power_cap.clone();
+            Strategy::Coordinated(plan)
+        }
+        other => other,
+    };
     let config = SimulationConfig {
         fleet: scenario.fleet.clone(),
         duration: scenario.duration,

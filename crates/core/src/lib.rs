@@ -19,7 +19,11 @@
 //! * [`experiment`] — the shared harness the figure reproductions use;
 //! * [`neighborhood`] — many homes on one feeder
 //!   ([`neighborhood::Neighborhood`]), run one-home-per-worker with a
-//!   feeder-level [`neighborhood::NeighborhoodReport`].
+//!   feeder-level [`neighborhood::NeighborhoodReport`];
+//! * [`feeder`] — inter-home coordination through a broadcast aggregate
+//!   signal ([`feeder::FeederSignal`]): Jacobi/Gauss-Seidel re-planning to
+//!   convergence, reported with baselines, costs and the per-iteration
+//!   [`feeder::ConvergenceTrace`].
 //!
 //! # Examples
 //!
@@ -47,6 +51,7 @@
 pub mod algorithm;
 pub mod cp;
 pub mod experiment;
+pub mod feeder;
 pub mod neighborhood;
 pub mod schedule;
 pub mod simulation;
@@ -57,6 +62,10 @@ pub use algorithm::{
     Plan, PlanConfig, SchedulingRule,
 };
 pub use cp::{CommunicationPlane, CpModel, CpStats};
+pub use feeder::{
+    ConvergenceCriterion, ConvergenceTrace, FeederPolicy, FeederReport, FeederSignal,
+    IterationPolicy, StopReason,
+};
 pub use neighborhood::{Home, HomeResult, Neighborhood, NeighborhoodReport};
 pub use schedule::Schedule;
 pub use simulation::{HanSimulation, SimulationConfig, SimulationOutcome, Strategy};

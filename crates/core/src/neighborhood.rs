@@ -38,8 +38,9 @@
 //! ```
 
 use crate::cp::CpModel;
-use crate::experiment::{collect_results, compare, Comparison};
+use crate::experiment::{collect_results, compare, Comparison, CostComparison, SAMPLE_INTERVAL};
 use han_metrics::stats::Summary;
+use han_metrics::tariff::Billing;
 use han_workload::fleet::ScenarioError;
 use han_workload::scenario::Scenario;
 use rayon::prelude::*;
@@ -125,6 +126,26 @@ impl Neighborhood {
     /// Total devices across all homes.
     pub fn device_count(&self) -> usize {
         self.homes.iter().map(|h| h.scenario.device_count()).sum()
+    }
+
+    /// Runs the neighborhood under a feeder coordination policy: homes
+    /// iteratively re-plan against the broadcast [`FeederSignal`] until
+    /// the aggregate converges (see [`crate::feeder`]). The returned
+    /// [`FeederReport`] carries the signal-coordinated end state, the
+    /// per-iteration [`ConvergenceTrace`](crate::feeder::ConvergenceTrace)
+    /// and both signal-free baselines.
+    ///
+    /// [`FeederSignal`]: crate::feeder::FeederSignal
+    /// [`FeederReport`]: crate::feeder::FeederReport
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError`] for an invalid policy or home scenario.
+    pub fn run_with(
+        &self,
+        policy: &crate::feeder::FeederPolicy,
+    ) -> Result<crate::feeder::FeederReport, ScenarioError> {
+        crate::feeder::coordinate(self, policy)
     }
 
     /// Runs every home (both strategies each, one home per worker — homes
@@ -273,6 +294,26 @@ impl NeighborhoodReport {
         }
     }
 
+    /// Prices the feeder-level aggregate (per-minute sample series) under
+    /// a billing scheme, both strategies — what the street as a whole pays
+    /// if it were billed at the feeder.
+    pub fn feeder_costs(&self, billing: &Billing) -> CostComparison {
+        CostComparison {
+            uncoordinated: billing
+                .cost_of_samples(SAMPLE_INTERVAL, &self.feeder_samples_uncoordinated),
+            coordinated: billing.cost_of_samples(SAMPLE_INTERVAL, &self.feeder_samples_coordinated),
+        }
+    }
+
+    /// Prices every home's exact load traces under a billing scheme,
+    /// `(home name, costs)` in home order.
+    pub fn home_costs(&self, billing: &Billing) -> Vec<(String, CostComparison)> {
+        self.homes
+            .iter()
+            .map(|h| (h.name.clone(), h.comparison.costs(billing)))
+            .collect()
+    }
+
     /// Mean of a per-home metric.
     pub fn mean_home_metric(&self, metric: impl Fn(&Comparison) -> f64) -> f64 {
         if self.homes.is_empty() {
@@ -342,6 +383,31 @@ mod tests {
         // (a regression probe, not a mathematical invariant: per-home peak
         // reduction does not imply feeder-sum peak reduction in general).
         assert!(report.feeder_coordinated.peak <= report.feeder_uncoordinated.peak + 1e-9);
+    }
+
+    #[test]
+    fn costs_are_wired_through() {
+        let hood = Neighborhood::uniform("street", &short_paper(4), CpModel::Ideal, 2).unwrap();
+        let report = hood.run().unwrap();
+        let billing = Billing::typical_residential();
+        let feeder = report.feeder_costs(&billing);
+        // Same energy delivered, lower peak: the coordinated bill never
+        // exceeds the uncoordinated one under a flat-window tariff run.
+        assert!(feeder.uncoordinated.total() > 0.0);
+        assert!(feeder.coordinated.demand_charge <= feeder.uncoordinated.demand_charge + 1e-9);
+        let homes = report.home_costs(&billing);
+        assert_eq!(homes.len(), 2);
+        // The feeder energy bill is (up to sampling) the sum of home bills.
+        let home_energy: f64 = homes.iter().map(|(_, c)| c.coordinated.energy_cost).sum();
+        assert!(
+            (feeder.coordinated.energy_cost - home_energy).abs()
+                / home_energy.max(f64::MIN_POSITIVE)
+                < 0.05,
+            "feeder {} vs homes {}",
+            feeder.coordinated.energy_cost,
+            home_energy
+        );
+        assert!(homes.iter().all(|(_, c)| c.savings_percent().is_finite()));
     }
 
     #[test]

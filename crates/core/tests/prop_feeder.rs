@@ -1,0 +1,140 @@
+//! Property tests of the feeder coordination subsystem.
+//!
+//! 1. **Signals never cost deadlines**: under any capacity signal —
+//!    including aggressively tight ones — feeder coordination must not
+//!    increase any home's deadline misses over the independent
+//!    (signal-free) coordinated run. The planner's laxity forcing is
+//!    cap-oblivious, so this holds by construction; the proptest guards
+//!    the construction.
+//! 2. **A generous signal is invisible**: a constant capacity cap at (or
+//!    above) the sum of every home's exact uncoordinated trace peak — a
+//!    bound no aggregate can reach, and in particular ≥ the uncoordinated
+//!    feeder peak — must reproduce `Neighborhood::run` **bit-identically**
+//!    per home: equal schedule digests, equal load series, convergence on
+//!    the very first pass. The residual headroom
+//!    `C − Σ_{j≠i} a_j(t)` then always exceeds home `i`'s total pending
+//!    power, so the capped admission loop makes exactly the decisions the
+//!    uncapped one makes.
+
+use han_core::cp::CpModel;
+use han_core::feeder::{FeederPolicy, FeederSignal, StopReason};
+use han_core::neighborhood::Neighborhood;
+use han_sim::time::{SimDuration, SimTime};
+use han_workload::scenario::Scenario;
+use han_workload::signal::PowerCapProfile;
+use proptest::prelude::*;
+
+/// A small random street: `homes` clones of the paper fleet trimmed to
+/// `devices` devices each, on independent seeds, at a shared Poisson rate.
+fn street(
+    homes: usize,
+    devices: usize,
+    rate_per_hour: f64,
+    minutes: u64,
+    seed: u64,
+) -> Neighborhood {
+    let template = Scenario::builder("prop home")
+        .class(han_workload::fleet::DeviceClass::paper(devices))
+        .poisson(rate_per_hour)
+        .duration(SimDuration::from_mins(minutes))
+        .seed(seed)
+        .build()
+        .expect("valid scenario");
+    Neighborhood::uniform("prop street", &template, CpModel::Ideal, homes).expect("non-empty")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn tight_signals_never_increase_deadline_misses(
+        homes in 2usize..4,
+        devices in 3usize..8,
+        rate in 4u32..24,
+        seed in 0u64..1000,
+        cap_fraction in 0.3f64..1.0,
+        gauss_seidel in any::<bool>(),
+    ) {
+        let hood = street(homes, devices, f64::from(rate), 60, seed);
+        let independent = hood.run().expect("valid street");
+        let cap = (independent.feeder_coordinated.peak * cap_fraction).max(0.1);
+        let signal = FeederSignal::Capacity(
+            PowerCapProfile::constant(cap).expect("valid cap"),
+        );
+        let policy = if gauss_seidel {
+            FeederPolicy::gauss_seidel(signal)
+        } else {
+            FeederPolicy::new(signal)
+        };
+        let report = hood.run_with(&policy).expect("valid policy");
+        for (with_signal, without) in report.homes.iter().zip(&independent.homes) {
+            prop_assert!(
+                with_signal.result.outcome.deadline_misses
+                    <= without.comparison.coordinated.outcome.deadline_misses,
+                "{}: {} misses under the signal vs {} independent",
+                with_signal.name,
+                with_signal.result.outcome.deadline_misses,
+                without.comparison.coordinated.outcome.deadline_misses,
+            );
+        }
+        // The iteration respects its budget whichever way it stopped.
+        prop_assert!(report.iterations() <= policy.convergence.max_iterations);
+    }
+
+    #[test]
+    fn generous_capacity_is_bit_identical_to_independent(
+        homes in 1usize..4,
+        devices in 3usize..8,
+        rate in 4u32..24,
+        seed in 0u64..1000,
+        gauss_seidel in any::<bool>(),
+    ) {
+        let hood = street(homes, devices, f64::from(rate), 60, seed);
+        let independent = hood.run().expect("valid street");
+        // Sum of exact per-home uncoordinated trace peaks: pointwise ≥ any
+        // aggregate any strategy can produce, hence ≥ the uncoordinated
+        // feeder peak.
+        let duration = SimTime::ZERO + SimDuration::from_mins(60);
+        let cap: f64 = independent
+            .homes
+            .iter()
+            .map(|h| {
+                h.comparison
+                    .uncoordinated
+                    .outcome
+                    .trace
+                    .peak(SimTime::ZERO, duration)
+            })
+            .sum::<f64>()
+            * (1.0 + 1e-9)
+            + 1e-6;
+        prop_assert!(cap >= independent.feeder_uncoordinated.peak);
+        let signal = FeederSignal::Capacity(
+            PowerCapProfile::constant(cap).expect("valid cap"),
+        );
+        let policy = if gauss_seidel {
+            FeederPolicy::gauss_seidel(signal)
+        } else {
+            FeederPolicy::new(signal)
+        };
+        let report = hood.run_with(&policy).expect("valid policy");
+        prop_assert_eq!(report.trace.stop, StopReason::Converged);
+        prop_assert_eq!(
+            report.iterations(), 1,
+            "the independent solution must be a fixed point of a generous signal"
+        );
+        for (with_signal, without) in report.homes.iter().zip(&independent.homes) {
+            prop_assert_eq!(
+                with_signal.result.outcome.schedule_digest,
+                without.comparison.coordinated.outcome.schedule_digest,
+                "{}: a never-binding cap must leave every round's schedule untouched",
+                &with_signal.name,
+            );
+            prop_assert_eq!(
+                &with_signal.result.samples,
+                &without.comparison.coordinated.samples,
+            );
+        }
+        prop_assert_eq!(&report.feeder_samples, &independent.feeder_samples_coordinated);
+    }
+}

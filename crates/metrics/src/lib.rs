@@ -42,5 +42,5 @@ pub mod timeseries;
 
 pub use report::{ComparisonReport, ComparisonRow};
 pub use stats::Summary;
-pub use tariff::{demand_charge, TimeOfUseTariff};
+pub use tariff::{demand_charge, Billing, CostBreakdown, TimeOfUseTariff};
 pub use timeseries::LoadTrace;

@@ -92,6 +92,97 @@ pub fn demand_charge(trace: &LoadTrace, start: SimTime, end: SimTime, rate_per_k
     trace.peak(start, end).max(0.0) * rate_per_kw
 }
 
+/// A complete residential billing scheme: time-of-use energy charges plus
+/// a peak-demand charge — the money view of a load shape, and the price
+/// component of a feeder coordination signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Billing {
+    /// Energy price schedule, per kWh by hour of day.
+    pub tariff: TimeOfUseTariff,
+    /// Billing-period demand charge, currency units per kW of peak.
+    pub demand_rate_per_kw: f64,
+}
+
+impl Billing {
+    /// Creates a billing scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand_rate_per_kw` is negative or non-finite.
+    pub fn new(tariff: TimeOfUseTariff, demand_rate_per_kw: f64) -> Self {
+        assert!(
+            demand_rate_per_kw.is_finite() && demand_rate_per_kw >= 0.0,
+            "demand rate must be finite and non-negative"
+        );
+        Billing {
+            tariff,
+            demand_rate_per_kw,
+        }
+    }
+
+    /// The typical residential scheme:
+    /// [`TimeOfUseTariff::typical_residential`] energy rates plus a
+    /// 10/kW demand charge.
+    pub fn typical_residential() -> Self {
+        Billing::new(TimeOfUseTariff::typical_residential(), 10.0)
+    }
+
+    /// Prices a load trace over `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn cost(&self, trace: &LoadTrace, start: SimTime, end: SimTime) -> CostBreakdown {
+        CostBreakdown {
+            energy_cost: self.tariff.energy_cost(trace, start, end),
+            demand_charge: demand_charge(trace, start, end, self.demand_rate_per_kw),
+        }
+    }
+
+    /// Prices a fixed-interval sample series starting at time zero — the
+    /// shape feeder-level aggregates come in, where no exact step trace
+    /// exists. The series is read the way this repository samples
+    /// (`0..=duration` **inclusive**): each sample holds for one interval
+    /// except the last, which marks the end instant and is billed no
+    /// energy (it still counts toward the demand peak). A series of
+    /// `N + 1` samples therefore prices exactly `N` intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn cost_of_samples(&self, interval: SimDuration, samples: &[f64]) -> CostBreakdown {
+        assert!(!interval.is_zero(), "sample interval must be positive");
+        let hours = interval.as_hours_f64();
+        let billed = samples.len().saturating_sub(1);
+        let mut energy_cost = 0.0;
+        for (k, &kw) in samples.iter().take(billed).enumerate() {
+            let at = SimTime::ZERO + interval * k as u64;
+            energy_cost += kw * hours * self.tariff.rate_at(at);
+        }
+        let peak = samples.iter().copied().fold(0.0f64, f64::max);
+        CostBreakdown {
+            energy_cost,
+            demand_charge: peak * self.demand_rate_per_kw,
+        }
+    }
+}
+
+/// The priced components of one load shape under a [`Billing`] scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Time-of-use energy charges, currency units.
+    pub energy_cost: f64,
+    /// Peak-demand charge, currency units.
+    pub demand_charge: f64,
+}
+
+impl CostBreakdown {
+    /// Energy plus demand charges.
+    pub fn total(&self) -> f64 {
+        self.energy_cost + self.demand_charge
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +244,43 @@ mod tests {
         trace.record(SimTime::from_hours(2), 1.0);
         let fee = demand_charge(&trace, SimTime::ZERO, SimTime::from_hours(3), 12.0);
         assert!((fee - 96.0).abs() < 1e-9, "fee {fee}");
+    }
+
+    #[test]
+    fn billing_combines_energy_and_demand() {
+        let billing = Billing::new(TimeOfUseTariff::flat(0.20), 12.0);
+        let trace = constant_trace(2.0);
+        let cost = billing.cost(&trace, SimTime::ZERO, SimTime::from_hours(5));
+        // 10 kWh at 0.20 = 2.0 energy; 2 kW peak × 12 = 24 demand.
+        assert!((cost.energy_cost - 2.0).abs() < 1e-9);
+        assert!((cost.demand_charge - 24.0).abs() < 1e-9);
+        assert!((cost.total() - 26.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_cost_matches_exact_on_aligned_steps() {
+        // A trace whose steps align with the sampling grid prices the same
+        // whether the exact trace or its inclusive 0..=end samples are
+        // billed (the endpoint sample is an instant, not an interval).
+        let billing = Billing::typical_residential();
+        let mut trace = LoadTrace::new();
+        trace.record(SimTime::ZERO, 1.0);
+        trace.record(SimTime::from_hours(2), 3.0);
+        trace.record(SimTime::from_hours(4), 0.0);
+        let exact = billing.cost(&trace, SimTime::ZERO, SimTime::from_hours(6));
+        let interval = SimDuration::from_mins(1);
+        let samples: Vec<f64> = (0..=6 * 60)
+            .map(|m| trace.value_at(SimTime::from_mins(m)))
+            .collect();
+        let sampled = billing.cost_of_samples(interval, &samples);
+        assert!((exact.energy_cost - sampled.energy_cost).abs() < 1e-9);
+        assert!((exact.demand_charge - sampled.demand_charge).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_billing_rate_rejected() {
+        Billing::new(TimeOfUseTariff::flat(0.1), -1.0);
     }
 
     #[test]

@@ -98,6 +98,18 @@ pub enum ScenarioError {
     },
     /// A neighborhood had no homes.
     EmptyNeighborhood,
+    /// A power-cap profile was structurally invalid (empty, unsorted, not
+    /// anchored at time zero, or containing a negative/NaN cap).
+    InvalidCapProfile {
+        /// What was wrong with the profile.
+        reason: &'static str,
+    },
+    /// A feeder convergence criterion was invalid (zero iteration budget,
+    /// or a negative/non-finite tolerance).
+    InvalidConvergence {
+        /// What was wrong with the criterion.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -173,6 +185,12 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::EmptyNeighborhood => {
                 write!(f, "neighborhood must contain at least one home")
+            }
+            ScenarioError::InvalidCapProfile { reason } => {
+                write!(f, "invalid power-cap profile: {reason}")
+            }
+            ScenarioError::InvalidConvergence { reason } => {
+                write!(f, "invalid convergence criterion: {reason}")
             }
         }
     }

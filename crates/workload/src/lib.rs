@@ -7,6 +7,9 @@
 //!   ([`arrivals::PoissonArrivals`], the paper's "randomly arriving"
 //!   requests), trace replay and synchronized bursts;
 //! * [`household`] — inhomogeneous (time-of-day) arrival profiles;
+//! * [`signal`] — grid-facing admission caps
+//!   ([`signal::PowerCapProfile`]): the per-home face of a feeder-level
+//!   coordination signal, consumed by the planner in `han-core`;
 //! * [`scenario`] — fleet + workload + duration + seed, composed through
 //!   the validating [`scenario::ScenarioBuilder`]; the paper's exact
 //!   evaluation setup ([`scenario::Scenario::paper`]: 26 × 1 kW devices,
@@ -53,8 +56,10 @@ pub mod arrivals;
 pub mod fleet;
 pub mod household;
 pub mod scenario;
+pub mod signal;
 
 pub use arrivals::{burst, PoissonArrivals, TraceArrivals};
 pub use fleet::{DeviceClass, DeviceSpec, FleetSpec, ScenarioError};
 pub use household::{generate_household, DailyProfile};
 pub use scenario::{ArrivalRate, Scenario, ScenarioBuilder, Workload};
+pub use signal::PowerCapProfile;

@@ -11,6 +11,7 @@
 use crate::arrivals::{PoissonArrivals, TraceArrivals};
 use crate::fleet::{DeviceClass, FleetSpec, ScenarioError};
 use crate::household::{generate_household, DailyProfile};
+use crate::signal::PowerCapProfile;
 use han_device::request::Request;
 use han_sim::time::SimDuration;
 use std::fmt;
@@ -132,6 +133,13 @@ pub struct Scenario {
     pub duration: SimDuration,
     /// Workload RNG seed.
     pub seed: u64,
+    /// Optional grid-imposed admission cap the home's coordinated planner
+    /// must respect (the per-home face of a feeder-level signal; see
+    /// [`crate::signal`]). `None` — the default everywhere — leaves the
+    /// planner exactly as the paper specifies it. The cap shapes admission
+    /// only: endangered obligations are still forced, so deadlines never
+    /// depend on the signal.
+    pub power_cap: Option<PowerCapProfile>,
 }
 
 impl Scenario {
@@ -167,6 +175,7 @@ impl Scenario {
             workload: None,
             duration: SimDuration::from_mins(350),
             seed: 0,
+            power_cap: None,
         }
     }
 
@@ -181,6 +190,7 @@ impl Scenario {
             },
             duration: SimDuration::from_mins(350),
             seed,
+            power_cap: None,
         }
     }
 
@@ -194,6 +204,7 @@ impl Scenario {
             workload: Workload::Daily(DailyProfile::typical_household()),
             duration: SimDuration::from_hours(24),
             seed,
+            power_cap: None,
         }
     }
 
@@ -247,6 +258,7 @@ pub struct ScenarioBuilder {
     workload: Option<Workload>,
     duration: SimDuration,
     seed: u64,
+    power_cap: Option<PowerCapProfile>,
 }
 
 impl ScenarioBuilder {
@@ -291,6 +303,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Imposes a grid-side admission cap on the home's coordinated planner
+    /// (default: none — the paper's unconstrained planner).
+    pub fn power_cap(mut self, cap: PowerCapProfile) -> Self {
+        self.power_cap = Some(cap);
+        self
+    }
+
     /// Validates and assembles the scenario.
     ///
     /// # Errors
@@ -309,6 +328,7 @@ impl ScenarioBuilder {
             workload: self.workload.ok_or(ScenarioError::MissingWorkload)?,
             duration: self.duration,
             seed: self.seed,
+            power_cap: self.power_cap,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -496,6 +516,23 @@ mod tests {
         assert_eq!(reqs[0].device, DeviceId(0));
         // Mean rate of a trace: 2 requests over 0.5 h = 4/h.
         assert!((s.workload.mean_rate_per_hour(s.duration) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_carries_power_cap() {
+        let s = Scenario::builder("capped")
+            .class(DeviceClass::paper(3))
+            .poisson(4.0)
+            .power_cap(PowerCapProfile::constant(2.0).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(
+            s.power_cap.as_ref().map(|c| c.cap_at(SimTime::ZERO)),
+            Some(2.0)
+        );
+        // Presets and the default builder stay uncapped.
+        assert_eq!(Scenario::paper(ArrivalRate::Low, 0).power_cap, None);
+        assert_eq!(Scenario::typical_day(0).power_cap, None);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! `hansim` — command-line scenario runner.
 //!
-//! Runs one HAN load-management experiment and prints a report (or the raw
-//! per-minute series as CSV).
+//! Runs one HAN load-management experiment — or a whole multi-home
+//! neighborhood, optionally under a feeder coordination signal — and
+//! prints a report (or the raw per-minute series as CSV).
 //!
 //! ```text
 //! Usage: hansim [OPTIONS]
@@ -10,18 +11,95 @@
 //!                                  daily = time-of-day household profile,
 //!                                  ignores --rate)
 //!   --strategy <coordinated|uncoordinated|centralized|compare>
-//!                                  scheduling strategy (default: compare)
+//!                                  scheduling strategy (default: compare;
+//!                                  neighborhood runs always compare)
 //!   --cp <ideal|lossy:P|packet>    communication plane (default: ideal)
 //!   --minutes <N>                  duration in minutes (default: 350)
 //!   --devices <N>                  number of 1 kW devices (default: 26)
+//!   --homes <N>                    homes on one feeder (default: 1 —
+//!                                  today's single-home behavior; >1 runs
+//!                                  the neighborhood layer, per-home seeds)
+//!   --feeder <cap:KW|tou|congestion[:U]>
+//!                                  broadcast a feeder coordination signal
+//!                                  and iterate homes to convergence
 //!   --seed <N>                     workload/channel seed (default: 0)
-//!   --csv                          print the per-minute series as CSV
+//!   --csv                          per-minute series as CSV (single home:
+//!                                  per-strategy loads; neighborhood: the
+//!                                  feeder aggregate per policy)
 //! ```
 
 use smart_han::core::experiment::{run_strategy, SAMPLE_INTERVAL};
+use smart_han::core::feeder::{FeederPolicy, FeederReport, FeederSignal};
 use smart_han::metrics::report::series_csv;
+use smart_han::metrics::tariff::{Billing, CostBreakdown};
 use smart_han::prelude::*;
+use smart_han::workload::signal::PowerCapProfile;
+use std::fmt;
 use std::process::ExitCode;
+
+/// Everything that can go wrong between `argv` and a finished run — the
+/// CLI's typed error (no `String` errors anywhere on the path).
+#[derive(Debug)]
+enum CliError {
+    /// `--help` was requested: print usage, exit non-zero without an
+    /// error line.
+    Usage,
+    /// A flag that needs a value was last on the command line.
+    MissingValue { flag: &'static str },
+    /// A flag value failed to parse.
+    Invalid {
+        flag: &'static str,
+        value: String,
+        expected: &'static str,
+    },
+    /// An unrecognized flag.
+    UnknownFlag { flag: String },
+    /// The composed scenario, neighborhood or policy was invalid.
+    Scenario(ScenarioError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage => write!(f, "usage requested"),
+            CliError::MissingValue { flag } => write!(f, "{flag} requires a value"),
+            CliError::Invalid {
+                flag,
+                value,
+                expected,
+            } => write!(f, "bad value '{value}' for {flag} (expected {expected})"),
+            CliError::UnknownFlag { flag } => write!(f, "unknown flag '{flag}'"),
+            CliError::Scenario(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<ScenarioError> for CliError {
+    fn from(e: ScenarioError) -> Self {
+        CliError::Scenario(e)
+    }
+}
+
+/// The communication-plane choice, kept symbolic until all flags are
+/// parsed: `packet` seeds its channel model from `--seed`, which may
+/// legally appear *after* `--cp` on the command line.
+enum CpChoice {
+    Ideal,
+    Lossy(f64),
+    Packet,
+}
+
+impl CpChoice {
+    fn build(&self, seed: u64) -> CpModel {
+        match self {
+            CpChoice::Ideal => CpModel::Ideal,
+            CpChoice::Lossy(p) => CpModel::LossyRound {
+                miss_probability: *p,
+            },
+            CpChoice::Packet => CpModel::paper_packet(seed),
+        }
+    }
+}
 
 struct Args {
     rate: f64,
@@ -30,11 +108,40 @@ struct Args {
     cp: CpModel,
     minutes: u64,
     devices: usize,
+    homes: usize,
+    feeder: Option<FeederSignal>,
     seed: u64,
     csv: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_feeder(value: &str) -> Result<FeederSignal, CliError> {
+    let invalid = |v: &str| CliError::Invalid {
+        flag: "--feeder",
+        value: v.to_string(),
+        expected: "cap:KW|tou|congestion[:U]",
+    };
+    if let Some(kw) = value.strip_prefix("cap:") {
+        let kw: f64 = kw.parse().map_err(|_| invalid(value))?;
+        let profile = PowerCapProfile::constant(kw).map_err(CliError::Scenario)?;
+        return Ok(FeederSignal::Capacity(profile));
+    }
+    match value {
+        "tou" => Ok(FeederSignal::time_of_use(
+            smart_han::metrics::TimeOfUseTariff::typical_residential(),
+        )),
+        "congestion" => Ok(FeederSignal::Congestion { utilization: 0.9 }),
+        other => {
+            if let Some(u) = other.strip_prefix("congestion:") {
+                let utilization: f64 = u.parse().map_err(|_| invalid(value))?;
+                Ok(FeederSignal::Congestion { utilization })
+            } else {
+                Err(invalid(value))
+            }
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, CliError> {
     let mut args = Args {
         rate: 30.0,
         workload: "poisson".into(),
@@ -42,12 +149,15 @@ fn parse_args() -> Result<Args, String> {
         cp: CpModel::Ideal,
         minutes: 350,
         devices: 26,
+        homes: 1,
+        feeder: None,
         seed: 0,
         csv: false,
     };
+    let mut cp_choice = CpChoice::Ideal;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        let mut value = |name: &'static str| it.next().ok_or(CliError::MissingValue { flag: name });
         match flag.as_str() {
             "--rate" => {
                 let v = value("--rate")?;
@@ -55,16 +165,24 @@ fn parse_args() -> Result<Args, String> {
                     "low" => 4.0,
                     "moderate" => 18.0,
                     "high" => 30.0,
-                    n => n
-                        .parse()
-                        .map_err(|_| format!("bad rate '{n}' (low|moderate|high|N)"))?,
+                    n => n.parse().map_err(|_| CliError::Invalid {
+                        flag: "--rate",
+                        value: n.to_string(),
+                        expected: "low|moderate|high|N",
+                    })?,
                 };
             }
             "--workload" => {
                 let v = value("--workload")?;
                 match v.as_str() {
                     "poisson" | "daily" => args.workload = v,
-                    other => return Err(format!("unknown workload '{other}' (poisson|daily)")),
+                    other => {
+                        return Err(CliError::Invalid {
+                            flag: "--workload",
+                            value: other.to_string(),
+                            expected: "poisson|daily",
+                        })
+                    }
                 }
             }
             "--strategy" => {
@@ -73,39 +191,62 @@ fn parse_args() -> Result<Args, String> {
                     "coordinated" | "uncoordinated" | "centralized" | "compare" => {
                         args.strategy = v;
                     }
-                    other => return Err(format!("unknown strategy '{other}'")),
+                    other => {
+                        return Err(CliError::Invalid {
+                            flag: "--strategy",
+                            value: other.to_string(),
+                            expected: "coordinated|uncoordinated|centralized|compare",
+                        })
+                    }
                 }
             }
             "--cp" => {
                 let v = value("--cp")?;
-                args.cp = if v == "ideal" {
-                    CpModel::Ideal
+                cp_choice = if v == "ideal" {
+                    CpChoice::Ideal
                 } else if v == "packet" {
-                    CpModel::paper_packet(args.seed)
+                    CpChoice::Packet
                 } else if let Some(p) = v.strip_prefix("lossy:") {
-                    let p: f64 = p.parse().map_err(|_| format!("bad loss '{p}'"))?;
-                    CpModel::LossyRound {
-                        miss_probability: p,
-                    }
+                    let p: f64 = p.parse().map_err(|_| CliError::Invalid {
+                        flag: "--cp",
+                        value: v.clone(),
+                        expected: "ideal|lossy:P|packet",
+                    })?;
+                    CpChoice::Lossy(p)
                 } else {
-                    return Err(format!("unknown cp model '{v}' (ideal|lossy:P|packet)"));
+                    return Err(CliError::Invalid {
+                        flag: "--cp",
+                        value: v,
+                        expected: "ideal|lossy:P|packet",
+                    });
                 };
             }
-            "--minutes" => {
-                args.minutes = value("--minutes")?.parse().map_err(|e| format!("{e}"))?
-            }
-            "--devices" => {
-                args.devices = value("--devices")?.parse().map_err(|e| format!("{e}"))?
-            }
-            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--minutes" => args.minutes = parse_num(&value("--minutes")?, "--minutes")?,
+            "--devices" => args.devices = parse_num(&value("--devices")?, "--devices")?,
+            "--homes" => args.homes = parse_num(&value("--homes")?, "--homes")?,
+            "--feeder" => args.feeder = Some(parse_feeder(&value("--feeder")?)?),
+            "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")?,
             "--csv" => args.csv = true,
-            "--help" | "-h" => {
-                return Err("usage".into());
+            "--help" | "-h" => return Err(CliError::Usage),
+            other => {
+                return Err(CliError::UnknownFlag {
+                    flag: other.to_string(),
+                })
             }
-            other => return Err(format!("unknown flag '{other}'")),
         }
     }
+    // Built last so the packet model's channel seed honors `--seed`
+    // regardless of flag order.
+    args.cp = cp_choice.build(args.seed);
     Ok(args)
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &'static str) -> Result<T, CliError> {
+    value.parse().map_err(|_| CliError::Invalid {
+        flag,
+        value: value.to_string(),
+        expected: "a number",
+    })
 }
 
 fn strategy_by_name(name: &str) -> Strategy {
@@ -121,43 +262,33 @@ fn strategy_by_name(name: &str) -> Strategy {
     }
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(msg) => {
-            if msg != "usage" {
-                eprintln!("error: {msg}\n");
-            }
-            eprintln!(
-                "usage: hansim [--rate low|moderate|high|N] [--workload poisson|daily] \
-                 [--strategy coordinated|uncoordinated|centralized|compare] \
-                 [--cp ideal|lossy:P|packet] [--minutes N] [--devices N] \
-                 [--seed N] [--csv]"
-            );
-            return ExitCode::FAILURE;
-        }
-    };
-
+fn build_scenario(args: &Args) -> Result<Scenario, ScenarioError> {
     let workload = match args.workload.as_str() {
         "daily" => Workload::Daily(DailyProfile::typical_household()),
         _ => Workload::Poisson {
             rate_per_hour: args.rate,
         },
     };
-    let scenario = match Scenario::builder(format!("cli {}/h", args.rate))
+    Scenario::builder(format!("cli {}/h", args.rate))
         .class(DeviceClass::paper(args.devices))
         .workload(workload)
         .duration(SimDuration::from_mins(args.minutes))
         .seed(args.seed)
         .build()
-    {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+}
 
+fn cost_line(cost: &CostBreakdown) -> String {
+    format!(
+        "energy {:.2} + demand {:.2} = {:.2}",
+        cost.energy_cost,
+        cost.demand_charge,
+        cost.total()
+    )
+}
+
+/// The original one-home path, byte-compatible with earlier releases
+/// apart from the new cost columns.
+fn run_single_home(args: &Args, scenario: &Scenario) -> Result<(), CliError> {
     let named: Vec<(&str, Strategy)> = if args.strategy == "compare" {
         vec![
             ("uncoordinated", Strategy::Uncoordinated),
@@ -172,13 +303,8 @@ fn main() -> ExitCode {
 
     let mut results: Vec<(&str, StrategyResult)> = Vec::new();
     for (name, strategy) in &named {
-        match run_strategy(&scenario, strategy.clone(), args.cp.clone()) {
-            Ok(r) => results.push((*name, r)),
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        let r = run_strategy(scenario, strategy.clone(), args.cp.clone())?;
+        results.push((*name, r));
     }
 
     if args.csv {
@@ -188,7 +314,7 @@ fn main() -> ExitCode {
             .map(|(name, r)| (*name, r.samples.as_slice()))
             .collect();
         print!("{}", series_csv("minute", &minutes, &series));
-        return ExitCode::SUCCESS;
+        return Ok(());
     }
 
     let workload_desc = match args.workload.as_str() {
@@ -199,6 +325,8 @@ fn main() -> ExitCode {
         "{} devices x 1 kW, {workload_desc} requests, {} min, seed {} (sampled every {})",
         args.devices, args.minutes, args.seed, SAMPLE_INTERVAL
     );
+    let billing = Billing::typical_residential();
+    let end = SimTime::ZERO + scenario.duration;
     for (name, r) in &results {
         println!(
             "\n[{name}] peak {:.2} kW | mean {:.2} ± {:.2} kW | misses {} | served {} | \
@@ -210,6 +338,8 @@ fn main() -> ExitCode {
             r.outcome.windows_served,
             r.outcome.divergent_rounds,
         );
+        let cost = billing.cost(&r.outcome.trace, SimTime::ZERO, end);
+        println!("         bill: {}", cost_line(&cost));
         if let Some(d) = &r.outcome.cp.dissemination {
             println!(
                 "         CP: reliability {:.2}%, radio duty cycle {:.1}%",
@@ -229,5 +359,156 @@ fn main() -> ExitCode {
         );
         println!("\ncoordination: peak −{peak_red:.0}%, variation −{std_red:.0}%");
     }
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+fn print_feeder_run(report: &FeederReport, billing: &Billing) {
+    println!(
+        "\nfeeder signal: {} ({:?} iteration)",
+        report.signal, report.iteration
+    );
+    for it in &report.trace.iterations {
+        println!(
+            "  iteration {}: feeder peak {:.2} kW, change {:.4} kW",
+            it.iteration, it.feeder_peak_kw, it.change_norm_kw
+        );
+    }
+    println!(
+        "  stopped: {:?} after {} iteration(s); committed iterate {} \
+         (0 = signal-free baseline)",
+        report.trace.stop,
+        report.iterations(),
+        report.selected_iteration,
+    );
+    println!(
+        "  feeder peak: {:.2} kW uncoordinated | {:.2} kW independent | {:.2} kW with signal \
+         ({:+.1}% vs independent)",
+        report.baseline.feeder_uncoordinated.peak,
+        report.baseline.feeder_coordinated.peak,
+        report.feeder.peak,
+        -report.feeder_peak_vs_independent_percent(),
+    );
+    println!(
+        "  deadline misses under signal: {}",
+        report.total_deadline_misses()
+    );
+    println!(
+        "  feeder bill with signal: {}",
+        cost_line(&report.feeder_cost(billing))
+    );
+}
+
+fn run_neighborhood(args: &Args, scenario: &Scenario) -> Result<(), CliError> {
+    if args.strategy != "compare" {
+        return Err(CliError::Invalid {
+            flag: "--strategy",
+            value: args.strategy.clone(),
+            expected: "compare (neighborhood runs always compare)",
+        });
+    }
+    let hood = Neighborhood::uniform(
+        format!("cli street x{}", args.homes),
+        scenario,
+        args.cp.clone(),
+        args.homes,
+    )?;
+    let report = hood.run()?;
+    let feeder_run = match &args.feeder {
+        Some(signal) => Some(hood.run_with(&FeederPolicy::new(signal.clone()))?),
+        None => None,
+    };
+
+    if args.csv {
+        let minutes: Vec<f64> = (0..report.feeder_samples_uncoordinated.len())
+            .map(|m| m as f64)
+            .collect();
+        let mut series: Vec<(&str, &[f64])> = vec![
+            ("uncoordinated", &report.feeder_samples_uncoordinated),
+            ("coordinated", &report.feeder_samples_coordinated),
+        ];
+        if let Some(run) = &feeder_run {
+            series.push(("with_signal", &run.feeder_samples));
+        }
+        print!("{}", series_csv("minute", &minutes, &series));
+        return Ok(());
+    }
+
+    println!(
+        "{}: {} homes x {} devices, {} min, seeds {}..{}",
+        hood.name,
+        args.homes,
+        args.devices,
+        args.minutes,
+        args.seed,
+        args.seed + args.homes as u64 - 1,
+    );
+    let billing = Billing::typical_residential();
+    println!(
+        "\n{:<18} {:>9} {:>9} {:>8} {:>10} {:>10}",
+        "home", "peak w/o", "peak w/", "misses", "bill w/o", "bill w/"
+    );
+    for (home, (_, costs)) in report.homes.iter().zip(report.home_costs(&billing)) {
+        let c = &home.comparison;
+        println!(
+            "{:<18} {:>9.2} {:>9.2} {:>8} {:>10.2} {:>10.2}",
+            home.name,
+            c.uncoordinated.summary.peak,
+            c.coordinated.summary.peak,
+            c.coordinated.outcome.deadline_misses,
+            costs.uncoordinated.total(),
+            costs.coordinated.total(),
+        );
+    }
+    let feeder_costs = report.feeder_costs(&billing);
+    println!(
+        "\nfeeder: peak {:.2} → {:.2} kW (−{:.1}%), coincidence {:.2} → {:.2}",
+        report.feeder_uncoordinated.peak,
+        report.feeder_coordinated.peak,
+        report.feeder_peak_reduction_percent(),
+        report.coincidence_factor_uncoordinated(),
+        report.coincidence_factor_coordinated(),
+    );
+    println!(
+        "feeder bill: {} → {}",
+        cost_line(&feeder_costs.uncoordinated),
+        cost_line(&feeder_costs.coordinated),
+    );
+
+    if let Some(run) = &feeder_run {
+        print_feeder_run(run, &billing);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let scenario = match build_scenario(&args) {
+        Ok(s) => s,
+        Err(e) => return fail(&CliError::Scenario(e)),
+    };
+    let outcome = if args.homes > 1 || args.feeder.is_some() {
+        run_neighborhood(&args, &scenario)
+    } else {
+        run_single_home(&args, &scenario)
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+fn fail(error: &CliError) -> ExitCode {
+    if !matches!(error, CliError::Usage) {
+        eprintln!("error: {error}\n");
+    }
+    eprintln!(
+        "usage: hansim [--rate low|moderate|high|N] [--workload poisson|daily] \
+         [--strategy coordinated|uncoordinated|centralized|compare] \
+         [--cp ideal|lossy:P|packet] [--minutes N] [--devices N] \
+         [--homes N] [--feeder cap:KW|tou|congestion[:U]] [--seed N] [--csv]"
+    );
+    ExitCode::FAILURE
 }

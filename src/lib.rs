@@ -60,6 +60,31 @@
 //! assert!(report.coincidence_factor_coordinated() <= 1.0);
 //! # Ok::<(), smart_han::workload::fleet::ScenarioError>(())
 //! ```
+//!
+//! And make the homes coordinate *with each other* through a feeder
+//! signal — here a capacity cap at 90% of the street's independently
+//! coordinated peak, iterated Gauss-Seidel to convergence:
+//!
+//! ```
+//! use smart_han::prelude::*;
+//!
+//! let template = Scenario {
+//!     duration: SimDuration::from_mins(60), // keep the doctest quick
+//!     ..Scenario::paper(ArrivalRate::High, 1)
+//! };
+//! let hood = Neighborhood::uniform("street", &template, CpModel::Ideal, 3)?;
+//! let independent_peak = hood.run()?.feeder_coordinated.peak;
+//!
+//! let cap = PowerCapProfile::constant(independent_peak * 0.9)?;
+//! let policy = FeederPolicy::gauss_seidel(FeederSignal::Capacity(cap));
+//! let report = hood.run_with(&policy)?;
+//!
+//! assert_eq!(report.total_deadline_misses(), 0);          // signals never cost deadlines
+//! assert!(report.feeder.peak <= independent_peak + 1e-9); // never worse than signal-free
+//! assert!(report.iterations() <= policy.convergence.max_iterations);
+//! println!("bill: {:.2}", report.feeder_cost(&Billing::typical_residential()).total());
+//! # Ok::<(), smart_han::workload::fleet::ScenarioError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -82,6 +107,10 @@ pub use han_workload as workload;
 pub mod prelude {
     pub use han_core::cp::CpModel;
     pub use han_core::experiment::{compare, run_strategy, Comparison, StrategyResult};
+    pub use han_core::feeder::{
+        ConvergenceCriterion, ConvergenceTrace, FeederPolicy, FeederReport, FeederSignal,
+        IterationPolicy, StopReason,
+    };
     pub use han_core::neighborhood::{Home, HomeResult, Neighborhood, NeighborhoodReport};
     pub use han_core::{
         HanSimulation, PlanConfig, SchedulingRule, SimulationConfig, SimulationOutcome, Strategy,
@@ -89,12 +118,15 @@ pub mod prelude {
     pub use han_device::{
         Appliance, ApplianceKind, DeviceId, DeviceInterface, DutyCycleConstraints, Request, Watts,
     };
-    pub use han_metrics::{ComparisonReport, ComparisonRow, LoadTrace, Summary};
+    pub use han_metrics::{
+        Billing, ComparisonReport, ComparisonRow, CostBreakdown, LoadTrace, Summary,
+        TimeOfUseTariff,
+    };
     pub use han_net::{NodeId, Topology};
     pub use han_sim::{DetRng, SimDuration, SimTime};
     pub use han_st::StConfig;
     pub use han_workload::{
-        ArrivalRate, DailyProfile, DeviceClass, FleetSpec, PoissonArrivals, Scenario,
-        ScenarioBuilder, ScenarioError, Workload,
+        ArrivalRate, DailyProfile, DeviceClass, FleetSpec, PoissonArrivals, PowerCapProfile,
+        Scenario, ScenarioBuilder, ScenarioError, Workload,
     };
 }
