@@ -10,8 +10,8 @@
 //!   literal formulation) and the resulting speedup,
 //! * simulation rounds per second,
 //! * multi-seed sweep throughput via the parallel
-//!   [`compare_many`](han_core::experiment::compare_many) versus the
-//!   sequential `compare_seeds`,
+//!   [`han_core::experiment::compare_many`] versus the sequential
+//!   `compare_seeds`,
 //! * **neighborhood scale**: 8 homes × 26 devices on one feeder through
 //!   [`Neighborhood::run`](han_core::neighborhood::Neighborhood::run)
 //!   (one home per worker), seeding the multi-home perf trajectory,
@@ -19,14 +19,20 @@
 //!   convergence against a feeder capacity signal
 //!   ([`Neighborhood::run_with`](han_core::neighborhood::Neighborhood::run_with),
 //!   Gauss-Seidel order) — wall time, iterations and the feeder-peak
-//!   movement versus the independent baseline.
+//!   movement versus the independent baseline,
+//! * **view pool**: the lossy street (8 homes × 26 devices, whole-round
+//!   loss p = 0.3) on the content-addressed
+//!   [`ViewPool`](han_core::pool::ViewPool) — peak resident distinct
+//!   views and bytes per home versus the dense one-view-per-node layout,
+//!   plus lossy rounds/s pooled versus the per-node reference plane.
 //!
 //! Run with: `cargo run --release -p han-bench --bin perf`
 //!
 //! `--smoke` shrinks every configuration (60 min, 4 homes, fewer timing
 //! repetitions) so CI can execute the full harness — including the JSON
-//! schema and every assertion — in seconds. Smoke numbers overwrite
-//! `BENCH_engine.json` too, so CI must not commit the file.
+//! assembly and every assertion — in seconds. Smoke runs write
+//! `BENCH_engine.smoke.json` and leave the committed full-run
+//! `BENCH_engine.json` untouched.
 
 use han_core::cp::CpModel;
 use han_core::experiment::{
@@ -167,6 +173,69 @@ fn main() -> Result<(), ScenarioError> {
     let iteration_only_s = (coord_s - hood_s).max(f64::MIN_POSITIVE);
     let iterations_per_sec = coord_report.iterations() as f64 / iteration_only_s;
 
+    // View pool under loss: the same street with every home's CP dropping
+    // whole rounds at p = 0.3, so per-home views genuinely diverge and
+    // re-converge. The pool must keep the peak number of *distinct*
+    // resident views well below the node count (the dense layout's 26) —
+    // that inequality is the memory claim, so it gates CI.
+    let lossy_p = 0.3;
+    let lossy_cp = CpModel::LossyRound {
+        miss_probability: lossy_p,
+    };
+    let lossy_hood = Neighborhood::uniform("lossy street", &scenario, lossy_cp.clone(), homes)?;
+    let lossy_report = lossy_hood.run()?;
+    let pool_stats: Vec<_> = lossy_report
+        .homes
+        .iter()
+        .map(|h| {
+            h.comparison
+                .coordinated
+                .outcome
+                .cp
+                .view_pool
+                .expect("coordinated homes run the pooled plane")
+        })
+        .collect();
+    let nodes = scenario.device_count();
+    let peak_views_max = pool_stats.iter().map(|s| s.peak_views).max().unwrap_or(0);
+    let peak_views_mean =
+        pool_stats.iter().map(|s| s.peak_views).sum::<usize>() as f64 / pool_stats.len() as f64;
+    let pooled_bytes_max = pool_stats
+        .iter()
+        .map(|s| s.resident_bytes)
+        .max()
+        .unwrap_or(0);
+    let per_node_bytes = pool_stats.first().map_or(0, |s| s.per_node_bytes);
+    let bytes_reduction = per_node_bytes as f64 / pooled_bytes_max.max(1) as f64;
+    assert!(
+        peak_views_max < nodes,
+        "view pool held {peak_views_max} distinct views for {nodes} nodes: \
+         content addressing stopped collapsing the lossy street"
+    );
+    assert!(
+        bytes_reduction > 1.0,
+        "pooled views ({pooled_bytes_max} B) must undercut the dense per-node \
+         layout ({per_node_bytes} B)"
+    );
+    // Lossy throughput, pooled default vs the per-node reference plane
+    // (which also plans naively — the honest before/after of PRs 1+4).
+    let lossy_fast = run_strategy(&scenario, Strategy::coordinated(), lossy_cp.clone())?;
+    let lossy_rounds = lossy_fast.outcome.rounds;
+    let lossy_pooled_s = median_secs(runs, || {
+        std::hint::black_box(
+            run_strategy(&scenario, Strategy::coordinated(), lossy_cp.clone())
+                .expect("valid lossy scenario"),
+        );
+    });
+    let lossy_reference_s = median_secs(runs, || {
+        std::hint::black_box(
+            run_strategy_reference(&scenario, Strategy::coordinated(), lossy_cp.clone())
+                .expect("valid lossy scenario"),
+        );
+    });
+    let lossy_rounds_per_sec = lossy_rounds as f64 / lossy_pooled_s;
+    let lossy_speedup = lossy_reference_s / lossy_pooled_s;
+
     println!("# paper config: 26 devices, {minutes} min, high rate, ideal CP");
     println!("end_to_end_memoized_s,{memoized_s:.4}");
     println!("end_to_end_naive_s,{naive_s:.4}");
@@ -186,11 +255,21 @@ fn main() -> Result<(), ScenarioError> {
         "neighborhood_coordination_feeder_peak_kw,{:.2} (independent {:.2})",
         coord_report.feeder.peak, report.feeder_coordinated.peak
     );
+    println!(
+        "view_pool_peak_views,{peak_views_max} max / {peak_views_mean:.1} mean \
+         of {nodes} nodes ({homes} lossy homes, p={lossy_p})"
+    );
+    println!(
+        "view_pool_bytes_per_home,{pooled_bytes_max} pooled vs {per_node_bytes} \
+         dense ({bytes_reduction:.1}x smaller)"
+    );
+    println!("view_pool_lossy_rounds_per_sec,{lossy_rounds_per_sec:.0}");
+    println!("view_pool_lossy_speedup_over_reference,{lossy_speedup:.2}");
 
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": 3,\n",
+            "  \"schema\": 4,\n",
             "  \"config\": {{\"devices\": 26, \"minutes\": {minutes}, \"rate_per_hour\": 30, \"cp\": \"ideal\"}},\n",
             "  \"rounds\": {rounds},\n",
             "  \"end_to_end\": {{\n",
@@ -228,6 +307,21 @@ fn main() -> Result<(), ScenarioError> {
             "    \"selected_iteration\": {selected},\n",
             "    \"feeder_peak_independent_kw\": {peak_ind:.3},\n",
             "    \"feeder_peak_signal_kw\": {peak_sig:.3}\n",
+            "  }},\n",
+            "  \"view_pool\": {{\n",
+            "    \"homes\": {homes},\n",
+            "    \"devices_per_home\": 26,\n",
+            "    \"cp\": \"lossy-round p={lossy_p}\",\n",
+            "    \"node_count\": {nodes},\n",
+            "    \"peak_views_max\": {peak_views_max},\n",
+            "    \"peak_views_mean\": {peak_views_mean:.2},\n",
+            "    \"pooled_resident_bytes_per_home_max\": {pooled_bytes},\n",
+            "    \"per_node_bytes_per_home\": {dense_bytes},\n",
+            "    \"bytes_reduction\": {bytes_red:.2},\n",
+            "    \"lossy_pooled_wall_s\": {lossy_pooled_s:.6},\n",
+            "    \"lossy_reference_wall_s\": {lossy_reference_s:.6},\n",
+            "    \"lossy_rounds_per_sec\": {lossy_rps:.1},\n",
+            "    \"lossy_speedup_over_reference\": {lossy_speedup:.3}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -256,8 +350,26 @@ fn main() -> Result<(), ScenarioError> {
         selected = coord_report.selected_iteration,
         peak_ind = report.feeder_coordinated.peak,
         peak_sig = coord_report.feeder.peak,
+        lossy_p = lossy_p,
+        nodes = nodes,
+        peak_views_max = peak_views_max,
+        peak_views_mean = peak_views_mean,
+        pooled_bytes = pooled_bytes_max,
+        dense_bytes = per_node_bytes,
+        bytes_red = bytes_reduction,
+        lossy_pooled_s = lossy_pooled_s,
+        lossy_reference_s = lossy_reference_s,
+        lossy_rps = lossy_rounds_per_sec,
+        lossy_speedup = lossy_speedup,
     );
-    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
-    eprintln!("wrote BENCH_engine.json");
+    // Smoke numbers (60 min, 4 homes) must never clobber the committed
+    // full-run file the README and ROADMAP cite.
+    let out = if smoke {
+        "BENCH_engine.smoke.json"
+    } else {
+        "BENCH_engine.json"
+    };
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("wrote {out}");
     Ok(())
 }

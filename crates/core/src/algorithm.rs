@@ -294,8 +294,8 @@ fn plan_with_level_detailed(
 /// arranged.
 pub fn demand_rate_kw(view: &SystemView) -> f64 {
     view.iter()
-        .filter(|(rec, _)| rec.active && !rec.max_dcp.is_zero())
-        .map(|(rec, _)| {
+        .filter(|rec| rec.active && !rec.max_dcp.is_zero())
+        .map(|rec| {
             f64::from(rec.power_w) / 1000.0 * rec.min_dcd.as_secs_f64() / rec.max_dcp.as_secs_f64()
         })
         .sum()
@@ -304,7 +304,7 @@ pub fn demand_rate_kw(view: &SystemView) -> f64 {
 fn collect_pending(view: &SystemView, now: SimTime) -> Vec<Pending> {
     let mut pending: Vec<Pending> = view
         .iter()
-        .filter_map(|(rec, _age)| Pending::from_record(rec, now))
+        .filter_map(|rec| Pending::from_record(rec, now))
         .collect();
     pending.sort_by_key(|p| p.device);
     pending
@@ -594,8 +594,8 @@ fn plan_by_placement(pending: &[Pending], now: SimTime, config: &PlanConfig) -> 
 /// with outstanding work runs immediately — simultaneous requests stack.
 pub fn plan_uncoordinated(view: &SystemView, _now: SimTime) -> Schedule {
     view.iter()
-        .filter(|(rec, _)| rec.active && !rec.owed.is_zero())
-        .map(|(rec, _)| rec.device)
+        .filter(|rec| rec.active && !rec.owed.is_zero())
+        .map(|rec| rec.device)
         .collect()
 }
 

@@ -14,10 +14,43 @@
 //!   by packet over the radio model on a topology (what the paper ran on
 //!   FlockLab).
 //!
-//! A node's **own** record is always fresh — a device needs no network to
-//! know itself.
+//! # Invariants
+//!
+//! * A node's **own** record is always fresh — a device needs no network
+//!   to know itself.
+//! * View *contents* evolve exactly as if every node kept a private copy:
+//!   the pooled storage below is an implementation detail that is
+//!   bit-invisible to the execution plane (proved differentially against
+//!   the per-node reference store, see
+//!   [`HanSimulation::set_reference_planning`]).
+//! * Per-node staleness is tracked per `(node, origin)` pair from refresh
+//!   rounds ([`CommunicationPlane::age`]); it is *not* part of a view and
+//!   never influences which pool entry a node shares.
+//!
+//! # View storage
+//!
+//! Under loss most nodes still converge to one of a few distinct views
+//! (everyone who heard the last full round holds the *same* content), so
+//! the plane stores views in a content-addressed
+//! [`crate::pool::ViewPool`] and gives each node a handle.
+//! Round delivery is **copy-on-write**: a node whose delivered records
+//! would not change its view keeps its handle (the common converged
+//! case); otherwise it forks the content and immediately re-deduplicates
+//! into the pool — landing on an existing entry when another node already
+//! holds the same content. Memory is O(distinct views · devices) instead
+//! of O(nodes · devices), and two nodes hold equal handles exactly when
+//! their views are identical, which the execution plane uses as its
+//! planning-group key ([`CommunicationPlane::view_handle`]). Under
+//! [`CpModel::Ideal`] every node's view is identical by definition, so
+//! the plane keeps a single shared handle — O(n) record refreshes per
+//! round instead of O(n²) — and the pool holds exactly one entry.
+//!
+//! [`HanSimulation::set_reference_planning`]:
+//!   crate::simulation::HanSimulation::set_reference_planning
 
+use crate::pool::{ViewPool, ViewPoolStats};
 use crate::state::SystemView;
+use han_device::appliance::DeviceId;
 use han_device::status::StatusRecord;
 use han_net::{NodeId, Topology};
 use han_radio::units::Dbm;
@@ -80,6 +113,9 @@ pub struct CpStats {
     /// Worst clock-boundary error accumulated by any node between sync
     /// beacons (packet mode only; TelosB-class 20 ppm crystals).
     pub worst_sync_error: Option<SimDuration>,
+    /// View-pool memory counters, snapshotted after every round (absent in
+    /// the per-node reference store).
+    pub view_pool: Option<ViewPoolStats>,
 }
 
 impl CpStats {
@@ -122,18 +158,116 @@ enum CpState {
     },
 }
 
-/// The communication plane: one [`SystemView`] per node, updated per round
-/// according to the model.
-///
-/// Under [`CpModel::Ideal`] every node's view is identical by definition
-/// (perfect dissemination), so the plane stores **one** shared view and
-/// hands it to every node — O(n) record refreshes per round instead of
-/// O(n²). Lossy and packet models keep genuinely per-node views.
+/// How node views are physically stored.
+enum ViewStore {
+    /// The default: one content-addressed pool entry per *distinct* view,
+    /// nodes hold handles, delivery is copy-on-write. A single shared
+    /// handle row under [`CpModel::Ideal`].
+    Pooled {
+        pool: ViewPool,
+        handles: Vec<crate::pool::ViewHandle>,
+        /// Reusable fork buffer for copy-on-write updates.
+        staging: SystemView,
+    },
+    /// The naive oracle: one privately mutated view per node, exactly the
+    /// paper's literal formulation. Enabled by
+    /// [`CommunicationPlane::set_reference_views`] for differential tests
+    /// and benchmarks.
+    PerNode { views: Vec<SystemView> },
+}
+
+impl ViewStore {
+    /// Number of view rows (1 for the shared Ideal row, node count
+    /// otherwise).
+    fn rows(&self) -> usize {
+        match self {
+            ViewStore::Pooled { handles, .. } => handles.len(),
+            ViewStore::PerNode { views } => views.len(),
+        }
+    }
+
+    /// The row holding `node`'s view.
+    fn row_of(&self, node: usize) -> usize {
+        if self.rows() == 1 {
+            0
+        } else {
+            node
+        }
+    }
+
+    /// Applies one node's delivered records to its view.
+    ///
+    /// Pooled, in cheapest-first order: if nothing delivered changes the
+    /// content, the node keeps its handle (no work, no allocation). If
+    /// the node is the sole owner of its entry (an ideal CP's shared row,
+    /// or a lossy node whose stale view nobody else holds), the entry is
+    /// edited in place and re-deduplicated — no copy. Only a genuinely
+    /// shared entry forks: copy the content into the staging buffer,
+    /// install the deltas, release the old handle and acquire the
+    /// (possibly already existing) entry for the new content.
+    fn apply(&mut self, row: usize, delivery: &[StatusRecord]) {
+        match self {
+            ViewStore::Pooled {
+                pool,
+                handles,
+                staging,
+            } => {
+                let handle = handles[row];
+                let current = pool.view(handle);
+                if delivery
+                    .iter()
+                    .all(|rec| current.record(rec.device) == Some(rec))
+                {
+                    return;
+                }
+                if pool.is_sole_owner(handle) {
+                    handles[row] = pool.update_sole_owner(handle, |view| {
+                        for rec in delivery {
+                            view.refresh(*rec);
+                        }
+                    });
+                    return;
+                }
+                staging.clone_from(current);
+                for rec in delivery {
+                    staging.refresh(*rec);
+                }
+                pool.release(handle);
+                handles[row] = pool.acquire(staging);
+            }
+            ViewStore::PerNode { views } => {
+                for rec in delivery {
+                    views[row].refresh(*rec);
+                }
+            }
+        }
+    }
+
+    fn view(&self, row: usize) -> &SystemView {
+        match self {
+            ViewStore::Pooled { pool, handles, .. } => pool.view(handles[row]),
+            ViewStore::PerNode { views } => &views[row],
+        }
+    }
+}
+
+/// Sentinel for "this (node, origin) pair has never been refreshed".
+const NEVER: u64 = u64::MAX;
+
+/// The communication plane: every node's [`SystemView`], stored in a
+/// content-addressed [`ViewPool`] and updated copy-on-write each round
+/// according to the model (see the [module docs](self)).
 pub struct CommunicationPlane {
     model: CpModel,
     state: CpState,
+    store: ViewStore,
     device_count: usize,
-    views: Vec<SystemView>,
+    /// Flattened `rows × n` matrix of the round index at which each
+    /// `(node, origin)` record was last refreshed ([`NEVER`] = not yet) —
+    /// the per-node staleness that content-addressed views must not carry.
+    last_refresh: Vec<u64>,
+    /// Reusable per-node delivery buffer for the current round.
+    delivery: Vec<StatusRecord>,
     rng: DetRng,
     stats: CpStats,
     round_index: u64,
@@ -194,35 +328,102 @@ impl CommunicationPlane {
             stats.dissemination = Some(DisseminationStats::new());
             stats.worst_sync_error = Some(SimDuration::ZERO);
         }
-        // Ideal dissemination keeps all views identical forever: store one.
-        let view_count = match &model {
+        // Ideal dissemination keeps all views identical forever: one
+        // shared handle row. Lossy and packet nodes each hold a handle,
+        // but all start on the single empty-view pool entry.
+        let rows = match &model {
             CpModel::Ideal => 1,
             _ => device_count,
+        };
+        let store = {
+            let mut pool = ViewPool::new(device_count);
+            let empty = SystemView::new(device_count);
+            let handles = (0..rows).map(|_| pool.acquire(&empty)).collect();
+            ViewStore::Pooled {
+                pool,
+                handles,
+                staging: empty,
+            }
         };
         CommunicationPlane {
             model,
             state,
+            store,
             device_count,
-            views: vec![SystemView::new(device_count); view_count],
+            last_refresh: vec![NEVER; rows * device_count],
+            delivery: Vec::with_capacity(device_count),
             rng: DetRng::for_stream(seed, "communication-plane"),
             stats,
             round_index: 0,
         }
     }
 
-    /// The view node `i` currently holds.
+    /// Replaces the pooled store with the naive one-view-per-node layout
+    /// (the paper's literal formulation) — the differential-testing and
+    /// benchmarking oracle the pooled plane is proved against. Not part of
+    /// the supported API surface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any round has already run.
+    #[doc(hidden)]
+    pub fn set_reference_views(&mut self) {
+        assert_eq!(self.round_index, 0, "switch stores before the first round");
+        let n = self.device_count;
+        self.store = ViewStore::PerNode {
+            views: vec![SystemView::new(n); n],
+        };
+        self.last_refresh = vec![NEVER; n * n];
+        self.stats.view_pool = None;
+    }
+
+    /// The view node `node` currently holds (possibly shared with other
+    /// nodes holding identical content).
     pub fn view(&self, node: usize) -> &SystemView {
         assert!(node < self.device_count, "node out of range");
-        if self.views.len() == 1 {
-            &self.views[0]
-        } else {
-            &self.views[node]
+        self.store.view(self.store.row_of(node))
+    }
+
+    /// The planning-group key of node `node`'s view: two nodes return the
+    /// same key **iff** their views are identical this round (they share
+    /// one pool entry), so the execution plane groups nodes by this key
+    /// directly instead of re-hashing views. Falls back to the node index
+    /// (no sharing) in the per-node reference store.
+    pub fn view_handle(&self, node: usize) -> u32 {
+        assert!(node < self.device_count, "node out of range");
+        match &self.store {
+            ViewStore::Pooled { handles, .. } => handles[self.store.row_of(node)].id(),
+            ViewStore::PerNode { .. } => node as u32,
         }
     }
 
+    /// Rounds since node `node` last refreshed `device`'s record
+    /// (0 = this round), or `None` if it never has. This is the staleness
+    /// the views themselves no longer carry; it is derived from refresh
+    /// rounds, so no per-round aging sweep exists anywhere.
+    pub fn age(&self, node: usize, device: DeviceId) -> Option<u32> {
+        assert!(node < self.device_count, "node out of range");
+        assert!(device.index() < self.device_count, "device out of range");
+        let row = self.store.row_of(node);
+        let refreshed = self.last_refresh[row * self.device_count + device.index()];
+        if refreshed == NEVER {
+            return None;
+        }
+        let age = self.round_index.saturating_sub(1).saturating_sub(refreshed);
+        Some(u32::try_from(age).unwrap_or(u32::MAX))
+    }
+
+    /// Largest record age in node `node`'s view, or 0 for an empty view.
+    pub fn max_age(&self, node: usize) -> u32 {
+        (0..self.device_count)
+            .filter_map(|d| self.age(node, DeviceId(d as u32)))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Statistics accumulated so far (a borrow — all accumulators,
-    /// including packet-mode dissemination, are folded in place as rounds
-    /// run, so nothing is cloned here).
+    /// including packet-mode dissemination and the view-pool counters, are
+    /// folded in place as rounds run, so nothing is cloned here).
     pub fn stats(&self) -> &CpStats {
         &self.stats
     }
@@ -251,43 +452,62 @@ impl CommunicationPlane {
         let n = self.device_count;
         assert_eq!(statuses.len(), n, "one status per device");
         assert_eq!(seqs.len(), n, "one sequence number per device");
-
-        for view in &mut self.views {
-            view.age_all();
-        }
+        // Staleness is keyed by slice position (`last_refresh[node·n + i]`)
+        // while view contents key by `record.device` — both only agree when
+        // the slice is in device order.
+        debug_assert!(
+            statuses
+                .iter()
+                .enumerate()
+                .all(|(i, r)| r.device.index() == i),
+            "statuses must be ordered by device id"
+        );
+        let round = self.round_index;
 
         let mut refreshed = 0u64;
         match (&self.model, &mut self.state) {
             (CpModel::Ideal, _) => {
-                // One shared view stands in for all n identical ones.
-                let view = &mut self.views[0];
-                for rec in statuses {
-                    view.refresh(*rec);
+                // One delivery of everything per view row: a single shared
+                // row in the pooled store (perfect dissemination ⇒
+                // identical views), one row per node in the reference
+                // store.
+                self.delivery.clear();
+                self.delivery.extend_from_slice(statuses);
+                for row in 0..self.store.rows() {
+                    self.last_refresh[row * n..(row + 1) * n].fill(round);
+                    self.store.apply(row, &self.delivery);
                 }
                 refreshed = (n * n) as u64;
             }
             (CpModel::LossyRound { miss_probability }, _) => {
-                for (node, view) in self.views.iter_mut().enumerate() {
-                    if self.rng.gen_bool(*miss_probability) {
+                let p = *miss_probability;
+                for node in 0..n {
+                    self.delivery.clear();
+                    if self.rng.gen_bool(p) {
                         // Missed the round entirely; own record still local.
-                        view.refresh(statuses[node]);
+                        self.delivery.push(statuses[node]);
+                        self.last_refresh[node * n + node] = round;
                         refreshed += 1;
                     } else {
-                        for rec in statuses {
-                            view.refresh(*rec);
-                        }
+                        self.delivery.extend_from_slice(statuses);
+                        self.last_refresh[node * n..(node + 1) * n].fill(round);
                         refreshed += n as u64;
                     }
+                    self.store.apply(node, &self.delivery);
                 }
             }
             (CpModel::LossyRecord { miss_probability }, _) => {
-                for (node, view) in self.views.iter_mut().enumerate() {
+                let p = *miss_probability;
+                for node in 0..n {
+                    self.delivery.clear();
                     for (origin, rec) in statuses.iter().enumerate() {
-                        if origin == node || !self.rng.gen_bool(*miss_probability) {
-                            view.refresh(*rec);
+                        if origin == node || !self.rng.gen_bool(p) {
+                            self.delivery.push(*rec);
+                            self.last_refresh[node * n + origin] = round;
                             refreshed += 1;
                         }
                     }
+                    self.store.apply(node, &self.delivery);
                 }
             }
             (
@@ -313,7 +533,7 @@ impl CommunicationPlane {
                     stores,
                     NodeId(0),
                     st,
-                    self.round_index,
+                    round,
                     &mut self.rng,
                     scratch,
                 );
@@ -322,7 +542,10 @@ impl CommunicationPlane {
                     .as_mut()
                     .expect("packet mode pre-seeds dissemination stats")
                     .record(&report);
-                sync.record_round(&report.synced[..n]);
+                // The tracker covers every topology node (relay-only nodes
+                // drift too), so it gets the full sync vector — not just
+                // the first `n` device slots.
+                sync.record_round(&report.synced);
                 let worst = sync.worst_boundary_error();
                 let entry = self.stats.worst_sync_error.get_or_insert(SimDuration::ZERO);
                 *entry = (*entry).max(worst);
@@ -331,7 +554,8 @@ impl CommunicationPlane {
                 // publisher's current sequence number; holding an older
                 // version installs the newer-than-before content but the
                 // pair still counts as stale for statistics.
-                for (node, view) in self.views.iter_mut().enumerate() {
+                for node in 0..n {
+                    self.delivery.clear();
                     for origin in 0..n {
                         let Some(item) = stores[node].get(NodeId(origin as u32)) else {
                             continue;
@@ -342,13 +566,15 @@ impl CommunicationPlane {
                             continue;
                         }
                         if let Ok(rec) = StatusRecord::decode(&item.payload) {
-                            view.refresh(rec);
+                            self.delivery.push(rec);
                             last_seen[node][origin] = Some(item.seq);
+                            self.last_refresh[node * n + origin] = round;
                             if is_current {
                                 refreshed += 1;
                             }
                         }
                     }
+                    self.store.apply(node, &self.delivery);
                 }
             }
             _ => unreachable!("model/state mismatch"),
@@ -361,14 +587,16 @@ impl CommunicationPlane {
         if refreshed == (n * n) as u64 {
             self.stats.full_rounds += 1;
         }
+        if let ViewStore::Pooled { pool, .. } = &self.store {
+            self.stats.view_pool = Some(pool.stats(n));
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use han_device::appliance::DeviceId;
-    use han_sim::time::SimTime;
+    use han_sim::time::{SimDuration, SimTime};
 
     fn statuses(n: usize, on_mask: u64) -> Vec<StatusRecord> {
         (0..n)
@@ -391,11 +619,28 @@ mod tests {
             for dev in 0..4u32 {
                 let rec = cp.view(node).record(DeviceId(dev)).expect("record");
                 assert_eq!(rec.on, dev % 2 == 0);
-                assert_eq!(cp.view(node).age(DeviceId(dev)), Some(0));
+                assert_eq!(cp.age(node, DeviceId(dev)), Some(0));
             }
         }
         assert_eq!(cp.stats().delivery_rate(), 1.0);
         assert_eq!(cp.stats().full_round_rate(), 1.0);
+    }
+
+    #[test]
+    fn ideal_cp_stores_exactly_one_view() {
+        let mut cp = CommunicationPlane::new(CpModel::Ideal, 8, 1);
+        for round in 0..20 {
+            // Content changes every round (different on-mask), so the
+            // shared view forks and re-deduplicates each time — the pool
+            // must still never hold more than the one live entry.
+            cp.round(&statuses(8, round % 7), &[round as u32 + 1; 8]);
+            let pool = cp.stats().view_pool.expect("pooled store");
+            assert_eq!(pool.live_views, 1, "ideal CP shares one view");
+            assert_eq!(pool.peak_views, 1);
+        }
+        for node in 0..8 {
+            assert_eq!(cp.view_handle(node), cp.view_handle(0));
+        }
     }
 
     #[test]
@@ -417,6 +662,70 @@ mod tests {
     }
 
     #[test]
+    fn lossy_pool_stays_bounded_and_dedups() {
+        let n = 10;
+        let mut cp = CommunicationPlane::new(
+            CpModel::LossyRound {
+                miss_probability: 0.4,
+            },
+            n,
+            7,
+        );
+        let mut peak = 0;
+        for round in 0..500u64 {
+            // Churn the content so views genuinely fork and reconverge.
+            cp.round(&statuses(n, round % 11), &vec![round as u32 + 1; n]);
+            let pool = cp.stats().view_pool.expect("pooled store");
+            assert!(
+                pool.live_views <= n,
+                "live views can never exceed node count"
+            );
+            // Reclamation bound: slots = live entries + parked buffers; a
+            // run can never allocate more slots than its peak concurrent
+            // distinct views plus the one transient a fork holds.
+            assert!(
+                pool.slots <= pool.peak_views + 1,
+                "slots {} vs peak {}: reclaimed entries must be reused",
+                pool.slots,
+                pool.peak_views
+            );
+            peak = pool.peak_views;
+        }
+        // The whole point: most nodes share a handful of distinct views.
+        assert!(peak < n, "peak distinct views {peak} should stay below {n}");
+        // Nodes that heard the last round share one entry: count handles.
+        let distinct: std::collections::HashSet<u32> =
+            (0..n).map(|node| cp.view_handle(node)).collect();
+        let pool = cp.stats().view_pool.expect("pooled store");
+        assert_eq!(distinct.len(), pool.live_views);
+    }
+
+    #[test]
+    fn equal_handles_mean_equal_views() {
+        let n = 8;
+        let mut cp = CommunicationPlane::new(
+            CpModel::LossyRecord {
+                miss_probability: 0.3,
+            },
+            n,
+            11,
+        );
+        for round in 0..40u64 {
+            cp.round(&statuses(n, round % 5), &vec![round as u32 + 1; n]);
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let same_handle = cp.view_handle(a) == cp.view_handle(b);
+                    let same_content = cp.view(a) == cp.view(b);
+                    assert_eq!(
+                        same_handle, same_content,
+                        "handles group exactly by content (nodes {a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn own_record_always_fresh_under_loss() {
         let mut cp = CommunicationPlane::new(
             CpModel::LossyRound {
@@ -430,10 +739,123 @@ mod tests {
         }
         for node in 0..3 {
             assert_eq!(
-                cp.view(node).age(DeviceId(node as u32)),
+                cp.age(node, DeviceId(node as u32)),
                 Some(0),
                 "own record must never go stale"
             );
+        }
+    }
+
+    #[test]
+    fn ages_count_rounds_since_refresh() {
+        // Lossless rounds keep every age at zero (and `None` before any
+        // round has run); `round_stamped_ages` below covers nonzero ages.
+        let mut cp = CommunicationPlane::new(
+            CpModel::LossyRound {
+                miss_probability: 0.0,
+            },
+            3,
+            1,
+        );
+        assert_eq!(cp.age(0, DeviceId(1)), None, "nothing refreshed yet");
+        cp.round(&statuses(3, 0), &[1; 3]);
+        assert_eq!(cp.age(0, DeviceId(1)), Some(0));
+        assert_eq!(cp.max_age(0), 0);
+        // A reference-store plane derives identical ages.
+        let mut reference = CommunicationPlane::new(
+            CpModel::LossyRound {
+                miss_probability: 0.0,
+            },
+            3,
+            1,
+        );
+        reference.set_reference_views();
+        reference.round(&statuses(3, 0), &[1; 3]);
+        assert_eq!(reference.age(0, DeviceId(1)), Some(0));
+    }
+
+    #[test]
+    fn round_stamped_ages() {
+        // Publish records whose content encodes the round that produced
+        // them (`owed = round + 1` minutes), so every held record reveals
+        // when its node last heard that origin — `age` must agree exactly,
+        // including the rounds a node spent deaf.
+        let n = 5;
+        let mut cp = CommunicationPlane::new(
+            CpModel::LossyRound {
+                miss_probability: 0.5,
+            },
+            n,
+            9,
+        );
+        let mut saw_stale_record = false;
+        for round in 0..30u64 {
+            let st: Vec<StatusRecord> = (0..n)
+                .map(|i| StatusRecord {
+                    active: true,
+                    owed: SimDuration::from_mins(round + 1),
+                    deadline: Some(SimTime::from_mins(90)),
+                    ..StatusRecord::idle(DeviceId(i as u32))
+                })
+                .collect();
+            cp.round(&st, &vec![round as u32 + 1; n]);
+            for node in 0..n {
+                for dev in 0..n {
+                    let Some(rec) = cp.view(node).record(DeviceId(dev as u32)) else {
+                        continue;
+                    };
+                    let published_round = rec.owed.as_micros() / 60_000_000 - 1;
+                    let expected = u32::try_from(round - published_round).expect("past round");
+                    assert_eq!(
+                        cp.age(node, DeviceId(dev as u32)),
+                        Some(expected),
+                        "round {round}, node {node}, dev {dev}"
+                    );
+                    saw_stale_record |= expected > 0;
+                }
+            }
+        }
+        assert!(
+            saw_stale_record,
+            "p=0.5 over 30 rounds must leave some record stale, \
+             or this test never exercised nonzero ages"
+        );
+    }
+
+    #[test]
+    fn pooled_and_reference_stores_hold_identical_contents() {
+        let n = 7;
+        let make = || {
+            CommunicationPlane::new(
+                CpModel::LossyRecord {
+                    miss_probability: 0.35,
+                },
+                n,
+                13,
+            )
+        };
+        let mut pooled = make();
+        let mut reference = make();
+        reference.set_reference_views();
+        for round in 0..60u64 {
+            let st = statuses(n, round % 9);
+            let seqs = vec![round as u32 + 1; n];
+            pooled.round(&st, &seqs);
+            reference.round(&st, &seqs);
+            for node in 0..n {
+                assert_eq!(
+                    pooled.view(node),
+                    reference.view(node),
+                    "round {round}, node {node}: pooling must be content-invisible"
+                );
+                for dev in 0..n {
+                    assert_eq!(
+                        pooled.age(node, DeviceId(dev as u32)),
+                        reference.age(node, DeviceId(dev as u32)),
+                        "round {round}: staleness must match too"
+                    );
+                }
+            }
         }
     }
 
@@ -468,6 +890,9 @@ mod tests {
             stats.delivery_rate()
         );
         assert!(stats.dissemination.is_some());
+        // Packet mode pools views like any other non-ideal model.
+        let pool = stats.view_pool.expect("pooled store");
+        assert!(pool.peak_views <= 26);
         // All-to-all sharing of 26 aggregates every 2 s keeps the radio on
         // for roughly half the round — the honest cost of a 2-second
         // all-to-all cadence at this network size.

@@ -6,7 +6,10 @@
 //! (Debadarshini & Saha, ICDCS 2022):
 //!
 //! * [`state`] — [`state::SystemView`]: one node's belief about every
-//!   device, with staleness tracking;
+//!   device (pure record content, fingerprinted incrementally);
+//! * [`pool`] — [`pool::ViewPool`]: content-addressed, reference-counted
+//!   storage that keeps each distinct view once, shared by every node
+//!   holding identical content;
 //! * [`schedule`] — the canonical ON-set with a divergence-detection hash;
 //! * [`algorithm`] — [`algorithm::plan_coordinated`]: must-stay / forced /
 //!   water-filling / staggered-EDF planning (and the
@@ -46,13 +49,14 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod algorithm;
 pub mod cp;
 pub mod experiment;
 pub mod feeder;
 pub mod neighborhood;
+pub mod pool;
 pub mod schedule;
 pub mod simulation;
 pub mod state;
@@ -67,6 +71,7 @@ pub use feeder::{
     IterationPolicy, StopReason,
 };
 pub use neighborhood::{Home, HomeResult, Neighborhood, NeighborhoodReport};
+pub use pool::{ViewHandle, ViewPool, ViewPoolStats};
 pub use schedule::Schedule;
 pub use simulation::{HanSimulation, SimulationConfig, SimulationOutcome, Strategy};
 pub use state::SystemView;

@@ -141,6 +141,33 @@ impl Neighborhood {
     /// # Errors
     ///
     /// [`ScenarioError`] for an invalid policy or home scenario.
+    ///
+    /// # Examples
+    ///
+    /// The minimal happy path — a two-home street under a generous
+    /// capacity cap (converges on the first pass):
+    ///
+    /// ```
+    /// use han_core::cp::CpModel;
+    /// use han_core::feeder::{FeederPolicy, FeederSignal};
+    /// use han_core::neighborhood::Neighborhood;
+    /// use han_sim::time::SimDuration;
+    /// use han_workload::scenario::{ArrivalRate, Scenario};
+    /// use han_workload::signal::PowerCapProfile;
+    ///
+    /// let template = Scenario {
+    ///     duration: SimDuration::from_mins(45), // keep the doctest quick
+    ///     ..Scenario::paper(ArrivalRate::Moderate, 0)
+    /// };
+    /// let hood = Neighborhood::uniform("street", &template, CpModel::Ideal, 2)?;
+    /// let cap = PowerCapProfile::constant(60.0)?; // roomy feeder limit
+    /// let policy = FeederPolicy::gauss_seidel(FeederSignal::Capacity(cap));
+    /// let report = hood.run_with(&policy)?;
+    /// assert!(report.iterations() >= 1);
+    /// // A feeder signal shapes admission only — never an obligation.
+    /// assert_eq!(report.total_deadline_misses(), 0);
+    /// # Ok::<(), han_workload::fleet::ScenarioError>(())
+    /// ```
     pub fn run_with(
         &self,
         policy: &crate::feeder::FeederPolicy,

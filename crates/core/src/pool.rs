@@ -1,0 +1,484 @@
+//! Content-addressed storage for [`SystemView`]s.
+//!
+//! Under a lossy communication plane most nodes still converge to one of
+//! a few distinct views — the same clustering that lets the execution
+//! plane run the planner once per distinct view lets the plane store each
+//! distinct view **once**. A [`ViewPool`] keys views by their incremental
+//! 64-bit [`fingerprint`](SystemView::fingerprint) (with a full equality
+//! check on the rare collision), hands out reference-counted
+//! [`ViewHandle`]s, and reclaims an entry the moment its last handle is
+//! released. This collapses lossy/packet-mode view memory from
+//! O(nodes · devices) records to O(distinct views · devices), and gives
+//! the execution plane a collision-proof group key for free: two nodes
+//! plan together exactly when they hold the same handle.
+//!
+//! Reclaimed slots keep their buffers, so the steady-state round loop
+//! (views forking and re-deduplicating as records arrive) allocates
+//! nothing.
+//!
+//! # Examples
+//!
+//! ```
+//! use han_core::pool::ViewPool;
+//! use han_core::state::SystemView;
+//! use han_device::appliance::DeviceId;
+//! use han_device::status::StatusRecord;
+//!
+//! let mut pool = ViewPool::new(4);
+//! let mut view = SystemView::new(4);
+//! view.refresh(StatusRecord::idle(DeviceId(2)));
+//!
+//! // Acquiring the same content twice yields the same entry…
+//! let a = pool.acquire(&view);
+//! let b = pool.acquire(&view);
+//! assert_eq!(a, b);
+//! assert_eq!(pool.live_views(), 1);
+//!
+//! // …different content forks a second entry…
+//! view.refresh(StatusRecord::idle(DeviceId(3)));
+//! let c = pool.acquire(&view);
+//! assert_ne!(a, c);
+//! assert_eq!(pool.live_views(), 2);
+//! assert_eq!(pool.view(c).record(DeviceId(3)), view.record(DeviceId(3)));
+//!
+//! // …and releasing the last handle reclaims the entry.
+//! pool.release(a);
+//! pool.release(b);
+//! pool.release(c);
+//! assert_eq!(pool.live_views(), 0);
+//! assert_eq!(pool.peak_views(), 2);
+//! ```
+
+use crate::state::SystemView;
+use han_device::status::StatusRecord;
+use std::collections::HashMap;
+
+/// A reference into a [`ViewPool`] entry.
+///
+/// Handles are plain indices: copying one does **not** adjust the entry's
+/// reference count — use [`ViewPool::retain`] to register an extra owner
+/// and [`ViewPool::release`] to drop one. A handle is valid until as many
+/// releases as acquires/retains have been issued for it; slot ids are
+/// reused after reclamation, so two live handles are equal **iff** they
+/// name the same (content-identical) entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ViewHandle(u32);
+
+impl ViewHandle {
+    /// The raw slot index — stable while the handle is live, reused after
+    /// reclamation. Two live handles with equal ids share one entry, so
+    /// this is the execution plane's planning-group key.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+/// One pool slot. Reclaimed slots stay allocated (refs = 0, parked on the
+/// free list) so their buffers are reused by the next insertion.
+#[derive(Debug, Clone)]
+struct Entry {
+    view: SystemView,
+    refs: u32,
+    /// The index key this entry is filed under while live (its content
+    /// fingerprint; kept explicitly so release can unfile without
+    /// recomputing).
+    key: u64,
+}
+
+/// Live memory-usage counters of a [`ViewPool`], snapshotted into
+/// [`CpStats`](crate::cp::CpStats) after every round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ViewPoolStats {
+    /// Distinct views currently alive.
+    pub live_views: usize,
+    /// High-water mark of distinct live views.
+    pub peak_views: usize,
+    /// Slots ever allocated (live + reclaimed-but-parked buffers).
+    pub slots: usize,
+    /// Estimated bytes resident in allocated slots.
+    pub resident_bytes: usize,
+    /// Estimated bytes the naive dense layout (one view per node) would
+    /// hold — the before/after comparison baseline.
+    pub per_node_bytes: usize,
+}
+
+impl ViewPoolStats {
+    /// `per_node_bytes / resident_bytes`: how many times smaller the pool
+    /// is than the dense per-node layout (1.0 when neither allocates).
+    pub fn bytes_reduction(&self) -> f64 {
+        if self.resident_bytes == 0 {
+            1.0
+        } else {
+            self.per_node_bytes as f64 / self.resident_bytes as f64
+        }
+    }
+}
+
+/// A content-addressed, reference-counted store of [`SystemView`]s.
+///
+/// All views in one pool must have the same slot count (one per device of
+/// the fleet the pool serves); [`acquire`](ViewPool::acquire) enforces
+/// this. See the [module docs](self) for the idea and an example.
+#[derive(Debug, Default)]
+pub struct ViewPool {
+    entries: Vec<Entry>,
+    /// Reclaimed slot ids, reused before growing `entries`.
+    free: Vec<u32>,
+    /// Fingerprint → live entry ids with that fingerprint. More than one
+    /// id in a bucket means a genuine 64-bit collision between different
+    /// contents; lookups compare full contents, so collisions cost a
+    /// record-by-record comparison, never a wrong match.
+    index: HashMap<u64, Vec<u32>>,
+    device_count: usize,
+    live: usize,
+    peak: usize,
+}
+
+impl ViewPool {
+    /// Creates an empty pool for views over `device_count` devices.
+    pub fn new(device_count: usize) -> Self {
+        ViewPool {
+            device_count,
+            ..ViewPool::default()
+        }
+    }
+
+    /// Returns a handle to the entry whose content equals `view`, creating
+    /// the entry (by copying `view` in) if none exists. The entry's
+    /// reference count is incremented either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view` has a different slot count than the pool.
+    pub fn acquire(&mut self, view: &SystemView) -> ViewHandle {
+        self.acquire_keyed(view, view.fingerprint())
+    }
+
+    /// The keyed workhorse behind [`acquire`](ViewPool::acquire), split
+    /// out so tests can force two different contents onto one key and
+    /// exercise the collision path.
+    fn acquire_keyed(&mut self, view: &SystemView, key: u64) -> ViewHandle {
+        assert_eq!(
+            view.len(),
+            self.device_count,
+            "view size must match the pool's fleet"
+        );
+        if let Some(ids) = self.index.get(&key) {
+            // Fingerprint hit: confirm with a full content comparison so a
+            // 64-bit collision between different views can never alias
+            // them onto one entry.
+            for &id in ids {
+                let entry = &mut self.entries[id as usize];
+                if entry.view == *view {
+                    entry.refs += 1;
+                    return ViewHandle(id);
+                }
+            }
+        }
+        let id = match self.free.pop() {
+            Some(id) => {
+                // Reuse the parked slot's buffers: `clone_from` into the
+                // existing allocation instead of a fresh clone.
+                let entry = &mut self.entries[id as usize];
+                entry.view.clone_from(view);
+                entry.refs = 1;
+                entry.key = key;
+                id
+            }
+            None => {
+                let id = u32::try_from(self.entries.len()).expect("pool slots fit in u32");
+                self.entries.push(Entry {
+                    view: view.clone(),
+                    refs: 1,
+                    key,
+                });
+                id
+            }
+        };
+        self.index.entry(key).or_default().push(id);
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+        ViewHandle(id)
+    }
+
+    /// Whether `handle` is the only owner of its entry — the case where
+    /// [`update_sole_owner`](ViewPool::update_sole_owner) can edit in
+    /// place instead of forking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is not live.
+    pub fn is_sole_owner(&self, handle: ViewHandle) -> bool {
+        let entry = &self.entries[handle.0 as usize];
+        assert!(entry.refs > 0, "ownership query on a reclaimed handle");
+        entry.refs == 1
+    }
+
+    /// Mutates a solely-owned entry **in place** — the copy-free half of
+    /// copy-on-write. The entry is unfiled, `mutate` edits its view, and
+    /// the result is re-deduplicated: if the new content already exists in
+    /// the pool the slot is parked and the existing entry returned,
+    /// otherwise the entry is refiled under its new fingerprint and the
+    /// same handle returned. Either way the caller's ownership carries
+    /// over to the returned handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is not live or has other owners.
+    pub fn update_sole_owner(
+        &mut self,
+        handle: ViewHandle,
+        mutate: impl FnOnce(&mut SystemView),
+    ) -> ViewHandle {
+        let id = handle.0 as usize;
+        assert_eq!(
+            self.entries[id].refs, 1,
+            "in-place update requires sole ownership"
+        );
+        let old_key = self.entries[id].key;
+        Self::unfile(&mut self.index, old_key, handle.0);
+        mutate(&mut self.entries[id].view);
+        let new_key = self.entries[id].view.fingerprint();
+        if let Some(ids) = self.index.get(&new_key) {
+            // The mutated content may now equal another entry (nodes
+            // re-converging): merge into it and park this slot.
+            for &other in ids {
+                if self.entries[other as usize].view == self.entries[id].view {
+                    self.entries[other as usize].refs += 1;
+                    self.entries[id].refs = 0;
+                    self.free.push(handle.0);
+                    self.live -= 1;
+                    return ViewHandle(other);
+                }
+            }
+        }
+        self.entries[id].key = new_key;
+        self.index.entry(new_key).or_default().push(handle.0);
+        handle
+    }
+
+    /// Registers one more owner of a live entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is not live.
+    pub fn retain(&mut self, handle: ViewHandle) {
+        let entry = &mut self.entries[handle.0 as usize];
+        assert!(entry.refs > 0, "retain of a reclaimed handle");
+        entry.refs += 1;
+    }
+
+    /// Drops one owner of a live entry. When the last owner releases, the
+    /// entry is unfiled from the content index and its slot parked for
+    /// reuse — the pool never grows past the peak number of *concurrently*
+    /// distinct views.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is not live.
+    pub fn release(&mut self, handle: ViewHandle) {
+        let entry = &mut self.entries[handle.0 as usize];
+        assert!(entry.refs > 0, "release of a reclaimed handle");
+        entry.refs -= 1;
+        if entry.refs > 0 {
+            return;
+        }
+        let key = entry.key;
+        Self::unfile(&mut self.index, key, handle.0);
+        self.free.push(handle.0);
+        self.live -= 1;
+    }
+
+    /// Removes `id` from its fingerprint bucket.
+    fn unfile(index: &mut HashMap<u64, Vec<u32>>, key: u64, id: u32) {
+        let bucket = index.get_mut(&key).expect("live entry is always filed");
+        let pos = bucket
+            .iter()
+            .position(|&b| b == id)
+            .expect("live entry is in its bucket");
+        bucket.swap_remove(pos);
+        if bucket.is_empty() {
+            index.remove(&key);
+        }
+    }
+
+    /// The view a live handle points to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is not live.
+    pub fn view(&self, handle: ViewHandle) -> &SystemView {
+        let entry = &self.entries[handle.0 as usize];
+        assert!(entry.refs > 0, "lookup of a reclaimed handle");
+        &entry.view
+    }
+
+    /// Distinct views currently alive.
+    pub fn live_views(&self) -> usize {
+        self.live
+    }
+
+    /// High-water mark of concurrently live distinct views.
+    pub fn peak_views(&self) -> usize {
+        self.peak
+    }
+
+    /// Slots ever allocated (live entries plus parked buffers). Bounded by
+    /// the peak number of concurrently distinct views plus the transient
+    /// entry a copy-on-write fork holds while re-deduplicating.
+    pub fn slot_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Estimated bytes per pooled view (records + fingerprint
+    /// contributions + container overhead).
+    pub fn bytes_per_view(&self) -> usize {
+        std::mem::size_of::<SystemView>()
+            + self.device_count
+                * (std::mem::size_of::<Option<StatusRecord>>() + std::mem::size_of::<u64>())
+    }
+
+    /// Current memory counters, with the dense one-view-per-`nodes` layout
+    /// as the comparison baseline.
+    pub fn stats(&self, nodes: usize) -> ViewPoolStats {
+        ViewPoolStats {
+            live_views: self.live,
+            peak_views: self.peak,
+            slots: self.entries.len(),
+            resident_bytes: self.entries.len() * self.bytes_per_view(),
+            per_node_bytes: nodes * self.bytes_per_view(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use han_device::appliance::DeviceId;
+    use han_sim::time::{SimDuration, SimTime};
+
+    fn record(id: u32, owed_mins: u64) -> StatusRecord {
+        StatusRecord {
+            active: true,
+            owed: SimDuration::from_mins(owed_mins),
+            deadline: Some(SimTime::from_mins(30)),
+            ..StatusRecord::idle(DeviceId(id))
+        }
+    }
+
+    fn view_with(n: usize, recs: &[StatusRecord]) -> SystemView {
+        let mut v = SystemView::new(n);
+        for r in recs {
+            v.refresh(*r);
+        }
+        v
+    }
+
+    #[test]
+    fn dedup_by_content() {
+        let mut pool = ViewPool::new(3);
+        let v = view_with(3, &[record(0, 15), record(2, 10)]);
+        let a = pool.acquire(&v);
+        let b = pool.acquire(&v.clone());
+        assert_eq!(a, b, "identical content shares one entry");
+        assert_eq!(pool.live_views(), 1);
+        assert_eq!(pool.view(a), &v);
+    }
+
+    #[test]
+    fn distinct_content_distinct_entries() {
+        let mut pool = ViewPool::new(3);
+        let a = pool.acquire(&view_with(3, &[record(0, 15)]));
+        let b = pool.acquire(&view_with(3, &[record(0, 14)]));
+        assert_ne!(a, b);
+        assert_eq!(pool.live_views(), 2);
+    }
+
+    #[test]
+    fn fingerprint_collision_falls_back_to_full_comparison() {
+        // Force two different contents onto the same index key: the pool
+        // must keep them as separate entries (full comparison detects the
+        // mismatch) and still resolve each content to its own entry.
+        let mut pool = ViewPool::new(2);
+        let x = view_with(2, &[record(0, 15)]);
+        let y = view_with(2, &[record(1, 15)]);
+        assert_ne!(x.fingerprint(), y.fingerprint(), "honest collision setup");
+        let hx = pool.acquire_keyed(&x, 42);
+        let hy = pool.acquire_keyed(&y, 42);
+        assert_ne!(hx, hy, "colliding key must not alias different contents");
+        assert_eq!(pool.live_views(), 2);
+        // Re-acquiring under the colliding key still finds the right entry.
+        assert_eq!(pool.acquire_keyed(&x, 42), hx);
+        assert_eq!(pool.acquire_keyed(&y, 42), hy);
+        assert_eq!(pool.view(hx), &x);
+        assert_eq!(pool.view(hy), &y);
+        // Releasing one collided entry leaves the other resolvable.
+        pool.release(hx);
+        pool.release(hx);
+        assert_eq!(pool.acquire_keyed(&y, 42), hy);
+        assert_eq!(pool.live_views(), 1);
+    }
+
+    #[test]
+    fn last_release_reclaims_and_reuses_the_slot() {
+        let mut pool = ViewPool::new(2);
+        let a = pool.acquire(&view_with(2, &[record(0, 15)]));
+        pool.retain(a);
+        pool.release(a);
+        assert_eq!(pool.live_views(), 1, "still one owner");
+        pool.release(a);
+        assert_eq!(pool.live_views(), 0);
+        assert_eq!(pool.slot_count(), 1, "slot parked, not dropped");
+        // A different content reuses the parked slot: no growth.
+        let b = pool.acquire(&view_with(2, &[record(1, 9)]));
+        assert_eq!(b.id(), a.id(), "parked slot reused");
+        assert_eq!(pool.slot_count(), 1);
+        assert_eq!(pool.peak_views(), 1);
+    }
+
+    #[test]
+    fn reclaimed_content_is_unfindable() {
+        let mut pool = ViewPool::new(2);
+        let v = view_with(2, &[record(0, 15)]);
+        let a = pool.acquire(&v);
+        pool.release(a);
+        // Re-acquiring the same content builds a fresh entry (refs start
+        // over), it does not resurrect the reclaimed one.
+        let b = pool.acquire(&v);
+        assert_eq!(pool.live_views(), 1);
+        pool.release(b);
+        assert_eq!(pool.live_views(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "release of a reclaimed handle")]
+    fn double_release_panics() {
+        let mut pool = ViewPool::new(1);
+        let a = pool.acquire(&SystemView::new(1));
+        pool.release(a);
+        pool.release(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "view size must match")]
+    fn wrong_size_rejected() {
+        let mut pool = ViewPool::new(3);
+        pool.acquire(&SystemView::new(2));
+    }
+
+    #[test]
+    fn stats_track_memory() {
+        let mut pool = ViewPool::new(4);
+        let a = pool.acquire(&view_with(4, &[record(0, 15)]));
+        let b = pool.acquire(&view_with(4, &[record(1, 15)]));
+        pool.release(a);
+        let s = pool.stats(10);
+        assert_eq!(s.live_views, 1);
+        assert_eq!(s.peak_views, 2);
+        assert_eq!(s.slots, 2);
+        assert_eq!(s.resident_bytes, 2 * pool.bytes_per_view());
+        assert_eq!(s.per_node_bytes, 10 * pool.bytes_per_view());
+        assert!(s.bytes_reduction() > 1.0);
+        pool.release(b);
+    }
+}

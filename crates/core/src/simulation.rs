@@ -199,10 +199,10 @@ struct RoundScratch {
     seqs: Vec<u32>,
     /// Distinct schedule content hashes this round (divergence probe).
     hashes: HashSet<u64>,
-    /// `(view fingerprint, level bits)` → index into `plans`.
-    groups: HashMap<(u64, u64), usize>,
-    /// Demand rate memo per view fingerprint.
-    demands: HashMap<u64, f64>,
+    /// `(view-pool handle, level bits)` → index into `plans`.
+    groups: HashMap<(u32, u64), usize>,
+    /// Demand rate memo per view-pool handle.
+    demands: HashMap<u32, f64>,
     /// One plan per distinct `(view, level)` group this round.
     plans: Vec<Plan>,
     /// `plans[i].schedule.content_hash()`, computed once per distinct plan.
@@ -247,14 +247,16 @@ impl HanSimulation {
         })
     }
 
-    /// Forces the naive per-node execution plane: every Device Interface
-    /// runs the full planner on its own view every round, with no view
-    /// grouping and no plan memoization — exactly the paper's literal
-    /// formulation.
+    /// Forces the naive reference formulation end to end: the
+    /// communication plane keeps one privately mutated view per node (no
+    /// content-addressed pooling), and every Device Interface runs the
+    /// full planner on its own view every round, with no view grouping
+    /// and no plan memoization — exactly the paper's literal formulation.
     ///
     /// This is the differential-testing and benchmarking oracle for the
-    /// memoized fast path (the default), which must produce byte-identical
-    /// schedules. It is not part of the supported API surface.
+    /// default fast path (pooled copy-on-write views + memoized grouped
+    /// planning), which must produce byte-identical schedules. It is not
+    /// part of the supported API surface.
     #[doc(hidden)]
     pub fn set_reference_planning(&mut self, on: bool) -> &mut Self {
         self.reference_planning = on;
@@ -285,6 +287,9 @@ impl HanSimulation {
             .collect();
 
         let mut cp = CommunicationPlane::new(cfg.cp.clone(), n, cfg.seed);
+        if self.reference_planning {
+            cp.set_reference_views();
+        }
         let mut trace = LoadTrace::new();
         let mut divergent_rounds = 0u64;
         let mut rounds = 0u64;
@@ -361,38 +366,40 @@ impl HanSimulation {
                             scratch.node_plan.push(i);
                         }
                     } else {
-                        // Memoized fast path: group nodes by their view
-                        // fingerprint and run the planner once per distinct
-                        // (view, level). Under an ideal CP every node holds
-                        // the same view, so the planner runs exactly once;
-                        // under loss the common converged case collapses
-                        // the same way. The demand rate — the only other
-                        // O(n) per-node view scan — is memoized per
-                        // fingerprint too, keeping the whole plane at
-                        // O(distinct views) instead of O(n).
-                        // Consecutive nodes almost always share a group
-                        // (all of them, under an ideal CP), so remember
-                        // the previous node's resolution and skip the maps
-                        // entirely on a match.
-                        let mut prev_demand: Option<(u64, f64)> = None;
-                        let mut prev_group: Option<((u64, u64), usize)> = None;
+                        // Memoized fast path: group nodes directly by
+                        // their view-pool handle — two nodes share a
+                        // handle exactly when their views are identical,
+                        // so no per-round hashing is involved at all — and
+                        // run the planner once per distinct (view, level).
+                        // Under an ideal CP every node holds the same
+                        // view, so the planner runs exactly once; under
+                        // loss the common converged case collapses the
+                        // same way. The demand rate — the only other O(n)
+                        // per-node view scan — is memoized per handle too,
+                        // keeping the whole plane at O(distinct views)
+                        // instead of O(n). Consecutive nodes almost always
+                        // share a group (all of them, under an ideal CP),
+                        // so remember the previous node's resolution and
+                        // skip the maps entirely on a match.
+                        let mut prev_demand: Option<(u32, f64)> = None;
+                        let mut prev_group: Option<((u32, u64), usize)> = None;
                         for (i, planner) in planners.iter_mut().enumerate() {
                             let view = cp.view(i);
-                            let fp = view.fingerprint();
+                            let handle = cp.view_handle(i);
                             let demand = match prev_demand {
-                                Some((prev_fp, d)) if prev_fp == fp => d,
-                                _ => match scratch.demands.get(&fp) {
+                                Some((prev_h, d)) if prev_h == handle => d,
+                                _ => match scratch.demands.get(&handle) {
                                     Some(&d) => d,
                                     None => {
                                         let d = demand_rate_kw(view);
-                                        scratch.demands.insert(fp, d);
+                                        scratch.demands.insert(handle, d);
                                         d
                                     }
                                 },
                             };
-                            prev_demand = Some((fp, demand));
+                            prev_demand = Some((handle, demand));
                             let level = planner.advance_level(demand, now);
-                            let key = (fp, level.to_bits());
+                            let key = (handle, level.to_bits());
                             let plan_idx = match prev_group {
                                 Some((prev_key, idx)) if prev_key == key => idx,
                                 _ => match scratch.groups.get(&key) {
@@ -484,8 +491,7 @@ impl HanSimulation {
                         // Command dissemination shares the CP's fate: under
                         // a lossy model some devices keep their previous
                         // command this round.
-                        let heard =
-                            i == controller.index() || cp.view(i).age(*controller) == Some(0);
+                        let heard = i == controller.index() || cp.age(i, *controller) == Some(0);
                         if heard {
                             last_command[i] = schedule.is_on(DeviceId(i as u32));
                         }

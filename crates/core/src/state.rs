@@ -5,19 +5,30 @@
 //! is a pure function of this view, which is exactly what makes the
 //! decentralized scheme work: identical views ⇒ identical schedules.
 //!
-//! Under packet loss a node's view may hold *stale* records; the view
-//! tracks per-record age (in rounds) so the simulation can quantify
-//! staleness and tests can assert on convergence behaviour.
+//! A [`SystemView`] is **pure record content**: which record each node
+//! holds per device, plus an incrementally maintained 64-bit
+//! [`fingerprint`](SystemView::fingerprint) of that content. Per-node
+//! staleness (how many rounds ago each record was refreshed) is
+//! deliberately *not* stored here — it lives in the
+//! [`CommunicationPlane`](crate::cp::CommunicationPlane), which tracks the
+//! last refresh round per `(node, origin)` pair. Keeping the view pure is
+//! what lets the plane store one copy of each distinct view in a
+//! content-addressed [`ViewPool`](crate::pool::ViewPool): nodes whose
+//! record contents have converged share a single `SystemView` even when
+//! they refreshed those records in different rounds.
 
 use han_device::appliance::DeviceId;
 use han_device::status::StatusRecord;
 
-/// One node's belief about all devices.
+/// One node's belief about all devices: the record contents only.
+///
+/// Cheap to compare (fingerprint first, then records) and cheap to update
+/// (each [`refresh`](SystemView::refresh) is O(1) including the
+/// fingerprint). Shared between nodes by the
+/// [`ViewPool`](crate::pool::ViewPool) whenever contents coincide.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SystemView {
     records: Vec<Option<StatusRecord>>,
-    /// Rounds since each record was last refreshed (0 = this round).
-    ages: Vec<u32>,
     /// Per-slot contribution to the view fingerprint (0 for empty slots).
     contribs: Vec<u64>,
     /// XOR of all slot contributions — the incremental view fingerprint.
@@ -57,11 +68,10 @@ fn record_contribution(rec: &StatusRecord) -> u64 {
 }
 
 impl SystemView {
-    /// Creates an empty view over `device_count` devices.
+    /// Creates an empty view with one slot per device in the fleet.
     pub fn new(device_count: usize) -> Self {
         SystemView {
             records: vec![None; device_count],
-            ages: vec![0; device_count],
             contribs: vec![0; device_count],
             fingerprint: 0,
         }
@@ -77,7 +87,7 @@ impl SystemView {
         self.records.iter().all(Option::is_none)
     }
 
-    /// Installs a fresh record (age 0).
+    /// Installs a record, replacing whatever the slot held.
     ///
     /// The view fingerprint is updated incrementally in O(1): the slot's
     /// old contribution is XORed out and the new one XORed in — no full
@@ -92,38 +102,25 @@ impl SystemView {
         self.fingerprint ^= self.contribs[idx] ^ contrib;
         self.contribs[idx] = contrib;
         self.records[idx] = Some(record);
-        self.ages[idx] = 0;
     }
 
-    /// Marks the start of a new round: every record not subsequently
-    /// refreshed counts one round older.
-    ///
-    /// Ages are deliberately *not* part of the fingerprint (see
-    /// [`SystemView::fingerprint`]), so this is a pure counter sweep.
-    pub fn age_all(&mut self) {
-        for (age, rec) in self.ages.iter_mut().zip(&self.records) {
-            if rec.is_some() {
-                *age = age.saturating_add(1);
-            }
-        }
-    }
-
-    /// A 64-bit fingerprint of the view's *record contents*, maintained
+    /// A 64-bit fingerprint of the view's record contents, maintained
     /// incrementally on every [`refresh`](SystemView::refresh).
     ///
     /// Two views with equal fingerprints hold (up to a vanishing 2⁻⁶⁴
     /// collision chance) identical record sets, and therefore — because
     /// the planner is a pure function of the records — compute identical
-    /// schedules. The coordinated execution plane uses this to run the
-    /// planner once per *distinct* view per round instead of once per
-    /// node.
+    /// schedules. The [`ViewPool`](crate::pool::ViewPool) uses the
+    /// fingerprint as its content-address key (with a full equality check
+    /// on collision), and the planner's memo uses it to recognize an
+    /// unchanged view across rounds.
     ///
-    /// Record *ages* are excluded by design: the scheduling algorithm is
-    /// age-blind (staleness influences plans only through record
-    /// contents), so including ages would only split groups that plan
-    /// identically. Slot contributions are combined with XOR, which is
-    /// what makes the per-refresh update O(1) rather than a rehash of all
-    /// `n` slots.
+    /// Staleness is invisible here by design: the scheduling algorithm is
+    /// age-blind (how *old* a record is influences plans only through the
+    /// record contents), so mixing refresh times into the fingerprint
+    /// would only split groups that plan identically. Slot contributions
+    /// are combined with XOR, which is what makes the per-refresh update
+    /// O(1) rather than a rehash of all `n` slots.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
     }
@@ -133,30 +130,9 @@ impl SystemView {
         self.records.get(device.index()).and_then(Option::as_ref)
     }
 
-    /// Age in rounds of a device's record (`None` if absent).
-    pub fn age(&self, device: DeviceId) -> Option<u32> {
-        self.records
-            .get(device.index())
-            .and_then(Option::as_ref)
-            .map(|_| self.ages[device.index()])
-    }
-
-    /// Iterates present records with their ages.
-    pub fn iter(&self) -> impl Iterator<Item = (&StatusRecord, u32)> {
-        self.records
-            .iter()
-            .zip(&self.ages)
-            .filter_map(|(rec, &age)| rec.as_ref().map(|r| (r, age)))
-    }
-
-    /// Number of records refreshed this round (age 0).
-    pub fn fresh_count(&self) -> usize {
-        self.iter().filter(|&(_, age)| age == 0).count()
-    }
-
-    /// Largest record age, or 0 for an empty view.
-    pub fn max_age(&self) -> u32 {
-        self.iter().map(|(_, age)| age).max().unwrap_or(0)
+    /// Iterates the records present in the view, in device order.
+    pub fn iter(&self) -> impl Iterator<Item = &StatusRecord> {
+        self.records.iter().filter_map(Option::as_ref)
     }
 }
 
@@ -188,24 +164,8 @@ mod tests {
         v.refresh(active_record(1));
         assert!(v.record(DeviceId(1)).is_some());
         assert!(v.record(DeviceId(0)).is_none());
-        assert_eq!(v.age(DeviceId(1)), Some(0));
-        assert_eq!(v.age(DeviceId(0)), None);
         assert_eq!(v.len(), 3);
-    }
-
-    #[test]
-    fn aging_tracks_rounds() {
-        let mut v = SystemView::new(2);
-        v.refresh(active_record(0));
-        v.age_all();
-        assert_eq!(v.age(DeviceId(0)), Some(1));
-        v.age_all();
-        assert_eq!(v.age(DeviceId(0)), Some(2));
-        assert_eq!(v.max_age(), 2);
-        // Refresh resets.
-        v.refresh(active_record(0));
-        assert_eq!(v.age(DeviceId(0)), Some(0));
-        assert_eq!(v.fresh_count(), 1);
+        assert!(!v.is_empty());
     }
 
     #[test]
@@ -213,7 +173,7 @@ mod tests {
         let mut v = SystemView::new(5);
         v.refresh(active_record(2));
         v.refresh(active_record(4));
-        let ids: Vec<u32> = v.iter().map(|(r, _)| r.device.0).collect();
+        let ids: Vec<u32> = v.iter().map(|r| r.device.0).collect();
         assert_eq!(ids, vec![2, 4]);
     }
 
@@ -232,6 +192,7 @@ mod tests {
             "same records, any refresh order"
         );
         assert_ne!(a.fingerprint(), 0);
+        assert_eq!(a, b, "equal content means equal views");
     }
 
     #[test]
@@ -250,23 +211,18 @@ mod tests {
     }
 
     #[test]
-    fn fingerprint_ignores_aging() {
+    fn refresh_with_identical_content_is_a_noop() {
         let mut v = SystemView::new(3);
         v.refresh(active_record(1));
-        let fresh = v.fingerprint();
-        v.age_all();
-        v.age_all();
-        assert_eq!(
-            v.fingerprint(),
-            fresh,
-            "ages are not planner inputs; the fingerprint is age-blind"
-        );
+        let snapshot = v.clone();
+        v.refresh(active_record(1));
+        assert_eq!(v, snapshot, "idempotent refresh");
     }
 
     #[test]
     fn fingerprint_distinguishes_slots() {
-        // The same record content in different views of different sizes,
-        // and different device slots, must not collide trivially.
+        // The same record content in different device slots must not
+        // collide trivially.
         let mut a = SystemView::new(3);
         a.refresh(active_record(0));
         let mut b = SystemView::new(3);
@@ -281,8 +237,6 @@ mod tests {
         let mut a = SystemView::new(5);
         let mut b = SystemView::new(5);
         for round in 0..10u64 {
-            a.age_all();
-            b.age_all();
             for id in 0..5 {
                 let mut rec = active_record(id);
                 rec.owed = SimDuration::from_mins(round % 4);

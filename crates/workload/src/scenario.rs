@@ -4,9 +4,8 @@
 //! minDCD = 15 min, maxDCP = 30 min, 350-minute experiments at three
 //! aggregate request rates (30/h, 18/h, 4/h) — available as the one-line
 //! preset [`Scenario::paper`]. Everything else composes through
-//! [`ScenarioBuilder`]: heterogeneous fleets via
-//! [`FleetSpec`](crate::fleet::FleetSpec) and time-varying workloads via
-//! [`Workload`].
+//! [`ScenarioBuilder`]: heterogeneous fleets via [`crate::fleet::FleetSpec`]
+//! and time-varying workloads via [`Workload`].
 
 use crate::arrivals::{PoissonArrivals, TraceArrivals};
 use crate::fleet::{DeviceClass, FleetSpec, ScenarioError};
@@ -250,6 +249,27 @@ impl Scenario {
 /// whole [`fleet`](ScenarioBuilder::fleet)), pick a workload, then
 /// [`build`](ScenarioBuilder::build). All validation reports a typed
 /// [`ScenarioError`] — nothing panics on bad input.
+///
+/// # Examples
+///
+/// The minimal happy path — one device class, a Poisson workload:
+///
+/// ```
+/// use han_device::duty_cycle::DutyCycleConstraints;
+/// use han_device::ApplianceKind;
+/// use han_sim::time::SimDuration;
+/// use han_workload::fleet::DeviceClass;
+/// use han_workload::scenario::Scenario;
+///
+/// let scenario = Scenario::builder("one geyser")
+///     .class(DeviceClass::new("geyser", ApplianceKind::WaterHeater, 2.0,
+///                             DutyCycleConstraints::paper(), 1))
+///     .poisson(6.0)
+///     .duration(SimDuration::from_mins(90))
+///     .build()?;
+/// assert_eq!(scenario.device_count(), 1);
+/// # Ok::<(), han_workload::fleet::ScenarioError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct ScenarioBuilder {
     name: String,
