@@ -10,6 +10,7 @@
 //!
 //! Run with: `cargo run --release -p han-bench --bin claims`
 
+use han_core::cp::event::EngineKind;
 use han_core::cp::CpModel;
 use han_core::experiment::{collect_results, compare, Comparison};
 use han_core::simulation::{HanSimulation, SimulationConfig, Strategy};
@@ -66,6 +67,7 @@ fn main() -> Result<(), ScenarioError> {
         round_period: SimDuration::from_secs(2),
         strategy,
         cp: CpModel::Ideal,
+        engine: EngineKind::Round,
         seed: 1,
     };
     let requests = burst(SimTime::from_mins(2), 20);

@@ -9,6 +9,11 @@
 //! * the same run on the **naive per-node reference** plane (the paper's
 //!   literal formulation) and the resulting speedup,
 //! * simulation rounds per second,
+//! * **event engine**: the same run on the event-driven backend
+//!   ([`han_core::cp::event`], typed events on the `han-sim`
+//!   discrete-event core) — digest equality with the round loop is
+//!   asserted, wall time, events per round and the throughput-parity
+//!   ratio are reported, and the parity floor gates CI,
 //! * multi-seed sweep throughput via the parallel
 //!   [`han_core::experiment::compare_many`] versus the sequential
 //!   `compare_seeds`,
@@ -36,11 +41,12 @@
 
 use han_core::cp::CpModel;
 use han_core::experiment::{
-    compare_many, compare_seeds, run_strategy, run_strategy_reference, StrategyResult,
+    compare_many, compare_seeds, run_strategy, run_strategy_on, run_strategy_reference,
+    StrategyResult,
 };
 use han_core::feeder::{FeederPolicy, FeederSignal};
 use han_core::neighborhood::Neighborhood;
-use han_core::Strategy;
+use han_core::{EngineKind, Strategy};
 use han_sim::time::SimDuration;
 use han_workload::fleet::ScenarioError;
 use han_workload::scenario::{ArrivalRate, Scenario};
@@ -106,6 +112,45 @@ fn main() -> Result<(), ScenarioError> {
         speedup >= 2.0,
         "memoized execution plane regressed: only {speedup:.2}x over the naive reference \
          (memoized {memoized_s:.4}s vs naive {naive_s:.4}s)"
+    );
+
+    // Event-driven backend: first the differential gate (bit-identical
+    // schedules to the round loop on the paper scenario), then throughput.
+    let event_run = run_strategy_on(
+        &scenario,
+        Strategy::coordinated(),
+        CpModel::Ideal,
+        EngineKind::Event,
+    )?;
+    assert_eq!(
+        event_run.outcome.schedule_digest, fast.outcome.schedule_digest,
+        "event backend diverged from the synchronous round loop"
+    );
+    assert_eq!(event_run.outcome.trace, fast.outcome.trace);
+    let events = event_run.outcome.events;
+    let events_per_round = events as f64 / rounds as f64;
+    let event_s = median_secs(runs, || {
+        std::hint::black_box(
+            run_strategy_on(
+                &scenario,
+                Strategy::coordinated(),
+                CpModel::Ideal,
+                EngineKind::Event,
+            )
+            .expect("paper scenario is valid"),
+        );
+    });
+    let event_rounds_per_sec = rounds as f64 / event_s;
+    let event_parity = memoized_s / event_s;
+    // Parity gate (CI runs this bin in smoke mode): queueing every round
+    // through the discrete-event engine must stay within striking
+    // distance of the raw loop. Committed full runs show ≳0.9×; the floor
+    // sits at 0.6× so shared-runner noise cannot flake it while a real
+    // regression (per-event allocation, heap blow-up) still fails loudly.
+    assert!(
+        event_parity >= 0.6,
+        "event backend throughput regressed: {event_parity:.2}x of the round loop \
+         (event {event_s:.4}s vs round {memoized_s:.4}s)"
     );
 
     let seed_count = SWEEP_SEEDS.end - SWEEP_SEEDS.start;
@@ -235,12 +280,25 @@ fn main() -> Result<(), ScenarioError> {
     });
     let lossy_rounds_per_sec = lossy_rounds as f64 / lossy_pooled_s;
     let lossy_speedup = lossy_reference_s / lossy_pooled_s;
+    // Lossy-path throughput gate: the pooled plane must stay at parity
+    // with the per-node reference (committed runs show ~1.0×); the floor
+    // tolerates shared-runner noise while a structural regression on the
+    // per-row delivery path still fails CI.
+    assert!(
+        lossy_speedup >= 0.6,
+        "pooled lossy plane regressed to {lossy_speedup:.2}x of the per-node reference \
+         (pooled {lossy_pooled_s:.4}s vs reference {lossy_reference_s:.4}s)"
+    );
 
     println!("# paper config: 26 devices, {minutes} min, high rate, ideal CP");
     println!("end_to_end_memoized_s,{memoized_s:.4}");
     println!("end_to_end_naive_s,{naive_s:.4}");
     println!("speedup_naive_over_memoized,{speedup:.2}");
     println!("rounds_per_sec,{rounds_per_sec:.0}");
+    println!("event_engine_wall_s,{event_s:.4}");
+    println!("event_engine_rounds_per_sec,{event_rounds_per_sec:.0}");
+    println!("event_engine_events_per_round,{events_per_round:.1}");
+    println!("event_engine_throughput_parity,{event_parity:.2}");
     println!("sweep_comparisons_per_sec,{sweep_throughput:.2}");
     println!("sweep_parallel_scaling_x,{sweep_scaling:.2} (over {workers} workers)");
     println!("neighborhood_wall_s,{hood_s:.4} ({homes} homes x 26 devices)");
@@ -269,7 +327,7 @@ fn main() -> Result<(), ScenarioError> {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": 4,\n",
+            "  \"schema\": 5,\n",
             "  \"config\": {{\"devices\": 26, \"minutes\": {minutes}, \"rate_per_hour\": 30, \"cp\": \"ideal\"}},\n",
             "  \"rounds\": {rounds},\n",
             "  \"end_to_end\": {{\n",
@@ -277,6 +335,14 @@ fn main() -> Result<(), ScenarioError> {
             "    \"naive_wall_s\": {naive:.6},\n",
             "    \"speedup\": {speedup:.3},\n",
             "    \"rounds_per_sec\": {rps:.1}\n",
+            "  }},\n",
+            "  \"event_engine\": {{\n",
+            "    \"wall_s\": {event_s:.6},\n",
+            "    \"rounds_per_sec\": {event_rps:.1},\n",
+            "    \"events\": {events},\n",
+            "    \"events_per_round\": {events_per_round:.2},\n",
+            "    \"throughput_parity_vs_round\": {event_parity:.3},\n",
+            "    \"digest_identical\": true\n",
             "  }},\n",
             "  \"sweep\": {{\n",
             "    \"seeds\": {seeds},\n",
@@ -331,6 +397,11 @@ fn main() -> Result<(), ScenarioError> {
         naive = naive_s,
         speedup = speedup,
         rps = rounds_per_sec,
+        event_s = event_s,
+        event_rps = event_rounds_per_sec,
+        events = events,
+        events_per_round = events_per_round,
+        event_parity = event_parity,
         seeds = seed_count,
         par = parallel_s,
         seq = sequential_s,

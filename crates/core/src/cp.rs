@@ -45,8 +45,22 @@
 //! the plane keeps a single shared handle — O(n) record refreshes per
 //! round instead of O(n²) — and the pool holds exactly one entry.
 //!
+//! # Round decomposition
+//!
+//! One CP round is the phase sequence [`CommunicationPlane::begin_round`]
+//! (publish) → [`CommunicationPlane::flood_phase`] × `flood_phases()`
+//! (packet-mode MiniCast floods; zero phases under the abstract models) →
+//! [`CommunicationPlane::deliver_row`] × `delivery_rows()` (per-node
+//! record refreshes) → [`CommunicationPlane::finish_round`] (statistics).
+//! [`CommunicationPlane::round`] *is* that sequence, so the synchronous
+//! round loop and the event-driven backend ([`event`]) — which fires each
+//! phase as its own typed event — are bit-identical by construction: the
+//! same code runs in the same order, including every RNG draw.
+//!
 //! [`HanSimulation::set_reference_planning`]:
 //!   crate::simulation::HanSimulation::set_reference_planning
+
+pub mod event;
 
 use crate::pool::{ViewPool, ViewPoolStats};
 use crate::state::SystemView;
@@ -268,6 +282,13 @@ pub struct CommunicationPlane {
     last_refresh: Vec<u64>,
     /// Reusable per-node delivery buffer for the current round.
     delivery: Vec<StatusRecord>,
+    /// Statuses published this round, stashed by [`Self::begin_round`] for
+    /// the delivery phases (reused buffer).
+    pending: Vec<StatusRecord>,
+    /// Sequence numbers published this round, alongside `pending`.
+    pending_seqs: Vec<u32>,
+    /// `(node, origin)` refreshes delivered in the round in flight.
+    round_refreshed: u64,
     rng: DetRng,
     stats: CpStats,
     round_index: u64,
@@ -352,6 +373,9 @@ impl CommunicationPlane {
             device_count,
             last_refresh: vec![NEVER; rows * device_count],
             delivery: Vec::with_capacity(device_count),
+            pending: Vec::with_capacity(device_count),
+            pending_seqs: Vec::with_capacity(device_count),
+            round_refreshed: 0,
             rng: DetRng::for_stream(seed, "communication-plane"),
             stats,
             round_index: 0,
@@ -445,10 +469,33 @@ impl CommunicationPlane {
     /// Executes one CP round: every node publishes `statuses[i]` (version
     /// `seqs[i]`) and receives updates per the model.
     ///
+    /// This is exactly the decomposed phase sequence (see the
+    /// [module docs](self#round-decomposition)); the event-driven backend
+    /// drives the same phases one event at a time.
+    ///
     /// # Panics
     ///
     /// Panics if `statuses` / `seqs` lengths differ from the device count.
     pub fn round(&mut self, statuses: &[StatusRecord], seqs: &[u32]) {
+        self.begin_round(statuses, seqs);
+        for k in 0..self.flood_phases() {
+            self.flood_phase(k);
+        }
+        for row in 0..self.delivery_rows() {
+            self.deliver_row(row);
+        }
+        self.finish_round();
+    }
+
+    /// Phase 1 of one CP round: every node publishes `statuses[i]`
+    /// (version `seqs[i]`). Under a packet CP each node merges its fresh
+    /// item into its own store; the abstract models stash the slice for
+    /// the delivery phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `statuses` / `seqs` lengths differ from the device count.
+    pub fn begin_round(&mut self, statuses: &[StatusRecord], seqs: &[u32]) {
         let n = self.device_count;
         assert_eq!(statuses.len(), n, "one status per device");
         assert_eq!(seqs.len(), n, "one sequence number per device");
@@ -462,64 +509,23 @@ impl CommunicationPlane {
                 .all(|(i, r)| r.device.index() == i),
             "statuses must be ordered by device id"
         );
-        let round = self.round_index;
-
-        let mut refreshed = 0u64;
+        self.pending.clear();
+        self.pending.extend_from_slice(statuses);
+        self.pending_seqs.clear();
+        self.pending_seqs.extend_from_slice(seqs);
+        self.round_refreshed = 0;
         match (&self.model, &mut self.state) {
             (CpModel::Ideal, _) => {
-                // One delivery of everything per view row: a single shared
-                // row in the pooled store (perfect dissemination ⇒
-                // identical views), one row per node in the reference
-                // store.
-                self.delivery.clear();
-                self.delivery.extend_from_slice(statuses);
-                for row in 0..self.store.rows() {
-                    self.last_refresh[row * n..(row + 1) * n].fill(round);
-                    self.store.apply(row, &self.delivery);
-                }
-                refreshed = (n * n) as u64;
-            }
-            (CpModel::LossyRound { miss_probability }, _) => {
-                let p = *miss_probability;
-                for node in 0..n {
-                    self.delivery.clear();
-                    if self.rng.gen_bool(p) {
-                        // Missed the round entirely; own record still local.
-                        self.delivery.push(statuses[node]);
-                        self.last_refresh[node * n + node] = round;
-                        refreshed += 1;
-                    } else {
-                        self.delivery.extend_from_slice(statuses);
-                        self.last_refresh[node * n..(node + 1) * n].fill(round);
-                        refreshed += n as u64;
-                    }
-                    self.store.apply(node, &self.delivery);
-                }
-            }
-            (CpModel::LossyRecord { miss_probability }, _) => {
-                let p = *miss_probability;
-                for node in 0..n {
-                    self.delivery.clear();
-                    for (origin, rec) in statuses.iter().enumerate() {
-                        if origin == node || !self.rng.gen_bool(p) {
-                            self.delivery.push(*rec);
-                            self.last_refresh[node * n + origin] = round;
-                            refreshed += 1;
-                        }
-                    }
-                    self.store.apply(node, &self.delivery);
-                }
+                // Statistics count node-level refreshes — every node hears
+                // every record — independent of how many rows the store
+                // physically holds (one shared row pooled, n rows in the
+                // reference layout).
+                self.round_refreshed = (n * n) as u64;
             }
             (
                 CpModel::Packet { .. },
                 CpState::Packet {
-                    st,
-                    rssi,
-                    stores,
-                    last_seen,
-                    sync,
-                    scratch,
-                    encode_buf,
+                    stores, encode_buf, ..
                 },
             ) => {
                 // Publish: each node merges its own fresh item.
@@ -528,63 +534,183 @@ impl CommunicationPlane {
                     rec.encode_into(encode_buf);
                     stores[i].merge(&Item::new(NodeId(i as u32), seq, encode_buf.as_slice()));
                 }
-                let report = minicast::run_round_with(
-                    rssi,
-                    stores,
-                    NodeId(0),
-                    st,
-                    round,
-                    &mut self.rng,
-                    scratch,
-                );
-                self.stats
-                    .dissemination
-                    .as_mut()
-                    .expect("packet mode pre-seeds dissemination stats")
-                    .record(&report);
-                // The tracker covers every topology node (relay-only nodes
-                // drift too), so it gets the full sync vector — not just
-                // the first `n` device slots.
-                sync.record_round(&report.synced);
-                let worst = sync.worst_boundary_error();
-                let entry = self.stats.worst_sync_error.get_or_insert(SimDuration::ZERO);
-                *entry = (*entry).max(worst);
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of per-flood steps in the current round: `topology + 1`
+    /// MiniCast phases (sync beacon + one data flood per topology node)
+    /// under a packet CP, zero under the abstract models (their delivery
+    /// is instantaneous).
+    pub fn flood_phases(&self) -> usize {
+        match &self.state {
+            CpState::Packet { rssi, .. } => rssi.len() + 1,
+            CpState::Abstract => 0,
+        }
+    }
+
+    /// Executes flood step `k` of the round in flight: `k = 0` is the
+    /// sync-beacon flood, `k = 1..=topology` is the data flood initiated
+    /// by node `(round + k − 1) mod topology`. The final step also folds
+    /// the round's dissemination report and clock-sync outcome into the
+    /// statistics. Call with `k` in `0..flood_phases()`, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no flood phases or `k` is out of range.
+    pub fn flood_phase(&mut self, k: usize) {
+        let CpState::Packet {
+            st,
+            rssi,
+            stores,
+            sync,
+            scratch,
+            ..
+        } = &mut self.state
+        else {
+            panic!("flood phases exist only under a packet CP");
+        };
+        let topology = rssi.len();
+        assert!(k <= topology, "flood phase {k} of {}", topology + 1);
+        let round = self.round_index;
+        if k == 0 {
+            minicast::sync_phase(rssi, NodeId(0), st, round, &mut self.rng, scratch);
+        } else {
+            minicast::data_phase(rssi, stores, st, round, k - 1, &mut self.rng, scratch);
+        }
+        if k == topology {
+            let report = minicast::finish_round_report(stores, st, round, scratch);
+            self.stats
+                .dissemination
+                .as_mut()
+                .expect("packet mode pre-seeds dissemination stats")
+                .record(&report);
+            // The tracker covers every topology node (relay-only nodes
+            // drift too), so it gets the full sync vector — not just
+            // the first `n` device slots.
+            sync.record_round(&report.synced);
+            let worst = sync.worst_boundary_error();
+            let entry = self.stats.worst_sync_error.get_or_insert(SimDuration::ZERO);
+            *entry = (*entry).max(worst);
+        }
+    }
+
+    /// Number of per-row delivery steps in the current round — one per
+    /// node under the lossy and packet models, a single shared row under
+    /// [`CpModel::Ideal`] (pooled store; the reference store always keeps
+    /// one row per node).
+    pub fn delivery_rows(&self) -> usize {
+        self.store.rows()
+    }
+
+    /// Applies the round's delivery to view row `row` — the per-node
+    /// record refresh. Call with `row` in `0..delivery_rows()`, in order:
+    /// the lossy models draw their loss coin(s) here, so row order *is*
+    /// the RNG order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or no round is in flight.
+    pub fn deliver_row(&mut self, row: usize) {
+        let n = self.device_count;
+        assert!(row < self.store.rows(), "delivery row out of range");
+        assert_eq!(self.pending.len(), n, "no round in flight");
+        let round = self.round_index;
+        match (&self.model, &mut self.state) {
+            (CpModel::Ideal, _) => {
+                // One delivery of everything per view row: a single shared
+                // row in the pooled store (perfect dissemination ⇒
+                // identical views), one row per node in the reference
+                // store. (Refresh statistics were counted at publish.)
+                self.delivery.clear();
+                self.delivery.extend_from_slice(&self.pending);
+                self.last_refresh[row * n..(row + 1) * n].fill(round);
+                self.store.apply(row, &self.delivery);
+            }
+            (CpModel::LossyRound { miss_probability }, _) => {
+                let node = row;
+                self.delivery.clear();
+                if self.rng.gen_bool(*miss_probability) {
+                    // Missed the round entirely; own record still local.
+                    self.delivery.push(self.pending[node]);
+                    self.last_refresh[node * n + node] = round;
+                    self.round_refreshed += 1;
+                } else {
+                    self.delivery.extend_from_slice(&self.pending);
+                    self.last_refresh[node * n..(node + 1) * n].fill(round);
+                    self.round_refreshed += n as u64;
+                }
+                self.store.apply(node, &self.delivery);
+            }
+            (CpModel::LossyRecord { miss_probability }, _) => {
+                let p = *miss_probability;
+                let node = row;
+                self.delivery.clear();
+                for origin in 0..n {
+                    if origin == node || !self.rng.gen_bool(p) {
+                        self.delivery.push(self.pending[origin]);
+                        self.last_refresh[node * n + origin] = round;
+                        self.round_refreshed += 1;
+                    }
+                }
+                self.store.apply(node, &self.delivery);
+            }
+            (
+                CpModel::Packet { .. },
+                CpState::Packet {
+                    stores, last_seen, ..
+                },
+            ) => {
                 // Deliver: decode stored items into views. A record counts
                 // as *fresh* only when the stored version matches the
                 // publisher's current sequence number; holding an older
                 // version installs the newer-than-before content but the
                 // pair still counts as stale for statistics.
-                for node in 0..n {
-                    self.delivery.clear();
-                    for origin in 0..n {
-                        let Some(item) = stores[node].get(NodeId(origin as u32)) else {
-                            continue;
-                        };
-                        let is_current = item.seq == seqs[origin];
-                        let newly = last_seen[node][origin] != Some(item.seq);
-                        if !(is_current || newly) {
-                            continue;
-                        }
-                        if let Ok(rec) = StatusRecord::decode(&item.payload) {
-                            self.delivery.push(rec);
-                            last_seen[node][origin] = Some(item.seq);
-                            self.last_refresh[node * n + origin] = round;
-                            if is_current {
-                                refreshed += 1;
-                            }
+                let node = row;
+                self.delivery.clear();
+                // `origin` indexes three parallel structures (seqs, the
+                // last-seen matrix, the refresh matrix); an iterator over
+                // any one of them would obscure the other two.
+                #[allow(clippy::needless_range_loop)]
+                for origin in 0..n {
+                    let Some(item) = stores[node].get(NodeId(origin as u32)) else {
+                        continue;
+                    };
+                    let is_current = item.seq == self.pending_seqs[origin];
+                    let newly = last_seen[node][origin] != Some(item.seq);
+                    if !(is_current || newly) {
+                        continue;
+                    }
+                    if let Ok(rec) = StatusRecord::decode(&item.payload) {
+                        self.delivery.push(rec);
+                        last_seen[node][origin] = Some(item.seq);
+                        self.last_refresh[node * n + origin] = round;
+                        if is_current {
+                            self.round_refreshed += 1;
                         }
                     }
-                    self.store.apply(node, &self.delivery);
                 }
+                self.store.apply(node, &self.delivery);
             }
             _ => unreachable!("model/state mismatch"),
         }
+    }
 
+    /// Closes the round in flight: folds the refresh counters and the
+    /// view-pool snapshot into the statistics and advances the round
+    /// index. The published statuses are dropped, so a stray
+    /// [`Self::deliver_row`] after this point panics instead of silently
+    /// re-applying the closed round's records.
+    pub fn finish_round(&mut self) {
+        let n = self.device_count;
+        self.pending.clear();
+        self.pending_seqs.clear();
         self.round_index += 1;
         self.stats.rounds += 1;
-        self.stats.refreshed_records += refreshed;
+        self.stats.refreshed_records += self.round_refreshed;
         self.stats.expected_records += (n * n) as u64;
-        if refreshed == (n * n) as u64 {
+        if self.round_refreshed == (n * n) as u64 {
             self.stats.full_rounds += 1;
         }
         if let ViewStore::Pooled { pool, .. } = &self.store {

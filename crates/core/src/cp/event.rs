@@ -1,0 +1,342 @@
+//! Event-driven communication-plane backend on the `han-sim` engine.
+//!
+//! The paper's deployment is packet-level MiniCast gossip, but the default
+//! simulation loop is a fixed-step synchronous round loop: every phase of
+//! every round runs back to back inside one `while` body. This module
+//! re-expresses one round as **typed events** on the deterministic
+//! discrete-event core ([`han_sim::engine::Engine`]):
+//!
+//! | event | granularity | work |
+//! |---|---|---|
+//! | [`CpEvent::RoundStart`] | one per round | request delivery, duty-cycle advance, status publish |
+//! | [`CpEvent::Flood`] | one per MiniCast flood step (packet CP: sync beacon + one data flood per topology node) | a single Glossy flood |
+//! | [`CpEvent::Deliver`] | one per view row (per node under lossy/packet CPs; the single shared row under an ideal CP) | one node's record refreshes |
+//! | [`CpEvent::Plan`] | one per round | the execution plane: planning triggers for every Device Interface |
+//! | [`CpEvent::RoundEnd`] | one per round | divergence probe, load sample, next-round scheduling |
+//!
+//! Because the events of one round share one instant, the engine's FIFO
+//! tie-breaking replays them in exactly the order scheduled — which is
+//! exactly the order the synchronous loop executes the same phases, RNG
+//! draw for RNG draw. That is the backend's **determinism contract**:
+//!
+//! > Under identical seeds the event backend is schedule-digest-,
+//! > divergence- and trace-identical to the synchronous round loop for
+//! > every CP model, and preserves per-round delivery semantics exactly
+//! > (same per-round `SyncTracker` outcomes) under packet CPs.
+//!
+//! The contract is enforced differentially by
+//! `crates/core/tests/prop_event_plane.rs` (random fleets × ideal /
+//! lossy / packet CPs × random seeds) and gated per PR by the
+//! `event_engine` section of `BENCH_engine.json`.
+//!
+//! # When to pick `round` vs `event`
+//!
+//! The synchronous loop is the fastest way to run one isolated home —
+//! zero queue overhead. The event backend buys *composability*: every
+//! flood step, record refresh and planning trigger is an addressable
+//! event with a firing instant, so packet delivery for home A can
+//! interleave with planning for home B on one shared engine inside a
+//! single neighborhood tick, and external event sources
+//! (hardware-in-the-loop gateways, multi-process shards) can be spliced
+//! between phases. Pick [`EngineKind::Event`] when the simulation must
+//! coexist with other event producers; pick [`EngineKind::Round`]
+//! (the default) for pure single-process sweeps.
+
+use han_sim::engine::{Engine, World};
+use han_sim::time::{SimDuration, SimTime};
+
+/// Which simulation backend executes the round phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// The fixed-step synchronous round loop (the default).
+    #[default]
+    Round,
+    /// Typed events on the `han-sim` discrete-event engine, deterministic
+    /// FIFO tie-breaking — bit-identical to [`EngineKind::Round`] by
+    /// contract (see the [module docs](self)).
+    Event,
+}
+
+impl EngineKind {
+    /// Parses a CLI-style engine name.
+    pub fn from_flag(value: &str) -> Option<EngineKind> {
+        match value {
+            "round" => Some(EngineKind::Round),
+            "event" => Some(EngineKind::Event),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EngineKind::Round => "round",
+            EngineKind::Event => "event",
+        })
+    }
+}
+
+/// One typed communication-plane event (see the [module docs](self) for
+/// the taxonomy and granularity of each variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpEvent {
+    /// Opens round `round`: deliver user requests, advance duty-cycle
+    /// bookkeeping, publish every node's status record, and schedule the
+    /// round's flood / delivery / planning events at the same instant.
+    RoundStart {
+        /// Round counter.
+        round: u64,
+    },
+    /// MiniCast flood step `phase` of round `round` (packet CPs only):
+    /// `0` is the sync beacon, `1..=n` the data flood initiated by
+    /// topology node `(round + phase − 1) mod n`.
+    Flood {
+        /// Round counter.
+        round: u64,
+        /// Flood step within the round.
+        phase: u32,
+    },
+    /// Record refresh for view row `row` of round `round` — one node's
+    /// delivery under lossy/packet CPs, the single shared row under an
+    /// ideal CP.
+    Deliver {
+        /// Round counter.
+        round: u64,
+        /// View row receiving its delivery.
+        row: u32,
+    },
+    /// Execution-plane trigger of round `round`: every Device Interface
+    /// plans from its own view and actuates its own appliance.
+    Plan {
+        /// Round counter.
+        round: u64,
+    },
+    /// Closes round `round`: divergence probe, load sample, and — when
+    /// the horizon allows — scheduling of the next [`CpEvent::RoundStart`]
+    /// one period later.
+    RoundEnd {
+        /// Round counter.
+        round: u64,
+    },
+}
+
+/// The phase interface one simulated round decomposes into.
+///
+/// Both backends drive **the same implementation** of this trait in the
+/// same order — the synchronous loop as straight-line calls, the event
+/// backend as one [`CpEvent`] per phase — which is what makes their
+/// equality structural rather than coincidental. Phases of one round are
+/// always invoked as: `begin_round`, `flood_phase(0..flood_phases())`,
+/// `deliver_row(0..delivery_rows())`, `plan`, `end_round`.
+pub trait RoundPhases {
+    /// Opens the round at instant `now` (requests, bookkeeping, publish).
+    fn begin_round(&mut self, now: SimTime);
+    /// Number of flood steps this round (0 for non-packet CPs).
+    fn flood_phases(&self) -> usize;
+    /// Executes flood step `k`.
+    fn flood_phase(&mut self, k: usize);
+    /// Number of view rows awaiting delivery this round.
+    fn delivery_rows(&self) -> usize;
+    /// Applies the round's delivery to view row `row`.
+    fn deliver_row(&mut self, row: usize);
+    /// Runs the execution plane at instant `now`.
+    fn plan(&mut self, now: SimTime);
+    /// Closes the round at instant `now` (probes, load sample).
+    fn end_round(&mut self, now: SimTime);
+}
+
+/// [`World`] adapter dispatching [`CpEvent`]s onto a [`RoundPhases`]
+/// implementation.
+struct EventWorld<'a, P: RoundPhases> {
+    phases: &'a mut P,
+    period: SimDuration,
+    end: SimTime,
+}
+
+impl<P: RoundPhases> World for EventWorld<'_, P> {
+    type Event = CpEvent;
+
+    fn handle(&mut self, engine: &mut Engine<CpEvent>, at: SimTime, event: CpEvent) {
+        match event {
+            CpEvent::RoundStart { round } => {
+                self.phases.begin_round(at);
+                // The whole round unfolds at this instant; FIFO
+                // tie-breaking fires the chain in schedule order, which is
+                // the synchronous loop's phase order.
+                for phase in 0..self.phases.flood_phases() {
+                    engine.schedule_at(
+                        at,
+                        CpEvent::Flood {
+                            round,
+                            phase: phase as u32,
+                        },
+                    );
+                }
+                for row in 0..self.phases.delivery_rows() {
+                    engine.schedule_at(
+                        at,
+                        CpEvent::Deliver {
+                            round,
+                            row: row as u32,
+                        },
+                    );
+                }
+                engine.schedule_at(at, CpEvent::Plan { round });
+                engine.schedule_at(at, CpEvent::RoundEnd { round });
+            }
+            CpEvent::Flood { phase, .. } => self.phases.flood_phase(phase as usize),
+            CpEvent::Deliver { row, .. } => self.phases.deliver_row(row as usize),
+            CpEvent::Plan { .. } => self.phases.plan(at),
+            CpEvent::RoundEnd { round } => {
+                self.phases.end_round(at);
+                let next = at + self.period;
+                if next <= self.end {
+                    engine.schedule_at(next, CpEvent::RoundStart { round: round + 1 });
+                }
+            }
+        }
+    }
+}
+
+/// Runs `phases` to the simulation horizon on the discrete-event engine:
+/// rounds start at `SimTime::ZERO` and recur every `period` while the
+/// start instant is at or before `end` (matching the synchronous loop's
+/// `now <= end` bound exactly). Returns the number of events fired.
+pub fn drive<P: RoundPhases>(phases: &mut P, period: SimDuration, end: SimTime) -> u64 {
+    let mut engine = Engine::new();
+    let mut world = EventWorld {
+        phases,
+        period,
+        end,
+    };
+    engine.schedule_at(SimTime::ZERO, CpEvent::RoundStart { round: 0 });
+    engine.run_until(&mut world, end);
+    engine.events_fired()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records every phase call so tests can assert the exact order the
+    /// backend replays.
+    #[derive(Default)]
+    struct Script {
+        calls: Vec<String>,
+        floods: usize,
+        rows: usize,
+    }
+
+    impl RoundPhases for Script {
+        fn begin_round(&mut self, now: SimTime) {
+            self.calls.push(format!("begin@{}", now.as_micros()));
+        }
+        fn flood_phases(&self) -> usize {
+            self.floods
+        }
+        fn flood_phase(&mut self, k: usize) {
+            self.calls.push(format!("flood{k}"));
+        }
+        fn delivery_rows(&self) -> usize {
+            self.rows
+        }
+        fn deliver_row(&mut self, row: usize) {
+            self.calls.push(format!("deliver{row}"));
+        }
+        fn plan(&mut self, now: SimTime) {
+            self.calls.push(format!("plan@{}", now.as_micros()));
+        }
+        fn end_round(&mut self, now: SimTime) {
+            self.calls.push(format!("end@{}", now.as_micros()));
+        }
+    }
+
+    /// The synchronous loop's phase order, for differential comparison.
+    fn sync_drive(phases: &mut Script, period: SimDuration, end: SimTime) {
+        let mut now = SimTime::ZERO;
+        while now <= end {
+            phases.begin_round(now);
+            for k in 0..phases.flood_phases() {
+                phases.flood_phase(k);
+            }
+            for row in 0..phases.delivery_rows() {
+                phases.deliver_row(row);
+            }
+            phases.plan(now);
+            phases.end_round(now);
+            now += period;
+        }
+    }
+
+    #[test]
+    fn event_backend_replays_the_synchronous_phase_order() {
+        for (floods, rows) in [(0, 1), (0, 4), (5, 4)] {
+            let mut sync = Script {
+                floods,
+                rows,
+                ..Script::default()
+            };
+            let mut event = Script {
+                floods,
+                rows,
+                ..Script::default()
+            };
+            let period = SimDuration::from_secs(2);
+            let end = SimTime::from_secs(7); // rounds at 0, 2, 4, 6
+            sync_drive(&mut sync, period, end);
+            drive(&mut event, period, end);
+            assert_eq!(
+                sync.calls, event.calls,
+                "floods={floods} rows={rows}: FIFO must replay the loop order"
+            );
+        }
+    }
+
+    #[test]
+    fn round_count_matches_inclusive_horizon() {
+        // A horizon landing exactly on a round boundary includes it, as in
+        // the synchronous loop's `now <= end`.
+        let mut phases = Script {
+            rows: 1,
+            ..Script::default()
+        };
+        drive(
+            &mut phases,
+            SimDuration::from_secs(2),
+            SimTime::from_secs(4),
+        );
+        let begins = phases
+            .calls
+            .iter()
+            .filter(|c| c.starts_with("begin"))
+            .count();
+        assert_eq!(begins, 3, "rounds at 0, 2 and 4 inclusive");
+    }
+
+    #[test]
+    fn events_fired_counts_every_phase() {
+        let mut phases = Script {
+            floods: 2,
+            rows: 3,
+            ..Script::default()
+        };
+        let fired = drive(
+            &mut phases,
+            SimDuration::from_secs(2),
+            SimTime::from_secs(2),
+        );
+        // Two rounds × (start + 2 floods + 3 delivers + plan + end).
+        assert_eq!(fired, 2 * (1 + 2 + 3 + 1 + 1));
+    }
+
+    #[test]
+    fn engine_kind_flags_round_trip() {
+        assert_eq!(EngineKind::from_flag("round"), Some(EngineKind::Round));
+        assert_eq!(EngineKind::from_flag("event"), Some(EngineKind::Event));
+        assert_eq!(EngineKind::from_flag("warp"), None);
+        assert_eq!(EngineKind::default(), EngineKind::Round);
+        assert_eq!(EngineKind::Event.to_string(), "event");
+        assert_eq!(EngineKind::Round.to_string(), "round");
+    }
+}

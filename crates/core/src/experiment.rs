@@ -7,6 +7,7 @@
 //! `fig2b`, `fig2c` and `claims` harnesses and the integration tests all
 //! share one code path.
 
+use crate::cp::event::EngineKind;
 use crate::cp::CpModel;
 use crate::simulation::{HanSimulation, SimulationConfig, SimulationOutcome, Strategy};
 use han_metrics::stats::Summary;
@@ -127,7 +128,23 @@ pub fn run_strategy(
     strategy: Strategy,
     cp: CpModel,
 ) -> Result<StrategyResult, ScenarioError> {
-    run_strategy_inner(scenario, strategy, cp, false)
+    run_strategy_inner(scenario, strategy, cp, false, EngineKind::Round)
+}
+
+/// [`run_strategy`] on an explicit simulation backend: the synchronous
+/// round loop or the event-driven backend on the `han-sim` engine (see
+/// [`crate::cp::event`] for the determinism contract binding the two).
+///
+/// # Errors
+///
+/// [`ScenarioError`] exactly as [`run_strategy`].
+pub fn run_strategy_on(
+    scenario: &Scenario,
+    strategy: Strategy,
+    cp: CpModel,
+    engine: EngineKind,
+) -> Result<StrategyResult, ScenarioError> {
+    run_strategy_inner(scenario, strategy, cp, false, engine)
 }
 
 /// [`run_strategy`] over the naive per-node execution plane (the
@@ -139,7 +156,7 @@ pub fn run_strategy_reference(
     strategy: Strategy,
     cp: CpModel,
 ) -> Result<StrategyResult, ScenarioError> {
-    run_strategy_inner(scenario, strategy, cp, true)
+    run_strategy_inner(scenario, strategy, cp, true, EngineKind::Round)
 }
 
 fn run_strategy_inner(
@@ -147,6 +164,7 @@ fn run_strategy_inner(
     strategy: Strategy,
     cp: CpModel,
     reference_planning: bool,
+    engine: EngineKind,
 ) -> Result<StrategyResult, ScenarioError> {
     scenario.validate()?;
     // Signal-aware planning hook: a scenario carrying a grid-side
@@ -166,6 +184,7 @@ fn run_strategy_inner(
         round_period: SimDuration::from_secs(2),
         strategy,
         cp,
+        engine,
         seed: scenario.seed,
     };
     let mut sim = HanSimulation::new(config, scenario.requests())?;
@@ -187,8 +206,22 @@ fn run_strategy_inner(
 ///
 /// [`ScenarioError`] if the scenario is invalid.
 pub fn compare(scenario: &Scenario, cp: CpModel) -> Result<Comparison, ScenarioError> {
-    let uncoordinated = run_strategy(scenario, Strategy::Uncoordinated, cp.clone())?;
-    let coordinated = run_strategy(scenario, Strategy::coordinated(), cp)?;
+    compare_on(scenario, cp, EngineKind::Round)
+}
+
+/// [`compare`] on an explicit simulation backend (see
+/// [`run_strategy_on`]).
+///
+/// # Errors
+///
+/// [`ScenarioError`] if the scenario is invalid.
+pub fn compare_on(
+    scenario: &Scenario,
+    cp: CpModel,
+    engine: EngineKind,
+) -> Result<Comparison, ScenarioError> {
+    let uncoordinated = run_strategy_on(scenario, Strategy::Uncoordinated, cp.clone(), engine)?;
+    let coordinated = run_strategy_on(scenario, Strategy::coordinated(), cp, engine)?;
     Ok(Comparison {
         scenario: scenario.clone(),
         uncoordinated,

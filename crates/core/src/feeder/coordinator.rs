@@ -23,7 +23,7 @@
 //!
 //! Both are deterministic: same neighborhood, same policy, same report.
 
-use crate::experiment::{collect_results, run_strategy, StrategyResult, SAMPLE_INTERVAL};
+use crate::experiment::{collect_results, run_strategy_on, StrategyResult, SAMPLE_INTERVAL};
 use crate::feeder::convergence::{ConvergenceCriterion, ConvergenceTracker, StopReason};
 use crate::feeder::signal::FeederSignal;
 use crate::feeder::ConvergenceTrace;
@@ -224,7 +224,12 @@ fn replan(home: &Home, cap: PowerCapProfile) -> Result<StrategyResult, ScenarioE
         power_cap: Some(cap),
         ..home.scenario.clone()
     };
-    run_strategy(&scenario, Strategy::coordinated(), home.cp.clone())
+    run_strategy_on(
+        &scenario,
+        Strategy::coordinated(),
+        home.cp.clone(),
+        home.engine,
+    )
 }
 
 /// Runs the full coordination loop for [`Neighborhood::run_with`].

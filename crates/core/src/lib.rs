@@ -65,6 +65,7 @@ pub use algorithm::{
     demand_rate_kw, plan_coordinated, plan_uncoordinated, plan_with_level, CoordinatedPlanner,
     Plan, PlanConfig, SchedulingRule,
 };
+pub use cp::event::{CpEvent, EngineKind};
 pub use cp::{CommunicationPlane, CpModel, CpStats};
 pub use feeder::{
     ConvergenceCriterion, ConvergenceTrace, FeederPolicy, FeederReport, FeederSignal,

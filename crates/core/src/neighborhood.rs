@@ -37,8 +37,9 @@
 //! # Ok::<(), han_workload::fleet::ScenarioError>(())
 //! ```
 
+use crate::cp::event::EngineKind;
 use crate::cp::CpModel;
-use crate::experiment::{collect_results, compare, Comparison, CostComparison, SAMPLE_INTERVAL};
+use crate::experiment::{collect_results, compare_on, Comparison, CostComparison, SAMPLE_INTERVAL};
 use han_metrics::stats::Summary;
 use han_metrics::tariff::Billing;
 use han_workload::fleet::ScenarioError;
@@ -59,15 +60,26 @@ pub struct Home {
     pub scenario: Scenario,
     /// The home's own communication-plane model.
     pub cp: CpModel,
+    /// Which backend runs this home's rounds (synchronous loop by
+    /// default; the event backend is bit-identical by contract, see
+    /// [`crate::cp::event`]).
+    pub engine: EngineKind,
 }
 
 impl Home {
-    /// Creates a home named after its scenario.
+    /// Creates a home named after its scenario, on the synchronous round
+    /// loop.
     pub fn new(scenario: Scenario, cp: CpModel) -> Self {
+        Home::with_engine(scenario, cp, EngineKind::Round)
+    }
+
+    /// Creates a home on an explicit simulation backend.
+    pub fn with_engine(scenario: Scenario, cp: CpModel, engine: EngineKind) -> Self {
         Home {
             name: scenario.name.clone(),
             scenario,
             cp,
+            engine,
         }
     }
 }
@@ -128,6 +140,16 @@ impl Neighborhood {
         self.homes.iter().map(|h| h.scenario.device_count()).sum()
     }
 
+    /// Switches every home onto `engine` (builder-style, used by the CLI
+    /// and harnesses to flip a whole street between the synchronous loop
+    /// and the event backend).
+    pub fn on_engine(mut self, engine: EngineKind) -> Self {
+        for home in &mut self.homes {
+            home.engine = engine;
+        }
+        self
+    }
+
     /// Runs the neighborhood under a feeder coordination policy: homes
     /// iteratively re-plan against the broadcast [`FeederSignal`] until
     /// the aggregate converges (see [`crate::feeder`]). The returned
@@ -186,9 +208,11 @@ impl Neighborhood {
             self.homes
                 .par_iter()
                 .map(|home| {
-                    compare(&home.scenario, home.cp.clone()).map(|comparison| HomeResult {
-                        name: home.name.clone(),
-                        comparison,
+                    compare_on(&home.scenario, home.cp.clone(), home.engine).map(|comparison| {
+                        HomeResult {
+                            name: home.name.clone(),
+                            comparison,
+                        }
                     })
                 })
                 .collect(),

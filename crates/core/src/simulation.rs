@@ -19,6 +19,7 @@
 use crate::algorithm::{
     demand_rate_kw, plan_with_level, CoordinatedPlanner, Plan, PlanConfig, SchedulingRule,
 };
+use crate::cp::event::{self, EngineKind, RoundPhases};
 use crate::cp::{CommunicationPlane, CpModel, CpStats};
 use crate::schedule::Schedule;
 use han_device::appliance::DeviceId;
@@ -71,6 +72,10 @@ pub struct SimulationConfig {
     pub strategy: Strategy,
     /// Communication-plane model.
     pub cp: CpModel,
+    /// Which backend executes the rounds: the fixed-step synchronous loop
+    /// or typed events on the `han-sim` discrete-event engine. The two are
+    /// bit-identical by contract (see [`crate::cp::event`]).
+    pub engine: EngineKind,
     /// Root seed for all stochastic components.
     pub seed: u64,
 }
@@ -85,6 +90,7 @@ impl SimulationConfig {
             round_period: SimDuration::from_secs(2),
             strategy,
             cp: CpModel::Ideal,
+            engine: EngineKind::Round,
             seed,
         }
     }
@@ -157,6 +163,9 @@ pub struct SimulationOutcome {
     pub requests_delivered: usize,
     /// Total energy delivered over the run, kWh.
     pub energy_kwh: f64,
+    /// Typed events fired by the discrete-event backend
+    /// ([`EngineKind::Event`]; 0 under the synchronous round loop).
+    pub events: u64,
     /// Communication-plane statistics.
     pub cp: CpStats,
     /// Order-sensitive digest of every node's schedule in every round
@@ -274,255 +283,122 @@ impl HanSimulation {
 
     /// Runs the simulation to completion.
     pub fn run(self) -> SimulationOutcome {
-        let cfg = &self.config;
+        let engine = self.config.engine;
+        let period = self.config.round_period;
+        let end = SimTime::ZERO + self.config.duration;
+        let mut driver = Driver::new(self);
+        match engine {
+            EngineKind::Round => {
+                // The fixed-step synchronous loop: the same phase sequence
+                // the event backend replays, as straight-line calls.
+                let mut now = SimTime::ZERO;
+                while now <= end {
+                    driver.begin_round(now);
+                    for k in 0..driver.flood_phases() {
+                        driver.flood_phase(k);
+                    }
+                    for row in 0..driver.delivery_rows() {
+                        driver.deliver_row(row);
+                    }
+                    driver.plan(now);
+                    driver.end_round(now);
+                    now += period;
+                }
+                driver.into_outcome(0)
+            }
+            EngineKind::Event => {
+                let events = event::drive(&mut driver, period, end);
+                driver.into_outcome(events)
+            }
+        }
+    }
+}
+
+/// The round-phase implementation both backends drive: all mutable run
+/// state (devices, communication plane, planners, accumulators) plus the
+/// phase methods of [`RoundPhases`].
+struct Driver {
+    config: SimulationConfig,
+    requests: Vec<Request>,
+    background: Option<LoadTrace>,
+    reference_planning: bool,
+    uses_cp: bool,
+    dis: Vec<DeviceInterface>,
+    cp: CommunicationPlane,
+    /// One planner per node (coordinated) or one for the controller.
+    planners: Vec<CoordinatedPlanner>,
+    /// Centralized mode: the last command each device actually received.
+    last_command: Vec<bool>,
+    scratch: RoundScratch,
+    trace: LoadTrace,
+    divergent_rounds: u64,
+    rounds: u64,
+    delivered: usize,
+    next_request: usize,
+    last_load_kw: f64,
+    schedule_digest: u64,
+}
+
+impl Driver {
+    fn new(sim: HanSimulation) -> Driver {
+        let cfg = &sim.config;
         let n = cfg.fleet.device_count();
 
         // Per-spec construction: each device carries its class's rated
         // power and duty-cycle constraints (the planner and wire format
         // are heterogeneity-aware end to end).
-        let mut dis: Vec<DeviceInterface> = cfg
+        let dis: Vec<DeviceInterface> = cfg
             .fleet
             .specs()
             .map(|spec| DeviceInterface::new(spec.appliance(), spec.constraints))
             .collect();
 
         let mut cp = CommunicationPlane::new(cfg.cp.clone(), n, cfg.seed);
-        if self.reference_planning {
+        if sim.reference_planning {
             cp.set_reference_views();
         }
-        let mut trace = LoadTrace::new();
-        let mut divergent_rounds = 0u64;
-        let mut rounds = 0u64;
-        let mut delivered = 0usize;
-        let mut next_request = 0usize;
-        // Centralized mode: the last command each device actually received.
-        let mut last_command: Vec<bool> = vec![false; n];
-        // One planner per node (coordinated) or one for the controller.
-        let mut planners: Vec<CoordinatedPlanner> = match &cfg.strategy {
+        let planners: Vec<CoordinatedPlanner> = match &cfg.strategy {
             Strategy::Coordinated(plan_cfg) => (0..n)
                 .map(|_| CoordinatedPlanner::new(plan_cfg.clone()))
                 .collect(),
             Strategy::Centralized { plan, .. } => vec![CoordinatedPlanner::new(plan.clone())],
             Strategy::Uncoordinated => Vec::new(),
         };
+        let uses_cp = !matches!(cfg.strategy, Strategy::Uncoordinated);
 
+        let mut trace = LoadTrace::new();
         trace.record(SimTime::ZERO, 0.0);
-        let mut now = SimTime::ZERO;
-        let mut last_load_kw = 0.0f64;
-        let mut schedule_digest = 0u64;
-        let mut scratch = RoundScratch::default();
 
-        while now <= SimTime::ZERO + cfg.duration {
-            // 1. Deliver user requests that arrived up to this round. The
-            // DI anchors the activity window at the round boundary: with a
-            // 2-second CP period this costs the user at most one round and
-            // keeps all deadlines round-aligned, so forced starts and
-            // releases swap within a single round instead of overlapping.
-            while next_request < self.requests.len() && self.requests[next_request].arrival <= now {
-                let req = self.requests[next_request];
-                dis[req.device.index()]
-                    .handle_request(now, &req)
-                    .expect("request routed to its own device");
-                delivered += 1;
-                next_request += 1;
-            }
-
-            // 2. Advance duty-cycle bookkeeping.
-            for di in &mut dis {
-                di.advance(now);
-            }
-
-            // 3. Communication plane round.
-            scratch.statuses.clear();
-            scratch
-                .statuses
-                .extend(dis.iter_mut().map(|di| di.publish(now)));
-            scratch.seqs.clear();
-            scratch.seqs.extend(dis.iter().map(DeviceInterface::seq));
-            let uses_cp = !matches!(cfg.strategy, Strategy::Uncoordinated);
-            if uses_cp {
-                cp.round(&scratch.statuses, &scratch.seqs);
-            }
-
-            // 4. Execution plane: per-device decisions.
-            match &cfg.strategy {
-                Strategy::Coordinated(plan_cfg) => {
-                    scratch.hashes.clear();
-                    scratch.groups.clear();
-                    scratch.demands.clear();
-                    scratch.plans.clear();
-                    scratch.plan_hashes.clear();
-                    scratch.node_plan.clear();
-
-                    if self.reference_planning {
-                        // Naive reference: the paper's literal formulation —
-                        // every node runs the full planner on its own view.
-                        for (i, planner) in planners.iter_mut().enumerate() {
-                            let view = cp.view(i);
-                            let level = planner.advance_level(demand_rate_kw(view), now);
-                            scratch
-                                .plans
-                                .push(plan_with_level(view, now, plan_cfg, level));
-                            scratch.node_plan.push(i);
-                        }
-                    } else {
-                        // Memoized fast path: group nodes directly by
-                        // their view-pool handle — two nodes share a
-                        // handle exactly when their views are identical,
-                        // so no per-round hashing is involved at all — and
-                        // run the planner once per distinct (view, level).
-                        // Under an ideal CP every node holds the same
-                        // view, so the planner runs exactly once; under
-                        // loss the common converged case collapses the
-                        // same way. The demand rate — the only other O(n)
-                        // per-node view scan — is memoized per handle too,
-                        // keeping the whole plane at O(distinct views)
-                        // instead of O(n). Consecutive nodes almost always
-                        // share a group (all of them, under an ideal CP),
-                        // so remember the previous node's resolution and
-                        // skip the maps entirely on a match.
-                        let mut prev_demand: Option<(u32, f64)> = None;
-                        let mut prev_group: Option<((u32, u64), usize)> = None;
-                        for (i, planner) in planners.iter_mut().enumerate() {
-                            let view = cp.view(i);
-                            let handle = cp.view_handle(i);
-                            let demand = match prev_demand {
-                                Some((prev_h, d)) if prev_h == handle => d,
-                                _ => match scratch.demands.get(&handle) {
-                                    Some(&d) => d,
-                                    None => {
-                                        let d = demand_rate_kw(view);
-                                        scratch.demands.insert(handle, d);
-                                        d
-                                    }
-                                },
-                            };
-                            prev_demand = Some((handle, demand));
-                            let level = planner.advance_level(demand, now);
-                            let key = (handle, level.to_bits());
-                            let plan_idx = match prev_group {
-                                Some((prev_key, idx)) if prev_key == key => idx,
-                                _ => match scratch.groups.get(&key) {
-                                    Some(&idx) => idx,
-                                    None => {
-                                        let plan = planner.plan_at_level(view, now);
-                                        scratch.plans.push(plan);
-                                        let idx = scratch.plans.len() - 1;
-                                        scratch.groups.insert(key, idx);
-                                        idx
-                                    }
-                                },
-                            };
-                            prev_group = Some((key, plan_idx));
-                            scratch.node_plan.push(plan_idx);
-                        }
-                    }
-
-                    // Hash each distinct plan once; the digest and the
-                    // divergence probe both reuse these.
-                    scratch
-                        .plan_hashes
-                        .extend(scratch.plans.iter().map(|p| p.schedule.content_hash()));
-
-                    let adopt_placements =
-                        matches!(plan_cfg.rule, SchedulingRule::BalancedPlacement);
-                    for (i, di) in dis.iter_mut().enumerate() {
-                        let own = DeviceId(i as u32);
-                        let plan = &scratch.plans[scratch.node_plan[i]];
-                        schedule_digest =
-                            fold_digest(schedule_digest, scratch.plan_hashes[scratch.node_plan[i]]);
-                        // Placement rules publish the node's own committed
-                        // start, making assignments sticky under loss.
-                        if adopt_placements && di.is_active() {
-                            di.set_planned_start(plan.start_of(own));
-                        }
-                        let mut on = plan.schedule.is_on(own);
-                        // Local safety overrides: a DI never lets *its own*
-                        // device miss its obligation because of the network,
-                        // and never cuts its own instance short. The forcing
-                        // rule mirrors the planner's (strict threshold).
-                        let cycler = di.cycler();
-                        if cycler.is_active() {
-                            let guard = plan_cfg.laxity_guard.as_micros() as i64;
-                            if matches!(cycler.laxity_micros(now), Some(l) if l < guard) {
-                                on = true;
-                            }
-                        }
-                        if cycler.is_on() && !cycler.instance_complete(now) {
-                            on = true;
-                        }
-                        di.command(now, on);
-                    }
-                    // The divergence probe inspects each distinct plan once;
-                    // per-node hashing would rebuild the identical set.
-                    scratch.hashes.extend(scratch.plan_hashes.iter().copied());
-                    if scratch.hashes.len() > 1 {
-                        divergent_rounds += 1;
-                    }
-                }
-                Strategy::Uncoordinated => {
-                    for di in dis.iter_mut() {
-                        let cycler = di.cycler();
-                        let on = (cycler.is_active() && !cycler.owed(now).is_zero())
-                            || (cycler.is_on() && !cycler.instance_complete(now));
-                        di.command(now, on);
-                    }
-                }
-                Strategy::Centralized {
-                    controller,
-                    crash_at,
-                    ..
-                } => {
-                    let crashed = crash_at.is_some_and(|c| now >= c);
-                    let schedule: Schedule = if crashed {
-                        Schedule::empty()
-                    } else {
-                        planners[0].plan(cp.view(controller.index()), now).schedule
-                    };
-                    for i in 0..n {
-                        if crashed {
-                            // No commands arrive; devices hold their last
-                            // commanded state (the interlock still refuses
-                            // early-offs on deactivation paths).
-                            let keep = last_command[i];
-                            dis[i].command(now, keep);
-                            continue;
-                        }
-                        // Command dissemination shares the CP's fate: under
-                        // a lossy model some devices keep their previous
-                        // command this round.
-                        let heard = i == controller.index() || cp.age(i, *controller) == Some(0);
-                        if heard {
-                            last_command[i] = schedule.is_on(DeviceId(i as u32));
-                        }
-                        let mut on = last_command[i];
-                        let cycler = dis[i].cycler();
-                        if cycler.is_on() && !cycler.instance_complete(now) {
-                            on = true;
-                        }
-                        dis[i].command(now, on);
-                    }
-                }
-            }
-            rounds += 1;
-
-            // 5. Record the load (schedulable + Type-1 background).
-            let background_kw = self.background.as_ref().map_or(0.0, |b| b.value_at(now));
-            let load_kw: f64 = dis.iter().map(|di| di.power().as_kw()).sum::<f64>() + background_kw;
-            if (load_kw - last_load_kw).abs() > 1e-12 || now == SimTime::ZERO {
-                trace.record(now, load_kw);
-                last_load_kw = load_kw;
-            }
-
-            now += cfg.round_period;
+        Driver {
+            uses_cp,
+            dis,
+            cp,
+            planners,
+            last_command: vec![false; n],
+            scratch: RoundScratch::default(),
+            trace,
+            divergent_rounds: 0,
+            rounds: 0,
+            delivered: 0,
+            next_request: 0,
+            last_load_kw: 0.0,
+            schedule_digest: 0,
+            config: sim.config,
+            requests: sim.requests,
+            background: sim.background,
+            reference_planning: sim.reference_planning,
         }
+    }
 
-        let end = SimTime::ZERO + cfg.duration;
-        let energy_kwh = trace.energy_kwh(SimTime::ZERO, end);
+    /// Closes the run: end-of-horizon aggregation over the device
+    /// counters and the load trace.
+    fn into_outcome(self, events: u64) -> SimulationOutcome {
+        let end = SimTime::ZERO + self.config.duration;
+        let energy_kwh = self.trace.energy_kwh(SimTime::ZERO, end);
         let mut deadline_misses = 0;
         let mut windows_served = 0;
         let mut refused = 0;
-        for di in &dis {
+        for di in &self.dis {
             let c = di.counters();
             deadline_misses += c.deadline_misses;
             windows_served += c.windows_served;
@@ -530,16 +406,268 @@ impl HanSimulation {
         }
 
         SimulationOutcome {
-            trace,
-            rounds,
+            trace: self.trace,
+            rounds: self.rounds,
             deadline_misses,
             windows_served,
             refused_early_off: refused,
-            divergent_rounds,
-            requests_delivered: delivered,
+            divergent_rounds: self.divergent_rounds,
+            requests_delivered: self.delivered,
             energy_kwh,
-            cp: cp.into_stats(),
-            schedule_digest,
+            events,
+            cp: self.cp.into_stats(),
+            schedule_digest: self.schedule_digest,
+        }
+    }
+}
+
+impl RoundPhases for Driver {
+    fn begin_round(&mut self, now: SimTime) {
+        // 1. Deliver user requests that arrived up to this round. The
+        // DI anchors the activity window at the round boundary: with a
+        // 2-second CP period this costs the user at most one round and
+        // keeps all deadlines round-aligned, so forced starts and
+        // releases swap within a single round instead of overlapping.
+        while self.next_request < self.requests.len()
+            && self.requests[self.next_request].arrival <= now
+        {
+            let req = self.requests[self.next_request];
+            self.dis[req.device.index()]
+                .handle_request(now, &req)
+                .expect("request routed to its own device");
+            self.delivered += 1;
+            self.next_request += 1;
+        }
+
+        // 2. Advance duty-cycle bookkeeping.
+        for di in &mut self.dis {
+            di.advance(now);
+        }
+
+        // 3. Communication plane: publish every node's status record.
+        self.scratch.statuses.clear();
+        self.scratch
+            .statuses
+            .extend(self.dis.iter_mut().map(|di| di.publish(now)));
+        self.scratch.seqs.clear();
+        self.scratch
+            .seqs
+            .extend(self.dis.iter().map(DeviceInterface::seq));
+        if self.uses_cp {
+            self.cp
+                .begin_round(&self.scratch.statuses, &self.scratch.seqs);
+        }
+    }
+
+    fn flood_phases(&self) -> usize {
+        if self.uses_cp {
+            self.cp.flood_phases()
+        } else {
+            0
+        }
+    }
+
+    fn flood_phase(&mut self, k: usize) {
+        self.cp.flood_phase(k);
+    }
+
+    fn delivery_rows(&self) -> usize {
+        if self.uses_cp {
+            self.cp.delivery_rows()
+        } else {
+            0
+        }
+    }
+
+    fn deliver_row(&mut self, row: usize) {
+        self.cp.deliver_row(row);
+    }
+
+    fn plan(&mut self, now: SimTime) {
+        // The CP round closes here — after the last delivery, before any
+        // planner reads a view or an age — exactly where the synchronous
+        // `CommunicationPlane::round` used to return.
+        if self.uses_cp {
+            self.cp.finish_round();
+        }
+
+        // 4. Execution plane: per-device decisions.
+        let dis = &mut self.dis;
+        let cp = &self.cp;
+        let planners = &mut self.planners;
+        let scratch = &mut self.scratch;
+        match &self.config.strategy {
+            Strategy::Coordinated(plan_cfg) => {
+                scratch.hashes.clear();
+                scratch.groups.clear();
+                scratch.demands.clear();
+                scratch.plans.clear();
+                scratch.plan_hashes.clear();
+                scratch.node_plan.clear();
+
+                if self.reference_planning {
+                    // Naive reference: the paper's literal formulation —
+                    // every node runs the full planner on its own view.
+                    for (i, planner) in planners.iter_mut().enumerate() {
+                        let view = cp.view(i);
+                        let level = planner.advance_level(demand_rate_kw(view), now);
+                        scratch
+                            .plans
+                            .push(plan_with_level(view, now, plan_cfg, level));
+                        scratch.node_plan.push(i);
+                    }
+                } else {
+                    // Memoized fast path: group nodes directly by
+                    // their view-pool handle — two nodes share a
+                    // handle exactly when their views are identical,
+                    // so no per-round hashing is involved at all — and
+                    // run the planner once per distinct (view, level).
+                    // Under an ideal CP every node holds the same
+                    // view, so the planner runs exactly once; under
+                    // loss the common converged case collapses the
+                    // same way. The demand rate — the only other O(n)
+                    // per-node view scan — is memoized per handle too,
+                    // keeping the whole plane at O(distinct views)
+                    // instead of O(n). Consecutive nodes almost always
+                    // share a group (all of them, under an ideal CP),
+                    // so remember the previous node's resolution and
+                    // skip the maps entirely on a match.
+                    let mut prev_demand: Option<(u32, f64)> = None;
+                    let mut prev_group: Option<((u32, u64), usize)> = None;
+                    for (i, planner) in planners.iter_mut().enumerate() {
+                        let view = cp.view(i);
+                        let handle = cp.view_handle(i);
+                        let demand = match prev_demand {
+                            Some((prev_h, d)) if prev_h == handle => d,
+                            _ => match scratch.demands.get(&handle) {
+                                Some(&d) => d,
+                                None => {
+                                    let d = demand_rate_kw(view);
+                                    scratch.demands.insert(handle, d);
+                                    d
+                                }
+                            },
+                        };
+                        prev_demand = Some((handle, demand));
+                        let level = planner.advance_level(demand, now);
+                        let key = (handle, level.to_bits());
+                        let plan_idx = match prev_group {
+                            Some((prev_key, idx)) if prev_key == key => idx,
+                            _ => match scratch.groups.get(&key) {
+                                Some(&idx) => idx,
+                                None => {
+                                    let plan = planner.plan_at_level(view, now);
+                                    scratch.plans.push(plan);
+                                    let idx = scratch.plans.len() - 1;
+                                    scratch.groups.insert(key, idx);
+                                    idx
+                                }
+                            },
+                        };
+                        prev_group = Some((key, plan_idx));
+                        scratch.node_plan.push(plan_idx);
+                    }
+                }
+
+                // Hash each distinct plan once; the digest and the
+                // divergence probe both reuse these.
+                scratch
+                    .plan_hashes
+                    .extend(scratch.plans.iter().map(|p| p.schedule.content_hash()));
+
+                let adopt_placements = matches!(plan_cfg.rule, SchedulingRule::BalancedPlacement);
+                for (i, di) in dis.iter_mut().enumerate() {
+                    let own = DeviceId(i as u32);
+                    let plan = &scratch.plans[scratch.node_plan[i]];
+                    self.schedule_digest = fold_digest(
+                        self.schedule_digest,
+                        scratch.plan_hashes[scratch.node_plan[i]],
+                    );
+                    // Placement rules publish the node's own committed
+                    // start, making assignments sticky under loss.
+                    if adopt_placements && di.is_active() {
+                        di.set_planned_start(plan.start_of(own));
+                    }
+                    let mut on = plan.schedule.is_on(own);
+                    // Local safety overrides: a DI never lets *its own*
+                    // device miss its obligation because of the network,
+                    // and never cuts its own instance short. The forcing
+                    // rule mirrors the planner's (strict threshold).
+                    let cycler = di.cycler();
+                    if cycler.is_active() {
+                        let guard = plan_cfg.laxity_guard.as_micros() as i64;
+                        if matches!(cycler.laxity_micros(now), Some(l) if l < guard) {
+                            on = true;
+                        }
+                    }
+                    if cycler.is_on() && !cycler.instance_complete(now) {
+                        on = true;
+                    }
+                    di.command(now, on);
+                }
+                // The divergence probe inspects each distinct plan once;
+                // per-node hashing would rebuild the identical set.
+                scratch.hashes.extend(scratch.plan_hashes.iter().copied());
+                if scratch.hashes.len() > 1 {
+                    self.divergent_rounds += 1;
+                }
+            }
+            Strategy::Uncoordinated => {
+                for di in dis.iter_mut() {
+                    let cycler = di.cycler();
+                    let on = (cycler.is_active() && !cycler.owed(now).is_zero())
+                        || (cycler.is_on() && !cycler.instance_complete(now));
+                    di.command(now, on);
+                }
+            }
+            Strategy::Centralized {
+                controller,
+                crash_at,
+                ..
+            } => {
+                let crashed = crash_at.is_some_and(|c| now >= c);
+                let schedule: Schedule = if crashed {
+                    Schedule::empty()
+                } else {
+                    planners[0].plan(cp.view(controller.index()), now).schedule
+                };
+                for (i, di) in dis.iter_mut().enumerate() {
+                    if crashed {
+                        // No commands arrive; devices hold their last
+                        // commanded state (the interlock still refuses
+                        // early-offs on deactivation paths).
+                        let keep = self.last_command[i];
+                        di.command(now, keep);
+                        continue;
+                    }
+                    // Command dissemination shares the CP's fate: under
+                    // a lossy model some devices keep their previous
+                    // command this round.
+                    let heard = i == controller.index() || cp.age(i, *controller) == Some(0);
+                    if heard {
+                        self.last_command[i] = schedule.is_on(DeviceId(i as u32));
+                    }
+                    let mut on = self.last_command[i];
+                    let cycler = di.cycler();
+                    if cycler.is_on() && !cycler.instance_complete(now) {
+                        on = true;
+                    }
+                    di.command(now, on);
+                }
+            }
+        }
+    }
+
+    fn end_round(&mut self, now: SimTime) {
+        self.rounds += 1;
+
+        // 5. Record the load (schedulable + Type-1 background).
+        let background_kw = self.background.as_ref().map_or(0.0, |b| b.value_at(now));
+        let load_kw: f64 =
+            self.dis.iter().map(|di| di.power().as_kw()).sum::<f64>() + background_kw;
+        if (load_kw - self.last_load_kw).abs() > 1e-12 || now == SimTime::ZERO {
+            self.trace.record(now, load_kw);
+            self.last_load_kw = load_kw;
         }
     }
 }
@@ -557,6 +685,7 @@ mod tests {
             round_period: SimDuration::from_secs(2),
             strategy,
             cp,
+            engine: EngineKind::Round,
             seed: 1,
         }
     }

@@ -1,0 +1,257 @@
+//! Differential property tests of the event-driven simulation backend.
+//!
+//! The event backend ([`han_core::cp::event`]) re-expresses the two-plane
+//! round loop as typed events on the `han-sim` discrete-event engine —
+//! per-node MiniCast flood steps, per-row record refreshes and planning
+//! triggers, FIFO tie-broken at each round instant. Its headline
+//! guarantee is **test-enforced here**: under identical seeds it must be
+//! bit-identical to the synchronous round loop — same order-sensitive
+//! `schedule_digest`, same `divergent_rounds`, same load trace, same
+//! service metrics — on random fleets under ideal, lossy *and*
+//! packet-level communication planes, and it must preserve per-round
+//! delivery semantics exactly (same delivery statistics and the same
+//! `SyncTracker` outcome) under packet CPs. The content-addressed
+//! [`ViewPool`](han_core::pool::ViewPool) bounds must also keep holding
+//! when the plane rides the engine.
+//!
+//! Case counts scale with the build profile: the debug run (tier-1
+//! `cargo test`) keeps a quick battery, the dedicated release CI job
+//! runs the full one.
+
+use han_core::cp::event::EngineKind;
+use han_core::cp::CpModel;
+use han_core::simulation::{HanSimulation, SimulationConfig, SimulationOutcome, Strategy};
+use han_device::appliance::{ApplianceKind, DeviceId};
+use han_device::duty_cycle::DutyCycleConstraints;
+use han_device::request::Request;
+use han_net::generators;
+use han_radio::channel::ChannelModel;
+use han_sim::time::{SimDuration, SimTime};
+use han_st::StConfig;
+use han_workload::fleet::{DeviceClass, FleetSpec};
+use proptest::prelude::*;
+
+/// Debug runs (tier-1) keep the battery quick; the release CI job runs
+/// the full width.
+const CASES: u32 = if cfg!(debug_assertions) { 6 } else { 24 };
+
+/// Type-2 kinds a class can be drawn as.
+const TYPE2_KINDS: [ApplianceKind; 5] = [
+    ApplianceKind::AirConditioner,
+    ApplianceKind::RoomHeater,
+    ApplianceKind::WaterHeater,
+    ApplianceKind::Fridge,
+    ApplianceKind::WaterCooler,
+];
+
+fn run(
+    fleet: FleetSpec,
+    requests: Vec<Request>,
+    cp: CpModel,
+    minutes: u64,
+    seed: u64,
+    engine: EngineKind,
+) -> SimulationOutcome {
+    let config = SimulationConfig {
+        fleet,
+        duration: SimDuration::from_mins(minutes),
+        round_period: SimDuration::from_secs(2),
+        strategy: Strategy::coordinated(),
+        cp,
+        engine,
+        seed,
+    };
+    HanSimulation::new(config, requests)
+        .expect("valid config")
+        .run()
+}
+
+prop_compose! {
+    /// A random heterogeneous fleet — 3..9 devices partitioned into
+    /// classes with mixed kinds, powers (0.1..4.0 kW) and constraints —
+    /// plus up to one request per device inside the first 15 minutes (so
+    /// windows are in flight while the CP is at work).
+    fn arb_fleet_workload()(
+        devices in 3usize..9,
+        raw_cuts in prop::collection::vec(1..9usize, 0..3),
+        kinds in prop::collection::vec(0..TYPE2_KINDS.len(), 9..10),
+        power_deci in prop::collection::vec(1u32..40, 9..10),
+        dcd_mins in prop::collection::vec(5u64..16, 9..10),
+        specs in prop::collection::btree_map(0u32..9, 0u64..15, 1..9)
+    ) -> (FleetSpec, Vec<Request>) {
+        let mut cuts = raw_cuts;
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut sizes = Vec::new();
+        let mut prev = 0usize;
+        for &c in cuts.iter().filter(|&&c| c < devices) {
+            sizes.push(c - prev);
+            prev = c;
+        }
+        sizes.push(devices - prev);
+        let fleet = FleetSpec::new(
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &count)| {
+                    let dcd = SimDuration::from_mins(dcd_mins[i % dcd_mins.len()]);
+                    DeviceClass::new(
+                        format!("class {i}"),
+                        TYPE2_KINDS[kinds[i % kinds.len()]],
+                        f64::from(power_deci[i % power_deci.len()]) / 10.0,
+                        DutyCycleConstraints::new(dcd, dcd + dcd).expect("dcd <= dcp"),
+                        count,
+                    )
+                })
+                .collect(),
+        )
+        .expect("valid fleet");
+        let requests = specs
+            .into_iter()
+            .map(|(slot, minute)| {
+                Request::new(DeviceId(slot % devices as u32), SimTime::from_mins(minute))
+            })
+            .collect();
+        (fleet, requests)
+    }
+}
+
+/// Runs both backends and asserts every observable is identical,
+/// returning the event-backend outcome for further inspection.
+fn assert_backends_identical(
+    fleet: FleetSpec,
+    requests: Vec<Request>,
+    cp: CpModel,
+    minutes: u64,
+    seed: u64,
+) -> Result<SimulationOutcome, TestCaseError> {
+    let round = run(
+        fleet.clone(),
+        requests.clone(),
+        cp.clone(),
+        minutes,
+        seed,
+        EngineKind::Round,
+    );
+    let event = run(fleet, requests, cp, minutes, seed, EngineKind::Event);
+    prop_assert_eq!(
+        event.schedule_digest,
+        round.schedule_digest,
+        "event backend must issue byte-identical schedules at every node"
+    );
+    prop_assert_eq!(event.divergent_rounds, round.divergent_rounds);
+    prop_assert_eq!(&event.trace, &round.trace);
+    prop_assert_eq!(event.rounds, round.rounds);
+    prop_assert_eq!(event.deadline_misses, round.deadline_misses);
+    prop_assert_eq!(event.windows_served, round.windows_served);
+    prop_assert_eq!(event.requests_delivered, round.requests_delivered);
+    prop_assert!((event.energy_kwh - round.energy_kwh).abs() < 1e-12);
+    // Per-round delivery semantics are preserved exactly: every CP
+    // statistic the round loop accumulates, the event backend must too.
+    prop_assert_eq!(event.cp.refreshed_records, round.cp.refreshed_records);
+    prop_assert_eq!(event.cp.expected_records, round.cp.expected_records);
+    prop_assert_eq!(event.cp.full_rounds, round.cp.full_rounds);
+    prop_assert_eq!(event.cp.rounds, round.cp.rounds);
+    // ...including the clock-sync outcome at every round boundary.
+    prop_assert_eq!(event.cp.worst_sync_error, round.cp.worst_sync_error);
+    prop_assert_eq!(
+        round.events,
+        0,
+        "the synchronous loop fires no engine events"
+    );
+    prop_assert!(
+        event.events >= event.rounds * 4,
+        "every round is at least start + deliver + plan + end events"
+    );
+    Ok(event)
+}
+
+/// The view-pool contract must keep holding when the plane rides the
+/// engine.
+fn assert_pool_bounded(outcome: &SimulationOutcome, devices: usize) -> Result<(), TestCaseError> {
+    let pool = outcome.cp.view_pool.expect("pooled plane reports stats");
+    prop_assert!(
+        pool.live_views <= devices,
+        "live views {} exceed node count {}",
+        pool.live_views,
+        devices
+    );
+    prop_assert!(
+        pool.slots <= pool.peak_views + 1,
+        "slots {} vs peak {}: reclaimed entries must be reused",
+        pool.slots,
+        pool.peak_views
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    #[test]
+    fn event_backend_identical_under_ideal(
+        workload in arb_fleet_workload(),
+        seed in any::<u64>()
+    ) {
+        let (fleet, requests) = workload;
+        let event = assert_backends_identical(fleet, requests, CpModel::Ideal, 45, seed)?;
+        let pool = event.cp.view_pool.expect("pooled plane reports stats");
+        prop_assert_eq!(pool.live_views, 1, "ideal CP shares one view on the engine too");
+        prop_assert_eq!(pool.peak_views, 1);
+    }
+
+    #[test]
+    fn event_backend_identical_under_lossy_round(
+        workload in arb_fleet_workload(),
+        miss_milli in 0u64..600,
+        seed in any::<u64>()
+    ) {
+        let (fleet, requests) = workload;
+        let devices = fleet.device_count();
+        let cp = CpModel::LossyRound {
+            miss_probability: miss_milli as f64 / 1000.0,
+        };
+        let event = assert_backends_identical(fleet, requests, cp, 45, seed)?;
+        assert_pool_bounded(&event, devices)?;
+    }
+
+    #[test]
+    fn event_backend_identical_under_lossy_record(
+        workload in arb_fleet_workload(),
+        miss_milli in 0u64..600,
+        seed in any::<u64>()
+    ) {
+        let (fleet, requests) = workload;
+        let devices = fleet.device_count();
+        let cp = CpModel::LossyRecord {
+            miss_probability: miss_milli as f64 / 1000.0,
+        };
+        let event = assert_backends_identical(fleet, requests, cp, 45, seed)?;
+        assert_pool_bounded(&event, devices)?;
+    }
+
+    #[test]
+    fn event_backend_identical_under_packet_cp(
+        workload in arb_fleet_workload(),
+        channel_seed in any::<u64>(),
+        seed in any::<u64>()
+    ) {
+        // Packet-level MiniCast on a 3×3 indoor grid: real per-link loss,
+        // stale decodes, per-flood RNG draws — the adversarial case for
+        // replaying flood steps as individual events.
+        let (fleet, requests) = workload;
+        let devices = fleet.device_count();
+        let cp = CpModel::Packet {
+            st: StConfig::default(),
+            topology: generators::grid(3, 3, 18.0, ChannelModel::indoor_office(channel_seed)),
+        };
+        let event = assert_backends_identical(fleet, requests, cp, 16, seed)?;
+        assert_pool_bounded(&event, devices)?;
+        // 9 topology nodes ⇒ 10 flood-step events per round, each its own
+        // typed event.
+        prop_assert!(
+            event.events >= event.rounds * (1 + 10 + 1 + 1 + 1),
+            "packet rounds must fire one event per flood step"
+        );
+    }
+}

@@ -44,7 +44,7 @@ fn street(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(debug_assertions) { 10 } else { 24 }))]
 
     #[test]
     fn tight_signals_never_increase_deadline_misses(

@@ -11,6 +11,7 @@
 //!    execution plane must still issue byte-identical schedules to the
 //!    naive per-node reference plane.
 
+use han_core::cp::event::EngineKind;
 use han_core::cp::CpModel;
 use han_core::simulation::{HanSimulation, SimulationConfig, SimulationOutcome, Strategy};
 use han_device::appliance::{ApplianceKind, DeviceId};
@@ -42,6 +43,7 @@ fn run(
         round_period: SimDuration::from_secs(2),
         strategy: Strategy::coordinated(),
         cp,
+        engine: EngineKind::Round,
         seed: 7,
     };
     let mut sim = HanSimulation::new(config, requests).expect("valid config");
@@ -80,7 +82,7 @@ prop_compose! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(debug_assertions) { 12 } else { 32 }))]
 
     #[test]
     fn partitioned_1kw_fleet_identical_to_homogeneous(

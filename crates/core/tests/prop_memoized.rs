@@ -7,6 +7,7 @@
 //! `schedule_digest` — and identical `divergent_rounds`, load traces and
 //! service metrics to the naive per-node reference path.
 
+use han_core::cp::event::EngineKind;
 use han_core::cp::CpModel;
 use han_core::simulation::{HanSimulation, SimulationConfig, SimulationOutcome, Strategy};
 use han_device::appliance::DeviceId;
@@ -30,6 +31,7 @@ fn run(
         round_period: SimDuration::from_secs(2),
         strategy: Strategy::coordinated(),
         cp,
+        engine: EngineKind::Round,
         seed,
     };
     let mut sim = HanSimulation::new(config, requests).expect("valid config");
@@ -58,7 +60,7 @@ prop_compose! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(debug_assertions) { 12 } else { 32 }))]
 
     #[test]
     fn memoized_matches_reference_under_lossy_round(

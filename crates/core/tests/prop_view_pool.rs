@@ -12,6 +12,7 @@
 //! reused (no unbounded growth across rounds), and an ideal CP keeps
 //! exactly one entry.
 
+use han_core::cp::event::EngineKind;
 use han_core::cp::CpModel;
 use han_core::simulation::{HanSimulation, SimulationConfig, SimulationOutcome, Strategy};
 use han_device::appliance::DeviceId;
@@ -39,6 +40,7 @@ fn run(
         round_period: SimDuration::from_secs(2),
         strategy: Strategy::coordinated(),
         cp,
+        engine: EngineKind::Round,
         seed,
     };
     let mut sim = HanSimulation::new(config, requests).expect("valid config");
@@ -113,7 +115,7 @@ fn assert_pool_bounded(outcome: &SimulationOutcome, devices: usize) -> Result<()
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(debug_assertions) { 10 } else { 24 }))]
 
     #[test]
     fn pooled_matches_reference_under_lossy_round(

@@ -36,13 +36,26 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 use crate::time::{SimDuration, SimTime};
 
 /// A handle identifying a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(u64);
+
+/// Lifecycle of one scheduled event, tracked exactly (one byte per event
+/// ever scheduled) so cancellation answers are never approximate: a
+/// cancelled id can never fire, a fired id can never be "cancelled", and
+/// [`Engine::pending`] is an O(1) counter instead of heap arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventState {
+    /// Scheduled, not yet fired or cancelled.
+    Pending,
+    /// Cancelled before firing; its queue entry is skipped when drained.
+    Cancelled,
+    /// Dispatched to the world.
+    Fired,
+}
 
 /// Simulation state that reacts to events.
 ///
@@ -58,8 +71,8 @@ pub trait World {
 
 struct Scheduled<E> {
     at: SimTime,
+    /// Monotone schedule order; doubles as the event's [`EventId`] value.
     seq: u64,
-    id: EventId,
     event: E,
 }
 
@@ -88,7 +101,13 @@ pub struct Engine<E> {
     now: SimTime,
     queue: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
-    cancelled: HashSet<EventId>,
+    /// `states[seq]` is the exact lifecycle state of event `seq`. Grows by
+    /// one byte per scheduled event — bounded by the run length, and the
+    /// price of exact `cancel`/`pending` answers with plain array reads on
+    /// the pop path (no hashing).
+    states: Vec<EventState>,
+    /// Events currently pending (scheduled, neither fired nor cancelled).
+    live: usize,
     fired: u64,
 }
 
@@ -115,7 +134,8 @@ impl<E> Engine<E> {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: HashSet::new(),
+            states: Vec::new(),
+            live: 0,
             fired: 0,
         }
     }
@@ -133,10 +153,10 @@ impl<E> Engine<E> {
         self.fired
     }
 
-    /// Returns the number of events still pending (including cancelled ones
-    /// not yet drained).
+    /// Returns the number of events still pending (scheduled and neither
+    /// fired nor cancelled).
     pub fn pending(&self) -> usize {
-        self.queue.len() - self.cancelled.len()
+        self.live
     }
 
     /// Schedules `event` to fire at absolute instant `at`.
@@ -158,9 +178,10 @@ impl<E> Engine<E> {
         self.queue.push(Scheduled {
             at,
             seq: self.next_seq,
-            id,
             event,
         });
+        self.states.push(EventState::Pending);
+        self.live += 1;
         self.next_seq += 1;
         id
     }
@@ -175,12 +196,18 @@ impl<E> Engine<E> {
     /// Returns `true` if the event was still pending, `false` if it already
     /// fired or was already cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
+        // Only a still-pending id can move to Cancelled: an id that already
+        // fired (or was never issued, or was already cancelled) reports
+        // `false` exactly as documented. The stale queue entry is skipped
+        // when it reaches the head.
+        match self.states.get_mut(id.0 as usize) {
+            Some(state @ EventState::Pending) => {
+                *state = EventState::Cancelled;
+                self.live -= 1;
+                true
+            }
+            _ => false,
         }
-        // An id can be cancelled only once, and never after it fired; the
-        // `cancelled` set is drained as its entries reach the queue head.
-        self.cancelled.insert(id)
     }
 
     /// Pops the next live event, advancing the clock to its firing time.
@@ -188,9 +215,11 @@ impl<E> Engine<E> {
     /// Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(sched) = self.queue.pop() {
-            if self.cancelled.remove(&sched.id) {
+            if self.states[sched.seq as usize] != EventState::Pending {
                 continue;
             }
+            self.states[sched.seq as usize] = EventState::Fired;
+            self.live -= 1;
             debug_assert!(sched.at >= self.now, "event queue went back in time");
             self.now = sched.at;
             self.fired += 1;
@@ -202,9 +231,8 @@ impl<E> Engine<E> {
     /// Returns the firing time of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(sched) = self.queue.peek() {
-            if self.cancelled.contains(&sched.id) {
-                let sched = self.queue.pop().expect("peeked entry vanished");
-                self.cancelled.remove(&sched.id);
+            if self.states[sched.seq as usize] != EventState::Pending {
+                self.queue.pop();
                 continue;
             }
             return Some(sched.at);
@@ -398,5 +426,142 @@ mod tests {
     fn cancel_unknown_id_is_false() {
         let mut engine: Engine<Ev> = Engine::new();
         assert!(!engine.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false() {
+        let mut engine = Engine::new();
+        let mut world = Recorder::default();
+        let id = engine.schedule_at(SimTime::from_secs(1), Ev::A);
+        engine.run_to_completion(&mut world);
+        assert!(
+            !engine.cancel(id),
+            "a fired event must not report as cancelled"
+        );
+        assert_eq!(engine.pending(), 0, "bookkeeping must stay exact");
+        // And the refusal must not poison later events.
+        engine.schedule_at(SimTime::from_secs(2), Ev::B);
+        assert_eq!(engine.pending(), 1);
+        engine.run_to_completion(&mut world);
+        assert_eq!(world.seen.len(), 2);
+    }
+
+    #[test]
+    fn cancelled_same_instant_event_skipped_in_fifo_order() {
+        // Three events share one instant; cancelling the middle one must
+        // leave the FIFO order of the survivors untouched.
+        let mut engine = Engine::new();
+        let mut world = Recorder::default();
+        let t = SimTime::from_secs(4);
+        engine.schedule_at(t, Ev::A);
+        let mid = engine.schedule_at(t, Ev::Chain(0));
+        engine.schedule_at(t, Ev::B);
+        assert!(engine.cancel(mid));
+        engine.run_to_completion(&mut world);
+        assert_eq!(
+            world.seen,
+            vec![(t, Ev::A), (t, Ev::B)],
+            "cancellation must not disturb same-instant FIFO"
+        );
+    }
+
+    #[test]
+    fn cancel_all_pending_leaves_empty_engine() {
+        let mut engine: Engine<Ev> = Engine::new();
+        let ids: Vec<_> = (0..5)
+            .map(|s| engine.schedule_at(SimTime::from_secs(s), Ev::A))
+            .collect();
+        for id in &ids {
+            assert!(engine.cancel(*id));
+        }
+        assert_eq!(engine.pending(), 0);
+        assert_eq!(engine.peek_time(), None, "peek must drain cancelled heads");
+        let mut world = Recorder::default();
+        engine.run_to_completion(&mut world);
+        assert!(world.seen.is_empty());
+        assert_eq!(engine.events_fired(), 0);
+    }
+
+    #[test]
+    fn interleaved_schedule_at_and_in_keep_fifo_at_same_instant() {
+        // schedule_in resolves against the clock at scheduling time; events
+        // landing on the same instant through *different* scheduling calls
+        // must still fire in the order they were scheduled.
+        struct Mixer {
+            seen: Vec<(SimTime, u32)>,
+        }
+        impl World for Mixer {
+            type Event = u32;
+            fn handle(&mut self, engine: &mut Engine<u32>, at: SimTime, ev: u32) {
+                self.seen.push((at, ev));
+                if ev == 0 {
+                    // From t=1s, aim three different calls at t=3s,
+                    // interleaved with an absolute one for t=3s.
+                    engine.schedule_in(SimDuration::from_secs(2), 10);
+                    engine.schedule_at(SimTime::from_secs(3), 11);
+                    engine.schedule_in(SimDuration::from_secs(2), 12);
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        let mut world = Mixer { seen: Vec::new() };
+        engine.schedule_at(SimTime::from_secs(1), 0);
+        engine.schedule_at(SimTime::from_secs(3), 9); // scheduled first, fires first
+        engine.run_to_completion(&mut world);
+        let at_three: Vec<u32> = world
+            .seen
+            .iter()
+            .filter(|(at, _)| *at == SimTime::from_secs(3))
+            .map(|&(_, ev)| ev)
+            .collect();
+        assert_eq!(
+            at_three,
+            vec![9, 10, 11, 12],
+            "schedule order, not call style, decides same-instant firing"
+        );
+    }
+
+    #[test]
+    fn run_until_fires_exactly_at_deadline_and_parks_clock() {
+        let mut engine = Engine::new();
+        let mut world = Recorder::default();
+        engine.schedule_at(SimTime::from_secs(2), Ev::A);
+        engine.schedule_at(SimTime::from_secs(5), Ev::B); // beyond deadline
+        engine.run_until(&mut world, SimTime::from_secs(2));
+        assert_eq!(
+            world.seen,
+            vec![(SimTime::from_secs(2), Ev::A)],
+            "events exactly at the deadline are inclusive"
+        );
+        assert_eq!(
+            engine.now(),
+            SimTime::from_secs(2),
+            "clock rests at the deadline while future work remains"
+        );
+        assert_eq!(engine.pending(), 1);
+    }
+
+    #[test]
+    fn run_until_with_drained_queue_keeps_last_fired_instant() {
+        let mut engine = Engine::new();
+        let mut world = Recorder::default();
+        engine.schedule_at(SimTime::from_secs(1), Ev::A);
+        engine.run_until(&mut world, SimTime::from_secs(10));
+        assert_eq!(
+            engine.now(),
+            SimTime::from_secs(1),
+            "an empty queue leaves the clock at the last fired event, \
+             not the deadline"
+        );
+        // A deadline in the past of pending work fires nothing and leaves
+        // the clock untouched.
+        engine.schedule_at(SimTime::from_secs(8), Ev::B);
+        engine.run_until(&mut world, SimTime::from_secs(5));
+        assert_eq!(world.seen.len(), 1);
+        assert_eq!(
+            engine.now(),
+            SimTime::from_secs(5),
+            "the clock parks at the deadline when later work remains"
+        );
     }
 }

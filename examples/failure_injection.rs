@@ -28,6 +28,7 @@ fn run(strategy: Strategy, loss: f64) -> SimulationOutcome {
         cp: CpModel::LossyRound {
             miss_probability: loss,
         },
+        engine: EngineKind::Round,
         seed: 11,
     };
     HanSimulation::new(config, requests)

@@ -23,6 +23,7 @@ fn main() -> Result<(), ScenarioError> {
         round_period: SimDuration::from_secs(2),
         strategy,
         cp: CpModel::Ideal,
+        engine: EngineKind::Round,
         seed: 1,
     };
 

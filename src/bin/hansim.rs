@@ -14,6 +14,10 @@
 //!                                  scheduling strategy (default: compare;
 //!                                  neighborhood runs always compare)
 //!   --cp <ideal|lossy:P|packet>    communication plane (default: ideal)
+//!   --engine <round|event>         simulation backend (default: round;
+//!                                  event = typed events on the han-sim
+//!                                  discrete-event engine, bit-identical
+//!                                  by contract)
 //!   --minutes <N>                  duration in minutes (default: 350)
 //!   --devices <N>                  number of 1 kW devices (default: 26)
 //!   --homes <N>                    homes on one feeder (default: 1 —
@@ -28,7 +32,7 @@
 //!                                  feeder aggregate per policy)
 //! ```
 
-use smart_han::core::experiment::{run_strategy, SAMPLE_INTERVAL};
+use smart_han::core::experiment::{run_strategy_on, SAMPLE_INTERVAL};
 use smart_han::core::feeder::{FeederPolicy, FeederReport, FeederSignal};
 use smart_han::metrics::report::series_csv;
 use smart_han::metrics::tariff::{Billing, CostBreakdown};
@@ -106,6 +110,7 @@ struct Args {
     workload: String,
     strategy: String,
     cp: CpModel,
+    engine: EngineKind,
     minutes: u64,
     devices: usize,
     homes: usize,
@@ -147,6 +152,7 @@ fn parse_args() -> Result<Args, CliError> {
         workload: "poisson".into(),
         strategy: "compare".into(),
         cp: CpModel::Ideal,
+        engine: EngineKind::Round,
         minutes: 350,
         devices: 26,
         homes: 1,
@@ -220,6 +226,14 @@ fn parse_args() -> Result<Args, CliError> {
                         expected: "ideal|lossy:P|packet",
                     });
                 };
+            }
+            "--engine" => {
+                let v = value("--engine")?;
+                args.engine = EngineKind::from_flag(&v).ok_or(CliError::Invalid {
+                    flag: "--engine",
+                    value: v,
+                    expected: "round|event",
+                })?;
             }
             "--minutes" => args.minutes = parse_num(&value("--minutes")?, "--minutes")?,
             "--devices" => args.devices = parse_num(&value("--devices")?, "--devices")?,
@@ -303,7 +317,7 @@ fn run_single_home(args: &Args, scenario: &Scenario) -> Result<(), CliError> {
 
     let mut results: Vec<(&str, StrategyResult)> = Vec::new();
     for (name, strategy) in &named {
-        let r = run_strategy(scenario, strategy.clone(), args.cp.clone())?;
+        let r = run_strategy_on(scenario, strategy.clone(), args.cp.clone(), args.engine)?;
         results.push((*name, r));
     }
 
@@ -411,7 +425,8 @@ fn run_neighborhood(args: &Args, scenario: &Scenario) -> Result<(), CliError> {
         scenario,
         args.cp.clone(),
         args.homes,
-    )?;
+    )?
+    .on_engine(args.engine);
     let report = hood.run()?;
     let feeder_run = match &args.feeder {
         Some(signal) => Some(hood.run_with(&FeederPolicy::new(signal.clone()))?),
@@ -507,8 +522,9 @@ fn fail(error: &CliError) -> ExitCode {
     eprintln!(
         "usage: hansim [--rate low|moderate|high|N] [--workload poisson|daily] \
          [--strategy coordinated|uncoordinated|centralized|compare] \
-         [--cp ideal|lossy:P|packet] [--minutes N] [--devices N] \
-         [--homes N] [--feeder cap:KW|tou|congestion[:U]] [--seed N] [--csv]"
+         [--cp ideal|lossy:P|packet] [--engine round|event] [--minutes N] \
+         [--devices N] [--homes N] [--feeder cap:KW|tou|congestion[:U]] \
+         [--seed N] [--csv]"
     );
     ExitCode::FAILURE
 }

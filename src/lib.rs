@@ -105,8 +105,11 @@ pub use han_workload as workload;
 /// the paper's Type-1/Type-2 appliance classification enum remains at
 /// [`device::DeviceClass`](han_device::appliance::DeviceClass).
 pub mod prelude {
+    pub use han_core::cp::event::EngineKind;
     pub use han_core::cp::CpModel;
-    pub use han_core::experiment::{compare, run_strategy, Comparison, StrategyResult};
+    pub use han_core::experiment::{
+        compare, compare_on, run_strategy, run_strategy_on, Comparison, StrategyResult,
+    };
     pub use han_core::feeder::{
         ConvergenceCriterion, ConvergenceTrace, FeederPolicy, FeederReport, FeederSignal,
         IterationPolicy, StopReason,

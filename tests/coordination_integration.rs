@@ -76,6 +76,7 @@ fn synchronized_burst_halves_the_peak_exactly() {
             round_period: SimDuration::from_secs(2),
             strategy,
             cp: CpModel::Ideal,
+            engine: EngineKind::Round,
             seed: 1,
         };
         let requests = burst(SimTime::from_mins(1), 2 * k);
@@ -123,6 +124,7 @@ fn centralized_matches_coordinated_when_healthy() {
         round_period: SimDuration::from_secs(2),
         strategy,
         cp: CpModel::Ideal,
+        engine: EngineKind::Round,
         seed: 2,
     };
     let cent = HanSimulation::new(
@@ -153,6 +155,7 @@ fn controller_crash_breaks_centralized_but_not_decentralized() {
         round_period: SimDuration::from_secs(2),
         strategy,
         cp: CpModel::Ideal,
+        engine: EngineKind::Round,
         seed: 7,
     };
     let crashed = HanSimulation::new(
@@ -192,6 +195,7 @@ fn heterogeneous_fleet_respects_power_weighting() {
         round_period: SimDuration::from_secs(2),
         strategy: Strategy::coordinated(),
         cp: CpModel::Ideal,
+        engine: EngineKind::Round,
         seed: 1,
     };
     let outcome = HanSimulation::new(config, requests).unwrap().run();

@@ -11,11 +11,15 @@
 //! * the `proptest!`, `prop_compose!`, `prop_oneof!`, `prop_assert!` and
 //!   `prop_assert_eq!` macros, with `ProptestConfig::with_cases`.
 //!
-//! Cases are generated from a deterministic per-test seed (FNV of the test
-//! name), so failures are reproducible run to run. Deliberately *not*
-//! implemented: shrinking, persistence of failing cases, `prop_recursive`,
-//! weighted `prop_oneof!` arms. Swap in the real crate (same API) once the
-//! registry is reachable.
+//! Cases are generated from a deterministic per-case seed (FNV of the test
+//! name mixed with the case index), so failures are reproducible run to
+//! run — and **persisted**: a failing case appends its seed as a `cc
+//! <hex>` line to `proptest-regressions/<source-file-stem>.txt` (the real
+//! crate's failure-persistence convention), and every seed found there is
+//! replayed *before* the random phase, so CI deterministically re-checks
+//! past counterexamples on every run. Deliberately *not* implemented:
+//! shrinking, `prop_recursive`, weighted `prop_oneof!` arms. Swap in the
+//! real crate (same API) once the registry is reachable.
 
 #![forbid(unsafe_code)]
 
@@ -410,18 +414,34 @@ pub mod prop {
 pub struct ProptestConfig {
     /// Number of cases generated per test.
     pub cases: u32,
+    /// Whether failing case seeds are appended to (and replayed from)
+    /// `proptest-regressions/<source-file-stem>.txt`. On by default,
+    /// mirroring the real crate.
+    pub failure_persistence: bool,
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig {
+            cases: 64,
+            failure_persistence: true,
+        }
     }
 }
 
 impl ProptestConfig {
     /// A config running `cases` cases.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+
+    /// Disables failure persistence (used by tests that fail on purpose).
+    pub fn without_persistence(mut self) -> Self {
+        self.failure_persistence = false;
+        self
     }
 }
 
@@ -456,24 +476,117 @@ pub fn __run_body<F: FnOnce() -> TestCaseResult>(body: F) -> TestCaseResult {
     body()
 }
 
-/// Drives `cases` generated cases of one property; panics on the first
-/// failing case, printing the generated inputs.
-pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut case: F)
-where
-    F: FnMut(&mut TestRng) -> (String, TestCaseResult),
-{
-    // Deterministic per-test seed: FNV-1a of the test name.
+/// FNV-1a of a test name: the per-test base seed.
+fn test_base_seed(test_name: &str) -> u64 {
     let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
     for b in test_name.bytes() {
         seed ^= u64::from(b);
         seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
     }
-    let mut rng = TestRng::new(seed);
+    seed
+}
+
+/// The seed of one generated case: the base seed scrambled with the case
+/// index, so any single case is reproducible from its seed alone (which
+/// is what the persistence file stores).
+fn case_seed(base: u64, case_index: u32) -> u64 {
+    let mut z = base ^ u64::from(case_index + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+/// Maps a `file!()` path to its failure-persistence file: the source
+/// stem under `proptest-regressions/`, resolved against the test
+/// binary's working directory (the package root under `cargo test`).
+fn regression_path(source_file: &str) -> std::path::PathBuf {
+    let stem = std::path::Path::new(source_file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown");
+    std::path::PathBuf::from("proptest-regressions").join(format!("{stem}.txt"))
+}
+
+/// Parses the `cc <hex seed>` lines of a persistence file (missing file =
+/// no seeds; malformed lines are ignored, comments start with `#`).
+fn read_regression_seeds(path: &std::path::Path) -> Vec<u64> {
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    contents
+        .lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let hex = rest.split_whitespace().next()?;
+            u64::from_str_radix(hex, 16).ok()
+        })
+        .collect()
+}
+
+/// Appends a failing case's seed to the persistence file (creating it,
+/// with the conventional header, on first failure). Already-recorded
+/// seeds are not duplicated.
+fn persist_regression_seed(path: &std::path::Path, test_name: &str, seed: u64) {
+    if read_regression_seeds(path).contains(&seed) {
+        return;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    use std::io::Write;
+    let fresh = !path.exists();
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return; // persistence is best-effort; the panic still reports the seed
+    };
+    if fresh {
+        let _ = writeln!(
+            file,
+            "# Seeds for failure cases proptest has generated in the past. It is\n\
+             # automatically read and these particular cases re-run before any\n\
+             # novel cases are generated."
+        );
+    }
+    let _ = writeln!(file, "cc {seed:016x} # seed for '{test_name}'");
+}
+
+/// Drives one property: first replays every seed recorded in the
+/// source file's `proptest-regressions/` entry (deterministic regression
+/// phase), then `cases` freshly generated cases. Panics on the first
+/// failing case, printing the generated inputs and the case's replay
+/// seed; new failures are persisted when the config allows.
+pub fn run_cases<F>(config: &ProptestConfig, source_file: &str, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, TestCaseResult),
+{
+    let path = regression_path(source_file);
+    if config.failure_persistence {
+        for (i, seed) in read_regression_seeds(&path).into_iter().enumerate() {
+            let mut rng = TestRng::new(seed);
+            let (inputs, result) = case(&mut rng);
+            if let Err(e) = result {
+                panic!(
+                    "proptest '{test_name}' failed replaying persisted case {i} \
+                     (cc {seed:016x} in {}): {e}\n  inputs: {inputs}",
+                    path.display()
+                );
+            }
+        }
+    }
+    let base = test_base_seed(test_name);
     for case_index in 0..config.cases {
+        let seed = case_seed(base, case_index);
+        let mut rng = TestRng::new(seed);
         let (inputs, result) = case(&mut rng);
         if let Err(e) = result {
+            if config.failure_persistence {
+                persist_regression_seed(&path, test_name, seed);
+            }
             panic!(
-                "proptest '{test_name}' failed at case {case_index}/{}: {e}\n  inputs: {inputs}",
+                "proptest '{test_name}' failed at case {case_index}/{} \
+                 (replay seed cc {seed:016x}): {e}\n  inputs: {inputs}",
                 config.cases
             );
         }
@@ -506,7 +619,7 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config = $config;
-                $crate::run_cases(&config, stringify!($name), |rng| {
+                $crate::run_cases(&config, file!(), stringify!($name), |rng| {
                     $(let $arg = $crate::Strategy::new_value(&($strategy), rng);)*
                     let inputs = format!(
                         concat!($(stringify!($arg), " = {:?}; "),*),
@@ -690,7 +803,7 @@ mod tests {
     }
 
     fn run_cases_collect(name: &str, out: &mut Vec<u64>) {
-        crate::run_cases(&ProptestConfig::with_cases(5), name, |rng| {
+        crate::run_cases(&ProptestConfig::with_cases(5), file!(), name, |rng| {
             out.push(Strategy::new_value(&(0u64..1_000_000), rng));
             (String::new(), Ok(()))
         });
@@ -699,8 +812,84 @@ mod tests {
     #[test]
     #[should_panic(expected = "failed at case")]
     fn failing_case_panics_with_inputs() {
-        crate::run_cases(&ProptestConfig::with_cases(3), "doomed", |_rng| {
+        // Persistence off: this failure is the test's purpose, not a
+        // counterexample worth recording.
+        let config = ProptestConfig::with_cases(3).without_persistence();
+        crate::run_cases(&config, file!(), "doomed", |_rng| {
             ("x = 1".into(), Err(TestCaseError::fail("always fails")))
         });
+    }
+
+    #[test]
+    fn regression_files_parse_and_resolve() {
+        let path = crate::regression_path("crates/core/tests/prop_event_plane.rs");
+        assert_eq!(
+            path,
+            std::path::Path::new("proptest-regressions/prop_event_plane.txt")
+        );
+        assert!(
+            crate::read_regression_seeds(std::path::Path::new("/nonexistent/x.txt")).is_empty()
+        );
+    }
+
+    #[test]
+    fn persisted_seeds_replay_before_the_random_phase() {
+        // Round-trip through a scratch persistence file (inside the
+        // crate's own proptest-regressions dir, cleaned up afterwards).
+        let path = std::path::PathBuf::from("proptest-regressions/selftest_roundtrip.txt");
+        let _ = std::fs::remove_file(&path);
+        crate::persist_regression_seed(&path, "selftest", 0xDEAD_BEEF_0123_4567);
+        crate::persist_regression_seed(&path, "selftest", 0x0000_0000_0000_002A);
+        // Duplicates collapse.
+        crate::persist_regression_seed(&path, "selftest", 0xDEAD_BEEF_0123_4567);
+        let seeds = crate::read_regression_seeds(&path);
+        assert_eq!(seeds, vec![0xDEAD_BEEF_0123_4567, 0x0000_0000_0000_002A]);
+        let header = std::fs::read_to_string(&path).expect("file written");
+        assert!(header.starts_with("# Seeds for failure cases"));
+
+        // The runner replays both recorded seeds first, then the random
+        // cases, in that order.
+        let mut first_draws = Vec::new();
+        crate::run_cases(
+            &ProptestConfig::with_cases(2),
+            "crates/x/selftest_roundtrip.rs", // resolves to the same stem
+            "any_name",
+            |rng| {
+                first_draws.push(rng.next_u64());
+                (String::new(), Ok(()))
+            },
+        );
+        assert_eq!(first_draws.len(), 2 + 2, "2 replays + 2 random cases");
+        let expected: Vec<u64> = seeds.iter().map(|&s| TestRng::new(s).next_u64()).collect();
+        assert_eq!(&first_draws[..2], &expected[..]);
+        std::fs::remove_file(&path).expect("cleanup");
+        let _ = std::fs::remove_dir("proptest-regressions");
+    }
+
+    #[test]
+    fn failing_random_case_persists_its_seed() {
+        let path = std::path::PathBuf::from("proptest-regressions/selftest_persist.txt");
+        let _ = std::fs::remove_file(&path);
+        let config = ProptestConfig::with_cases(1);
+        let outcome = std::panic::catch_unwind(|| {
+            crate::run_cases(
+                &config,
+                "crates/x/selftest_persist.rs",
+                "selftest_persist",
+                |_rng| ("x = 1".into(), Err(TestCaseError::fail("boom"))),
+            );
+        });
+        assert!(outcome.is_err(), "the failing case must still panic");
+        let seeds = crate::read_regression_seeds(&path);
+        assert_eq!(
+            seeds,
+            vec![crate::case_seed(
+                crate::test_base_seed("selftest_persist"),
+                0
+            )],
+            "the failing seed must be recorded for replay"
+        );
+        std::fs::remove_file(&path).expect("cleanup");
+        let _ = std::fs::remove_dir("proptest-regressions");
     }
 }
