@@ -29,7 +29,12 @@
 //!   loss p = 0.3) on the content-addressed
 //!   [`ViewPool`](han_core::pool::ViewPool) — peak resident distinct
 //!   views and bytes per home versus the dense one-view-per-node layout,
-//!   plus lossy rounds/s pooled versus the per-node reference plane.
+//!   plus lossy rounds/s pooled versus the per-node reference plane,
+//! * **resilience**: the fault-injection plane's cost on fault-free runs
+//!   (empty [`FaultPlan`], digest equality with the
+//!   plain path asserted, overhead gated) and its recovery metrics under
+//!   scripted node churn — availability, recovery transient (rounds from
+//!   fault clearing to full re-agreement), zero deadline misses asserted.
 //!
 //! Run with: `cargo run --release -p han-bench --bin perf`
 //!
@@ -41,12 +46,12 @@
 
 use han_core::cp::CpModel;
 use han_core::experiment::{
-    compare_many, compare_seeds, run_strategy, run_strategy_on, run_strategy_reference,
-    StrategyResult,
+    compare_many, compare_seeds, run_strategy, run_strategy_faulted, run_strategy_on,
+    run_strategy_reference, StrategyResult,
 };
 use han_core::feeder::{FeederPolicy, FeederSignal};
 use han_core::neighborhood::Neighborhood;
-use han_core::{EngineKind, Strategy};
+use han_core::{EngineKind, FaultPlan, Strategy};
 use han_sim::time::SimDuration;
 use han_workload::fleet::ScenarioError;
 use han_workload::scenario::{ArrivalRate, Scenario};
@@ -290,6 +295,89 @@ fn main() -> Result<(), ScenarioError> {
          (pooled {lossy_pooled_s:.4}s vs reference {lossy_reference_s:.4}s)"
     );
 
+    // Resilience: the fault-injection plane must be free when unused and
+    // quantified when used. First the fault-free contract — routing the
+    // paper run through the fault plane with an *empty* plan must produce
+    // the identical digest (the bit-compatibility guarantee the proptest
+    // battery pins) at ≤5% wall-clock overhead on committed full runs.
+    // The smoke ceiling is looser because a single 60-min timing sample
+    // on a shared runner is noise-dominated.
+    let fault_free = run_strategy_faulted(
+        &scenario,
+        Strategy::coordinated(),
+        CpModel::Ideal,
+        EngineKind::Round,
+        &FaultPlan::empty(),
+        None,
+    )?;
+    assert_eq!(
+        fault_free.outcome.schedule_digest, fast.outcome.schedule_digest,
+        "the empty fault plan diverged from the plain path"
+    );
+    // The plain baseline is re-measured here, adjacent to the faulted
+    // sample, so both medians see the same machine state — comparing
+    // against the `memoized_s` taken at program start would fold minutes
+    // of thermal/cache drift into a ~20 ms measurement.
+    let overhead_runs = if smoke { 3 } else { 15 };
+    let fault_free_s = median_secs(overhead_runs, || {
+        std::hint::black_box(
+            run_strategy_faulted(
+                &scenario,
+                Strategy::coordinated(),
+                CpModel::Ideal,
+                EngineKind::Round,
+                &FaultPlan::empty(),
+                None,
+            )
+            .expect("paper scenario is valid"),
+        );
+    });
+    let plain_adjacent_s = median_secs(overhead_runs, || {
+        std::hint::black_box(
+            run_strategy(&scenario, Strategy::coordinated(), CpModel::Ideal)
+                .expect("paper scenario is valid"),
+        );
+    });
+    let fault_overhead_percent = (fault_free_s / plain_adjacent_s - 1.0) * 100.0;
+    let overhead_ceiling = if smoke { 30.0 } else { 5.0 };
+    assert!(
+        fault_overhead_percent <= overhead_ceiling,
+        "fault plane costs {fault_overhead_percent:.1}% on a fault-free run \
+         (faulted {fault_free_s:.4}s vs plain {plain_adjacent_s:.4}s, ceiling {overhead_ceiling}%)"
+    );
+    // Then the recovery metric: one DI leaves the network early and
+    // returns mid-run, on the lossy CP so re-agreement after the node
+    // returns takes a genuine transient (the ideal CP re-agrees in the
+    // same round). Churn must never cost a deadline (the local
+    // obligation guard), and the recovery transient — rounds from the
+    // fault clearing to full schedule re-agreement — is the headline
+    // resilience number.
+    let down_min = minutes / 6;
+    let up_min = minutes / 2;
+    let churn_spec = format!("down:5@{down_min}; up:5@{up_min}");
+    let churn_plan = FaultPlan::parse(&churn_spec).expect("valid churn plan");
+    let churned = run_strategy_faulted(
+        &scenario,
+        Strategy::coordinated(),
+        lossy_cp.clone(),
+        EngineKind::Round,
+        &churn_plan,
+        None,
+    )?;
+    assert_eq!(
+        churned.outcome.deadline_misses, 0,
+        "node churn must never cost a deadline"
+    );
+    let resilience = &churned.outcome.resilience;
+    let availability = resilience.availability(churned.outcome.rounds, nodes);
+    let recovery_events = resilience.recoveries.len();
+    assert!(
+        recovery_events >= 1,
+        "the node returning at {up_min} min must produce a recovery transient"
+    );
+    let mean_recovery = resilience.mean_recovery_rounds().unwrap_or(0.0);
+    let worst_recovery = resilience.worst_recovery_rounds().unwrap_or(0);
+
     println!("# paper config: 26 devices, {minutes} min, high rate, ideal CP");
     println!("end_to_end_memoized_s,{memoized_s:.4}");
     println!("end_to_end_naive_s,{naive_s:.4}");
@@ -323,11 +411,17 @@ fn main() -> Result<(), ScenarioError> {
     );
     println!("view_pool_lossy_rounds_per_sec,{lossy_rounds_per_sec:.0}");
     println!("view_pool_lossy_speedup_over_reference,{lossy_speedup:.2}");
+    println!("resilience_fault_free_overhead_percent,{fault_overhead_percent:.1}");
+    println!("resilience_availability,{availability:.4} (plan: {churn_spec})");
+    println!(
+        "resilience_recovery_rounds,{mean_recovery:.1} mean / {worst_recovery} worst \
+         ({recovery_events} event(s))"
+    );
 
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": 5,\n",
+            "  \"schema\": 6,\n",
             "  \"config\": {{\"devices\": 26, \"minutes\": {minutes}, \"rate_per_hour\": 30, \"cp\": \"ideal\"}},\n",
             "  \"rounds\": {rounds},\n",
             "  \"end_to_end\": {{\n",
@@ -388,6 +482,17 @@ fn main() -> Result<(), ScenarioError> {
             "    \"lossy_reference_wall_s\": {lossy_reference_s:.6},\n",
             "    \"lossy_rounds_per_sec\": {lossy_rps:.1},\n",
             "    \"lossy_speedup_over_reference\": {lossy_speedup:.3}\n",
+            "  }},\n",
+            "  \"resilience\": {{\n",
+            "    \"fault_plan\": \"{churn_spec}\",\n",
+            "    \"churn_cp\": \"lossy-round p={lossy_p}\",\n",
+            "    \"fault_free_overhead_percent\": {fault_overhead:.2},\n",
+            "    \"fault_free_digest_identical\": true,\n",
+            "    \"availability\": {availability:.4},\n",
+            "    \"recovery_events\": {recovery_events},\n",
+            "    \"mean_recovery_rounds\": {mean_recovery:.2},\n",
+            "    \"worst_recovery_rounds\": {worst_recovery},\n",
+            "    \"deadline_misses\": 0\n",
             "  }}\n",
             "}}\n"
         ),
@@ -432,6 +537,12 @@ fn main() -> Result<(), ScenarioError> {
         lossy_reference_s = lossy_reference_s,
         lossy_rps = lossy_rounds_per_sec,
         lossy_speedup = lossy_speedup,
+        churn_spec = churn_spec,
+        fault_overhead = fault_overhead_percent,
+        availability = availability,
+        recovery_events = recovery_events,
+        mean_recovery = mean_recovery,
+        worst_recovery = worst_recovery,
     );
     // Smoke numbers (60 min, 4 homes) must never clobber the committed
     // full-run file the README and ROADMAP cite.

@@ -367,6 +367,24 @@ impl CoordinatedPlanner {
         self.cache_hits
     }
 
+    /// The level tracker's persistent state `(level_kw, last_update)`, for
+    /// checkpointing. The plan memo is deliberately *not* part of the
+    /// state: reissuing a memoized plan and recomputing it are proven
+    /// identical, so a restored planner that recomputes its first round is
+    /// bit-compatible with one that would have hit the memo.
+    pub fn persisted_level(&self) -> (f64, Option<SimTime>) {
+        (self.level_kw, self.last_update)
+    }
+
+    /// Restores the level tracker captured by
+    /// [`persisted_level`](CoordinatedPlanner::persisted_level) and drops
+    /// the plan memo (it will repopulate on the next plan).
+    pub fn restore_level(&mut self, level_kw: f64, last_update: Option<SimTime>) {
+        self.level_kw = level_kw;
+        self.last_update = last_update;
+        self.cache = None;
+    }
+
     /// Advances the slew-limited level tracker to `now` given the demand
     /// rate observed in this round's view, returning the updated level.
     ///

@@ -91,6 +91,22 @@ pub enum CpModel {
         /// Probability a given record fails to reach a given node.
         miss_probability: f64,
     },
+    /// Gilbert–Elliott burst loss: each node's channel is a two-state
+    /// Markov chain (good/bad) advanced once per round, and the node
+    /// misses the whole round with the loss probability of its current
+    /// state. The stationary whole-round loss rate is
+    /// `π_bad·loss_bad + (1−π_bad)·loss_good` with
+    /// `π_bad = p_good_to_bad / (p_good_to_bad + p_bad_to_good)`.
+    GilbertElliott {
+        /// Per-round probability of a good→bad transition.
+        p_good_to_bad: f64,
+        /// Per-round probability of a bad→good transition.
+        p_bad_to_good: f64,
+        /// Whole-round miss probability while in the good state.
+        loss_good: f64,
+        /// Whole-round miss probability while in the bad state.
+        loss_bad: f64,
+    },
     /// Full packet-level MiniCast over a topology.
     Packet {
         /// Protocol parameters (round period, slots, N_TX …).
@@ -292,6 +308,18 @@ pub struct CommunicationPlane {
     rng: DetRng,
     stats: CpStats,
     round_index: u64,
+    /// Per-node Gilbert–Elliott channel state (`true` = bad); empty
+    /// unless the model is [`CpModel::GilbertElliott`].
+    ge_bad: Vec<bool>,
+    /// Whether the Ideal model was switched from its single shared row to
+    /// one delivery row per node (required for fault injection, where
+    /// down nodes break the "all views identical" shortcut).
+    per_node_rows: bool,
+    /// Nodes down this round (set by [`Self::set_round_faults`]; all-false
+    /// when no fault plan is in force).
+    down: Vec<bool>,
+    /// Whether a correlated CP outage is in force this round.
+    outage: bool,
 }
 
 impl std::fmt::Debug for CommunicationPlane {
@@ -319,6 +347,20 @@ impl CommunicationPlane {
                     (0.0..=1.0).contains(miss_probability),
                     "miss probability must be in [0, 1]"
                 );
+                CpState::Abstract
+            }
+            CpModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            } => {
+                for p in [p_good_to_bad, p_bad_to_good, loss_good, loss_bad] {
+                    assert!(
+                        (0.0..=1.0).contains(p),
+                        "miss probability must be in [0, 1]"
+                    );
+                }
                 CpState::Abstract
             }
             CpModel::Packet { st, topology } => {
@@ -366,6 +408,12 @@ impl CommunicationPlane {
                 staging: empty,
             }
         };
+        let ge_bad = if matches!(model, CpModel::GilbertElliott { .. }) {
+            // Every channel starts in the good state.
+            vec![false; device_count]
+        } else {
+            Vec::new()
+        };
         CommunicationPlane {
             model,
             state,
@@ -379,7 +427,64 @@ impl CommunicationPlane {
             rng: DetRng::for_stream(seed, "communication-plane"),
             stats,
             round_index: 0,
+            ge_bad,
+            per_node_rows: false,
+            down: vec![false; device_count],
+            outage: false,
         }
+    }
+
+    /// Switches the [`CpModel::Ideal`] store from its single shared
+    /// delivery row to one row per node. Fault injection requires this:
+    /// a down node keeps a stale view while survivors advance, so "all
+    /// views identical" no longer holds. A no-op for every other model
+    /// (they already deliver per node). Refresh statistics are counted
+    /// per delivery row afterwards, which for fault-free rounds adds up
+    /// to the same totals the shared row reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any round has already run.
+    pub fn enable_per_node_rows(&mut self) {
+        assert_eq!(
+            self.round_index, 0,
+            "switch row layout before the first round"
+        );
+        self.per_node_rows = true;
+        let n = self.device_count;
+        if self.store.rows() == n {
+            return;
+        }
+        let mut pool = ViewPool::new(n);
+        let empty = SystemView::new(n);
+        let handles = (0..n).map(|_| pool.acquire(&empty)).collect();
+        self.store = ViewStore::Pooled {
+            pool,
+            handles,
+            staging: empty,
+        };
+        self.last_refresh = vec![NEVER; n * n];
+    }
+
+    /// Installs this round's fault exposure: `down[i] = true` suppresses
+    /// node `i`'s publish *and* receive this round; `outage` suppresses
+    /// everyone's. Call before [`Self::begin_round`]; the flags stay in
+    /// force until the next call. With everything false this is exactly
+    /// the fault-free plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `down` has the wrong length, or if a fault is injected
+    /// while an Ideal plane still shares a single delivery row (call
+    /// [`Self::enable_per_node_rows`] first).
+    pub fn set_round_faults(&mut self, down: &[bool], outage: bool) {
+        assert_eq!(down.len(), self.device_count, "one down flag per device");
+        assert!(
+            self.store.rows() == self.device_count || (!outage && !down.contains(&true)),
+            "enable per-node delivery rows before injecting faults"
+        );
+        self.down.copy_from_slice(down);
+        self.outage = outage;
     }
 
     /// Replaces the pooled store with the naive one-view-per-node layout
@@ -515,21 +620,29 @@ impl CommunicationPlane {
         self.pending_seqs.extend_from_slice(seqs);
         self.round_refreshed = 0;
         match (&self.model, &mut self.state) {
-            (CpModel::Ideal, _) => {
-                // Statistics count node-level refreshes — every node hears
-                // every record — independent of how many rows the store
-                // physically holds (one shared row pooled, n rows in the
-                // reference layout).
+            // Statistics count node-level refreshes — every node hears
+            // every record — independent of how many rows the store
+            // physically holds (one shared row pooled, n rows in the
+            // reference layout). Under fault injection the rows are
+            // per-node and refreshes are counted at delivery instead.
+            (CpModel::Ideal, _) if !self.per_node_rows => {
                 self.round_refreshed = (n * n) as u64;
             }
+            (CpModel::Ideal, _) => {}
             (
                 CpModel::Packet { .. },
                 CpState::Packet {
                     stores, encode_buf, ..
                 },
             ) => {
-                // Publish: each node merges its own fresh item.
+                // Publish: each node merges its own fresh item. A down
+                // node (or everyone, during an outage) does not publish —
+                // its stored item keeps its old sequence number, so
+                // survivors treat it as stale rather than fresh.
                 for (i, (rec, &seq)) in statuses.iter().zip(seqs).enumerate() {
+                    if self.outage || self.down[i] {
+                        continue;
+                    }
                     encode_buf.clear();
                     rec.encode_into(encode_buf);
                     stores[i].merge(&Item::new(NodeId(i as u32), seq, encode_buf.as_slice()));
@@ -617,29 +730,63 @@ impl CommunicationPlane {
         assert!(row < self.store.rows(), "delivery row out of range");
         assert_eq!(self.pending.len(), n, "no round in flight");
         let round = self.round_index;
+        // Fault exposure for this round: a down (or blacked-out) node
+        // receives nothing but its own record, and a down origin's record
+        // is not delivered to anyone (it never published). With no fault
+        // plan both flags are permanently false and every path below is
+        // byte-for-byte the fault-free plane, including its RNG draws.
+        let outage = self.outage;
         match (&self.model, &mut self.state) {
-            (CpModel::Ideal, _) => {
-                // One delivery of everything per view row: a single shared
-                // row in the pooled store (perfect dissemination ⇒
-                // identical views), one row per node in the reference
-                // store. (Refresh statistics were counted at publish.)
+            (CpModel::Ideal, _) if !self.per_node_rows => {
+                // One delivery of everything to the single shared row:
+                // perfect dissemination ⇒ identical views. (Refresh
+                // statistics were counted at publish.)
                 self.delivery.clear();
                 self.delivery.extend_from_slice(&self.pending);
                 self.last_refresh[row * n..(row + 1) * n].fill(round);
                 self.store.apply(row, &self.delivery);
             }
+            (CpModel::Ideal, _) => {
+                // Per-node rows (fault injection, or the reference store
+                // under it): perfect delivery of whatever was published.
+                let node = row;
+                self.delivery.clear();
+                if outage || self.down[node] {
+                    self.delivery.push(self.pending[node]);
+                    self.last_refresh[node * n + node] = round;
+                    self.round_refreshed += 1;
+                } else {
+                    for origin in 0..n {
+                        if origin == node || !self.down[origin] {
+                            self.delivery.push(self.pending[origin]);
+                            self.last_refresh[node * n + origin] = round;
+                            self.round_refreshed += 1;
+                        }
+                    }
+                }
+                self.store.apply(node, &self.delivery);
+            }
             (CpModel::LossyRound { miss_probability }, _) => {
                 let node = row;
                 self.delivery.clear();
-                if self.rng.gen_bool(*miss_probability) {
+                if outage || self.down[node] {
+                    // Faulted: no loss coin — the node is not listening.
+                    self.delivery.push(self.pending[node]);
+                    self.last_refresh[node * n + node] = round;
+                    self.round_refreshed += 1;
+                } else if self.rng.gen_bool(*miss_probability) {
                     // Missed the round entirely; own record still local.
                     self.delivery.push(self.pending[node]);
                     self.last_refresh[node * n + node] = round;
                     self.round_refreshed += 1;
                 } else {
-                    self.delivery.extend_from_slice(&self.pending);
-                    self.last_refresh[node * n..(node + 1) * n].fill(round);
-                    self.round_refreshed += n as u64;
+                    for origin in 0..n {
+                        if origin == node || !self.down[origin] {
+                            self.delivery.push(self.pending[origin]);
+                            self.last_refresh[node * n + origin] = round;
+                            self.round_refreshed += 1;
+                        }
+                    }
                 }
                 self.store.apply(node, &self.delivery);
             }
@@ -647,11 +794,64 @@ impl CommunicationPlane {
                 let p = *miss_probability;
                 let node = row;
                 self.delivery.clear();
-                for origin in 0..n {
-                    if origin == node || !self.rng.gen_bool(p) {
-                        self.delivery.push(self.pending[origin]);
-                        self.last_refresh[node * n + origin] = round;
-                        self.round_refreshed += 1;
+                if outage || self.down[node] {
+                    self.delivery.push(self.pending[node]);
+                    self.last_refresh[node * n + node] = round;
+                    self.round_refreshed += 1;
+                } else {
+                    for origin in 0..n {
+                        if origin != node && self.down[origin] {
+                            // A silent origin transmits nothing: no coin.
+                            continue;
+                        }
+                        if origin == node || !self.rng.gen_bool(p) {
+                            self.delivery.push(self.pending[origin]);
+                            self.last_refresh[node * n + origin] = round;
+                            self.round_refreshed += 1;
+                        }
+                    }
+                }
+                self.store.apply(node, &self.delivery);
+            }
+            (
+                CpModel::GilbertElliott {
+                    p_good_to_bad,
+                    p_bad_to_good,
+                    loss_good,
+                    loss_bad,
+                },
+                _,
+            ) => {
+                let node = row;
+                // The channel is physics: its state advances (and both
+                // coins are drawn) every round, including rounds in which
+                // the node itself is down — so the burst process is
+                // independent of the fault plan.
+                let flip = self.rng.gen_bool(if self.ge_bad[node] {
+                    *p_bad_to_good
+                } else {
+                    *p_good_to_bad
+                });
+                if flip {
+                    self.ge_bad[node] = !self.ge_bad[node];
+                }
+                let missed = self.rng.gen_bool(if self.ge_bad[node] {
+                    *loss_bad
+                } else {
+                    *loss_good
+                });
+                self.delivery.clear();
+                if outage || self.down[node] || missed {
+                    self.delivery.push(self.pending[node]);
+                    self.last_refresh[node * n + node] = round;
+                    self.round_refreshed += 1;
+                } else {
+                    for origin in 0..n {
+                        if origin == node || !self.down[origin] {
+                            self.delivery.push(self.pending[origin]);
+                            self.last_refresh[node * n + origin] = round;
+                            self.round_refreshed += 1;
+                        }
                     }
                 }
                 self.store.apply(node, &self.delivery);
@@ -666,28 +866,39 @@ impl CommunicationPlane {
                 // as *fresh* only when the stored version matches the
                 // publisher's current sequence number; holding an older
                 // version installs the newer-than-before content but the
-                // pair still counts as stale for statistics.
+                // pair still counts as stale for statistics. A faulted
+                // receiver skips decoding entirely (its store still
+                // accumulates flood traffic, which it drains on revival);
+                // a down *origin* never published this round, so its item
+                // keeps its old sequence and fails the freshness test at
+                // every survivor without any special casing here.
                 let node = row;
                 self.delivery.clear();
-                // `origin` indexes three parallel structures (seqs, the
-                // last-seen matrix, the refresh matrix); an iterator over
-                // any one of them would obscure the other two.
-                #[allow(clippy::needless_range_loop)]
-                for origin in 0..n {
-                    let Some(item) = stores[node].get(NodeId(origin as u32)) else {
-                        continue;
-                    };
-                    let is_current = item.seq == self.pending_seqs[origin];
-                    let newly = last_seen[node][origin] != Some(item.seq);
-                    if !(is_current || newly) {
-                        continue;
-                    }
-                    if let Ok(rec) = StatusRecord::decode(&item.payload) {
-                        self.delivery.push(rec);
-                        last_seen[node][origin] = Some(item.seq);
-                        self.last_refresh[node * n + origin] = round;
-                        if is_current {
-                            self.round_refreshed += 1;
+                if outage || self.down[node] {
+                    self.delivery.push(self.pending[node]);
+                    self.last_refresh[node * n + node] = round;
+                    self.round_refreshed += 1;
+                } else {
+                    // `origin` indexes three parallel structures (seqs, the
+                    // last-seen matrix, the refresh matrix); an iterator
+                    // over any one of them would obscure the other two.
+                    #[allow(clippy::needless_range_loop)]
+                    for origin in 0..n {
+                        let Some(item) = stores[node].get(NodeId(origin as u32)) else {
+                            continue;
+                        };
+                        let is_current = item.seq == self.pending_seqs[origin];
+                        let newly = last_seen[node][origin] != Some(item.seq);
+                        if !(is_current || newly) {
+                            continue;
+                        }
+                        if let Ok(rec) = StatusRecord::decode(&item.payload) {
+                            self.delivery.push(rec);
+                            last_seen[node][origin] = Some(item.seq);
+                            self.last_refresh[node * n + origin] = round;
+                            if is_current {
+                                self.round_refreshed += 1;
+                            }
                         }
                     }
                 }
@@ -717,6 +928,164 @@ impl CommunicationPlane {
             self.stats.view_pool = Some(pool.stats(n));
         }
     }
+
+    /// Captures the plane's full between-rounds state for a checkpoint.
+    /// Only round boundaries are checkpointable: the published-statuses
+    /// buffers are empty there by construction, and the per-round fault
+    /// flags are re-derived from the fault plan on resume. Everything
+    /// reconstructible from the configuration (topology RSSI, crystal
+    /// drifts, ST parameters) is deliberately absent.
+    pub(crate) fn export(&self) -> CpExport {
+        assert!(self.pending.is_empty(), "checkpoint only between rounds");
+        let n = self.device_count;
+        let store = match &self.store {
+            ViewStore::Pooled { pool, handles, .. } => StoreExport::Pooled {
+                pool: pool.export(),
+                handles: handles.iter().map(|h| h.id()).collect(),
+            },
+            ViewStore::PerNode { views } => StoreExport::PerNode {
+                views: views
+                    .iter()
+                    .map(|v| {
+                        (0..n)
+                            .map(|d| v.record(DeviceId(d as u32)).copied())
+                            .collect()
+                    })
+                    .collect(),
+            },
+        };
+        let packet = match &self.state {
+            CpState::Packet {
+                stores,
+                last_seen,
+                sync,
+                ..
+            } => Some(PacketExport {
+                items: stores
+                    .iter()
+                    .map(|s| {
+                        s.iter()
+                            .map(|item| (item.origin.0, item.seq, item.payload.as_ref().to_vec()))
+                            .collect()
+                    })
+                    .collect(),
+                last_seen: last_seen.clone(),
+                staleness: sync.staleness_snapshot().to_vec(),
+            }),
+            CpState::Abstract => None,
+        };
+        CpExport {
+            rng: self.rng.state(),
+            round_index: self.round_index,
+            stats: self.stats.clone(),
+            last_refresh: self.last_refresh.clone(),
+            ge_bad: self.ge_bad.clone(),
+            per_node_rows: self.per_node_rows,
+            store,
+            packet,
+        }
+    }
+
+    /// Rebuilds a plane from its configuration plus an
+    /// [`export`](CommunicationPlane::export)ed state. The result
+    /// continues bit-identically to the plane that was exported.
+    pub(crate) fn restore(
+        model: CpModel,
+        device_count: usize,
+        seed: u64,
+        export: &CpExport,
+    ) -> Self {
+        let mut cp = CommunicationPlane::new(model, device_count, seed);
+        cp.per_node_rows = export.per_node_rows;
+        match &export.store {
+            StoreExport::Pooled { pool, handles } => {
+                cp.store = ViewStore::Pooled {
+                    pool: ViewPool::restore(device_count, pool),
+                    handles: handles
+                        .iter()
+                        .map(|&id| crate::pool::ViewHandle::from_id(id))
+                        .collect(),
+                    staging: SystemView::new(device_count),
+                };
+            }
+            StoreExport::PerNode { views } => {
+                cp.store = ViewStore::PerNode {
+                    views: views
+                        .iter()
+                        .map(|records| {
+                            let mut v = SystemView::new(device_count);
+                            for rec in records.iter().flatten() {
+                                v.refresh(*rec);
+                            }
+                            v
+                        })
+                        .collect(),
+                };
+            }
+        }
+        cp.last_refresh = export.last_refresh.clone();
+        cp.rng = DetRng::from_state(export.rng);
+        cp.round_index = export.round_index;
+        cp.stats = export.stats.clone();
+        cp.ge_bad = export.ge_bad.clone();
+        if let Some(packet) = &export.packet {
+            let CpState::Packet {
+                stores,
+                last_seen,
+                sync,
+                ..
+            } = &mut cp.state
+            else {
+                panic!("packet export requires a packet model");
+            };
+            for (store, items) in stores.iter_mut().zip(&packet.items) {
+                store.clear();
+                for (origin, seq, payload) in items {
+                    store.merge(&Item::new(NodeId(*origin), *seq, payload.as_slice()));
+                }
+            }
+            *last_seen = packet.last_seen.clone();
+            sync.restore_staleness(&packet.staleness);
+        }
+        cp
+    }
+}
+
+/// The checkpointable state of a [`CommunicationPlane`] — see
+/// [`CommunicationPlane::export`].
+#[derive(Debug, Clone)]
+pub(crate) struct CpExport {
+    pub(crate) rng: [u64; 4],
+    pub(crate) round_index: u64,
+    pub(crate) stats: CpStats,
+    pub(crate) last_refresh: Vec<u64>,
+    pub(crate) ge_bad: Vec<bool>,
+    pub(crate) per_node_rows: bool,
+    pub(crate) store: StoreExport,
+    pub(crate) packet: Option<PacketExport>,
+}
+
+/// Exported view storage: the pool's exact structure, or the per-node
+/// reference views.
+#[derive(Debug, Clone)]
+pub(crate) enum StoreExport {
+    Pooled {
+        pool: crate::pool::ViewPoolExport,
+        handles: Vec<u32>,
+    },
+    PerNode {
+        views: Vec<Vec<Option<StatusRecord>>>,
+    },
+}
+
+/// Packet-mode extras: per-node item stores, the freshness matrix and the
+/// sync-staleness counters (crystal drifts are redrawn from the seed).
+#[derive(Debug, Clone)]
+pub(crate) struct PacketExport {
+    /// Per node: `(origin, seq, payload)` for every stored item.
+    pub(crate) items: Vec<Vec<(u32, u32, Vec<u8>)>>,
+    pub(crate) last_seen: Vec<Vec<Option<u32>>>,
+    pub(crate) staleness: Vec<u32>,
 }
 
 #[cfg(test)]
@@ -1026,6 +1395,166 @@ mod tests {
             .radio_duty_cycle(SimDuration::from_secs(2))
             .expect("packet mode");
         assert!(dc > 0.0 && dc < 0.8, "radio duty cycle {dc}");
+    }
+
+    #[test]
+    fn gilbert_elliott_hits_stationary_loss_rate() {
+        // π_bad = p_gb / (p_gb + p_bg) = 0.1 / 0.4 = 0.25. With
+        // loss_good = 0 and loss_bad = 1 a node misses exactly the rounds
+        // its channel spends bad, so per-node delivery is
+        // π_good·n + π_bad·1 out of n records.
+        let n = 4;
+        let mut cp = CommunicationPlane::new(
+            CpModel::GilbertElliott {
+                p_good_to_bad: 0.1,
+                p_bad_to_good: 0.3,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            },
+            n,
+            5,
+        );
+        let rounds = 4000u64;
+        for r in 0..rounds {
+            cp.round(&statuses(n, r % 3), &vec![r as u32 + 1; n]);
+        }
+        let expected = (0.75 * n as f64 + 0.25) / n as f64;
+        let rate = cp.stats().delivery_rate();
+        assert!(
+            (rate - expected).abs() < 0.03,
+            "stationary delivery {rate}, expected {expected}"
+        );
+        // Burstiness: misses must clump (a bad state persists ~1/0.3 ≈ 3
+        // rounds), so full rounds are rarer than an independent model with
+        // the same marginal loss would give — just sanity-check the two
+        // extremes are both exercised.
+        assert!(cp.stats().full_rounds > 0, "good stretches exist");
+        assert!(cp.stats().full_rounds < rounds, "bad stretches exist too");
+    }
+
+    #[test]
+    #[should_panic(expected = "miss probability")]
+    fn gilbert_elliott_validates_probabilities() {
+        CommunicationPlane::new(
+            CpModel::GilbertElliott {
+                p_good_to_bad: 0.1,
+                p_bad_to_good: 1.3,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            },
+            3,
+            1,
+        );
+    }
+
+    #[test]
+    fn down_node_neither_publishes_nor_receives() {
+        const N: usize = 4;
+        let mut cp = CommunicationPlane::new(CpModel::Ideal, N, 1);
+        cp.enable_per_node_rows();
+        let mut down = vec![false; N];
+        cp.round(&statuses(N, 0b1111), &[1; N]);
+        // Round 2: node 2 is down; everyone publishes a different mask.
+        down[2] = true;
+        cp.set_round_faults(&down, false);
+        cp.round(&statuses(N, 0b0000), &[2; N]);
+        // The down node kept its round-1 view of others but sees its own
+        // fresh record.
+        assert!(cp.view(2).record(DeviceId(0)).unwrap().on, "stale");
+        assert!(!cp.view(2).record(DeviceId(2)).unwrap().on, "own is fresh");
+        assert_eq!(cp.age(2, DeviceId(0)), Some(1));
+        assert_eq!(cp.age(2, DeviceId(2)), Some(0));
+        // Survivors hold the down node's ghost record from round 1.
+        assert!(cp.view(0).record(DeviceId(2)).unwrap().on, "ghost record");
+        assert_eq!(cp.age(0, DeviceId(2)), Some(1));
+        assert!(!cp.view(0).record(DeviceId(1)).unwrap().on, "live is fresh");
+        // Revival: the node catches up the next round.
+        down[2] = false;
+        cp.set_round_faults(&down, false);
+        cp.round(&statuses(N, 0b0000), &[3; N]);
+        assert!(!cp.view(2).record(DeviceId(0)).unwrap().on);
+        assert_eq!(cp.age(0, DeviceId(2)), Some(0));
+    }
+
+    #[test]
+    fn outage_freezes_everyone() {
+        const N: usize = 3;
+        let mut cp = CommunicationPlane::new(
+            CpModel::LossyRecord {
+                miss_probability: 0.2,
+            },
+            N,
+            3,
+        );
+        cp.round(&statuses(N, 0b111), &[1; N]);
+        cp.set_round_faults(&[false; N], true);
+        cp.round(&statuses(N, 0b000), &[2; N]);
+        for node in 0..N {
+            for dev in 0..N as u32 {
+                let rec = cp.view(node).record(DeviceId(dev)).unwrap();
+                if dev as usize == node {
+                    assert!(!rec.on, "own record refreshed during outage");
+                } else {
+                    assert!(rec.on, "foreign records frozen during outage");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "enable per-node delivery rows")]
+    fn ideal_shared_row_rejects_faults() {
+        let mut cp = CommunicationPlane::new(CpModel::Ideal, 3, 1);
+        cp.set_round_faults(&[true, false, false], false);
+    }
+
+    #[test]
+    fn packet_down_origin_goes_stale_for_survivors() {
+        const N: usize = 5;
+        let mut cp = CommunicationPlane::new(CpModel::paper_packet(1), N, 7);
+        cp.round(&statuses(N, 0b11111), &[1; N]);
+        let mut down = vec![false; N];
+        down[1] = true;
+        cp.set_round_faults(&down, false);
+        cp.round(&statuses(N, 0b00000), &[2; N]);
+        // Node 1 published nothing: survivors still hold its round-1 item.
+        assert!(cp.view(0).record(DeviceId(1)).unwrap().on, "stale item");
+        assert!(cp.age(0, DeviceId(1)).unwrap() >= 1);
+        // The down node received only itself.
+        assert!(!cp.view(1).record(DeviceId(1)).unwrap().on);
+        assert_eq!(cp.age(1, DeviceId(1)), Some(0));
+    }
+
+    #[test]
+    fn export_restore_continues_bit_identically() {
+        let run = |split: Option<u64>| {
+            let model = CpModel::GilbertElliott {
+                p_good_to_bad: 0.2,
+                p_bad_to_good: 0.4,
+                loss_good: 0.05,
+                loss_bad: 0.9,
+            };
+            let mut cp = CommunicationPlane::new(model.clone(), 5, 11);
+            for r in 0..40u64 {
+                if split == Some(r) {
+                    let export = cp.export();
+                    cp = CommunicationPlane::restore(model.clone(), 5, 11, &export);
+                }
+                cp.round(&statuses(5, r % 6), &[r as u32 + 1; 5]);
+            }
+            let views: Vec<SystemView> = (0..5).map(|i| cp.view(i).clone()).collect();
+            let ages: Vec<Option<u32>> = (0..5)
+                .flat_map(|i| (0..5).map(move |d| (i, d)))
+                .map(|(i, d)| cp.age(i, DeviceId(d)))
+                .collect();
+            let s = cp.stats().clone();
+            (views, ages, (s.rounds, s.refreshed_records, s.full_rounds))
+        };
+        let uninterrupted = run(None);
+        let resumed = run(Some(17));
+        assert_eq!(uninterrupted.0, resumed.0, "views");
+        assert_eq!(uninterrupted.1, resumed.1, "ages");
+        assert_eq!(uninterrupted.2, resumed.2, "stats");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //!
 //! | event | granularity | work |
 //! |---|---|---|
+//! | [`CpEvent::Fault`] | one per round, only while a fault plan is active | node churn / outage application for the round |
 //! | [`CpEvent::RoundStart`] | one per round | request delivery, duty-cycle advance, status publish |
 //! | [`CpEvent::Flood`] | one per MiniCast flood step (packet CP: sync beacon + one data flood per topology node) | a single Glossy flood |
 //! | [`CpEvent::Deliver`] | one per view row (per node under lossy/packet CPs; the single shared row under an ideal CP) | one node's record refreshes |
@@ -81,6 +82,15 @@ impl std::fmt::Display for EngineKind {
 /// the taxonomy and granularity of each variant).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CpEvent {
+    /// Applies the fault plan for round `round` — node churn and CP
+    /// outages take effect here, before the round opens. Scheduled only
+    /// when [`RoundPhases::has_faults`] reports an active plan, so
+    /// fault-free runs fire exactly the same events as before the fault
+    /// plane existed.
+    Fault {
+        /// Round counter.
+        round: u64,
+    },
     /// Opens round `round`: deliver user requests, advance duty-cycle
     /// bookkeeping, publish every node's status record, and schedule the
     /// round's flood / delivery / planning events at the same instant.
@@ -144,6 +154,18 @@ pub trait RoundPhases {
     fn plan(&mut self, now: SimTime);
     /// Closes the round at instant `now` (probes, load sample).
     fn end_round(&mut self, now: SimTime);
+    /// Applies the round's scheduled faults at instant `now`, before
+    /// [`RoundPhases::begin_round`]. No-op by default — only
+    /// implementations carrying a fault plan override it.
+    fn fault_phase(&mut self, _now: SimTime) {}
+    /// Whether a fault plan is active. Governs both backends: the
+    /// synchronous loop calls [`RoundPhases::fault_phase`] each round and
+    /// the event backend schedules a [`CpEvent::Fault`] per round exactly
+    /// when this returns `true`, keeping fault-free event counts
+    /// unchanged.
+    fn has_faults(&self) -> bool {
+        false
+    }
 }
 
 /// [`World`] adapter dispatching [`CpEvent`]s onto a [`RoundPhases`]
@@ -159,6 +181,7 @@ impl<P: RoundPhases> World for EventWorld<'_, P> {
 
     fn handle(&mut self, engine: &mut Engine<CpEvent>, at: SimTime, event: CpEvent) {
         match event {
+            CpEvent::Fault { .. } => self.phases.fault_phase(at),
             CpEvent::RoundStart { round } => {
                 self.phases.begin_round(at);
                 // The whole round unfolds at this instant; FIFO
@@ -192,6 +215,12 @@ impl<P: RoundPhases> World for EventWorld<'_, P> {
                 self.phases.end_round(at);
                 let next = at + self.period;
                 if next <= self.end {
+                    // FIFO tie-breaking fires the fault application
+                    // before the round opens, matching the synchronous
+                    // loop's `fault_phase; begin_round` order.
+                    if self.phases.has_faults() {
+                        engine.schedule_at(next, CpEvent::Fault { round: round + 1 });
+                    }
                     engine.schedule_at(next, CpEvent::RoundStart { round: round + 1 });
                 }
             }
@@ -204,13 +233,32 @@ impl<P: RoundPhases> World for EventWorld<'_, P> {
 /// start instant is at or before `end` (matching the synchronous loop's
 /// `now <= end` bound exactly). Returns the number of events fired.
 pub fn drive<P: RoundPhases>(phases: &mut P, period: SimDuration, end: SimTime) -> u64 {
+    drive_from(phases, period, 0, end)
+}
+
+/// Like [`drive`], but starts at round `start_round` (firing at
+/// `start_round × period`) instead of round 0 — the resume path of
+/// checkpoint/restore. `drive(…)` is exactly `drive_from(…, 0, …)`.
+pub fn drive_from<P: RoundPhases>(
+    phases: &mut P,
+    period: SimDuration,
+    start_round: u64,
+    end: SimTime,
+) -> u64 {
     let mut engine = Engine::new();
+    let start = SimTime::ZERO + period * start_round;
     let mut world = EventWorld {
         phases,
         period,
         end,
     };
-    engine.schedule_at(SimTime::ZERO, CpEvent::RoundStart { round: 0 });
+    if start > end {
+        return 0;
+    }
+    if world.phases.has_faults() {
+        engine.schedule_at(start, CpEvent::Fault { round: start_round });
+    }
+    engine.schedule_at(start, CpEvent::RoundStart { round: start_round });
     engine.run_until(&mut world, end);
     engine.events_fired()
 }
@@ -226,6 +274,7 @@ mod tests {
         calls: Vec<String>,
         floods: usize,
         rows: usize,
+        faults: bool,
     }
 
     impl RoundPhases for Script {
@@ -250,12 +299,21 @@ mod tests {
         fn end_round(&mut self, now: SimTime) {
             self.calls.push(format!("end@{}", now.as_micros()));
         }
+        fn fault_phase(&mut self, now: SimTime) {
+            self.calls.push(format!("fault@{}", now.as_micros()));
+        }
+        fn has_faults(&self) -> bool {
+            self.faults
+        }
     }
 
     /// The synchronous loop's phase order, for differential comparison.
     fn sync_drive(phases: &mut Script, period: SimDuration, end: SimTime) {
         let mut now = SimTime::ZERO;
         while now <= end {
+            if phases.has_faults() {
+                phases.fault_phase(now);
+            }
             phases.begin_round(now);
             for k in 0..phases.flood_phases() {
                 phases.flood_phase(k);
@@ -271,15 +329,17 @@ mod tests {
 
     #[test]
     fn event_backend_replays_the_synchronous_phase_order() {
-        for (floods, rows) in [(0, 1), (0, 4), (5, 4)] {
+        for (floods, rows, faults) in [(0, 1, false), (0, 4, false), (5, 4, false), (2, 3, true)] {
             let mut sync = Script {
                 floods,
                 rows,
+                faults,
                 ..Script::default()
             };
             let mut event = Script {
                 floods,
                 rows,
+                faults,
                 ..Script::default()
             };
             let period = SimDuration::from_secs(2);
@@ -288,9 +348,82 @@ mod tests {
             drive(&mut event, period, end);
             assert_eq!(
                 sync.calls, event.calls,
-                "floods={floods} rows={rows}: FIFO must replay the loop order"
+                "floods={floods} rows={rows} faults={faults}: FIFO must replay the loop order"
             );
         }
+    }
+
+    #[test]
+    fn fault_events_fire_before_round_start() {
+        let mut phases = Script {
+            rows: 1,
+            faults: true,
+            ..Script::default()
+        };
+        drive(
+            &mut phases,
+            SimDuration::from_secs(2),
+            SimTime::from_secs(2),
+        );
+        assert_eq!(
+            phases.calls,
+            vec![
+                "fault@0",
+                "begin@0",
+                "deliver0",
+                "plan@0",
+                "end@0",
+                "fault@2000000",
+                "begin@2000000",
+                "deliver0",
+                "plan@2000000",
+                "end@2000000",
+            ],
+        );
+    }
+
+    #[test]
+    fn fault_free_event_count_is_unchanged() {
+        // The Fault event is scheduled only under an active plan, so
+        // existing fault-free runs keep their exact event counts.
+        let count = |faults: bool| {
+            let mut phases = Script {
+                rows: 2,
+                faults,
+                ..Script::default()
+            };
+            drive(
+                &mut phases,
+                SimDuration::from_secs(2),
+                SimTime::from_secs(4),
+            )
+        };
+        assert_eq!(count(false), 3 * (1 + 2 + 1 + 1));
+        assert_eq!(count(true), 3 * (1 + 1 + 2 + 1 + 1));
+    }
+
+    #[test]
+    fn drive_from_resumes_mid_timeline() {
+        // Rounds 0..=1 on one engine, 2..=3 on a second: together they
+        // must replay exactly what a single uninterrupted drive does.
+        let period = SimDuration::from_secs(2);
+        let make = || Script {
+            floods: 1,
+            rows: 2,
+            faults: true,
+            ..Script::default()
+        };
+        let mut whole = make();
+        let whole_events = drive(&mut whole, period, SimTime::from_secs(6));
+        let mut split = make();
+        let first = drive_from(&mut split, period, 0, SimTime::from_secs(2));
+        let second = drive_from(&mut split, period, 2, SimTime::from_secs(6));
+        assert_eq!(split.calls, whole.calls, "split run must replay the whole");
+        assert_eq!(first + second, whole_events);
+        // A start beyond the horizon is a no-op.
+        let mut empty = make();
+        assert_eq!(drive_from(&mut empty, period, 4, SimTime::from_secs(6)), 0);
+        assert!(empty.calls.is_empty());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::cp::event::EngineKind;
 use crate::cp::CpModel;
+use crate::fault::FaultPlan;
 use crate::simulation::{HanSimulation, SimulationConfig, SimulationOutcome, Strategy};
 use han_metrics::stats::Summary;
 use han_metrics::tariff::{Billing, CostBreakdown};
@@ -159,13 +160,52 @@ pub fn run_strategy_reference(
     run_strategy_inner(scenario, strategy, cp, true, EngineKind::Round)
 }
 
-fn run_strategy_inner(
+/// Runs one strategy under a [`FaultPlan`]: node churn, CP outage
+/// windows and grid-signal dropout injected on the exact timeline the
+/// plan scripts, identically on either backend. An empty plan and
+/// `staleness_ttl: None` reproduce [`run_strategy_on`] bit for bit.
+///
+/// `staleness_ttl` enables ghost-record aging: survivors drop a dead
+/// node's last record from their planning view once it has gone
+/// unrefreshed for more than that many rounds (off by default because it
+/// perturbs fault-free lossy-CP schedules).
+///
+/// # Errors
+///
+/// [`ScenarioError`] as [`run_strategy`], plus
+/// [`ScenarioError::InvalidFaultPlan`] if the plan names a node outside
+/// the fleet.
+pub fn run_strategy_faulted(
     scenario: &Scenario,
     strategy: Strategy,
     cp: CpModel,
-    reference_planning: bool,
     engine: EngineKind,
+    faults: &FaultPlan,
+    staleness_ttl: Option<u32>,
 ) -> Result<StrategyResult, ScenarioError> {
+    let mut sim = build_simulation(scenario, strategy, cp, engine, faults, staleness_ttl)?;
+    sim.set_reference_planning(false);
+    Ok(summarize_outcome(sim.run(), scenario.duration))
+}
+
+/// Builds the fully-configured simulation that [`run_strategy_faulted`]
+/// runs, without running it. This is the entry point for callers that
+/// need the checkpoint API: run it with
+/// [`HanSimulation::run_checkpointed`], or rebuild the identical
+/// configuration and hand a saved [`crate::Checkpoint`] to
+/// [`HanSimulation::resume`].
+///
+/// # Errors
+///
+/// [`ScenarioError`] exactly as [`run_strategy_faulted`].
+pub fn build_simulation(
+    scenario: &Scenario,
+    strategy: Strategy,
+    cp: CpModel,
+    engine: EngineKind,
+    faults: &FaultPlan,
+    staleness_ttl: Option<u32>,
+) -> Result<HanSimulation, ScenarioError> {
     scenario.validate()?;
     // Signal-aware planning hook: a scenario carrying a grid-side
     // admission cap hands it to the coordinated planner (an explicitly
@@ -188,16 +228,35 @@ fn run_strategy_inner(
         seed: scenario.seed,
     };
     let mut sim = HanSimulation::new(config, scenario.requests())?;
-    sim.set_reference_planning(reference_planning);
-    let outcome = sim.run();
-    let end = SimTime::ZERO + scenario.duration;
+    sim.set_faults(faults.clone())?;
+    sim.set_staleness_ttl(staleness_ttl);
+    Ok(sim)
+}
+
+/// Samples and summarizes a raw outcome the way every figure harness
+/// does: per-minute load samples over the scenario window plus their
+/// summary statistics.
+pub fn summarize_outcome(outcome: SimulationOutcome, duration: SimDuration) -> StrategyResult {
+    let end = SimTime::ZERO + duration;
     let samples = outcome.trace.sample(SimTime::ZERO, end, SAMPLE_INTERVAL);
     let summary = Summary::of(&samples);
-    Ok(StrategyResult {
+    StrategyResult {
         outcome,
         samples,
         summary,
-    })
+    }
+}
+
+fn run_strategy_inner(
+    scenario: &Scenario,
+    strategy: Strategy,
+    cp: CpModel,
+    reference_planning: bool,
+    engine: EngineKind,
+) -> Result<StrategyResult, ScenarioError> {
+    let mut sim = build_simulation(scenario, strategy, cp, engine, &FaultPlan::empty(), None)?;
+    sim.set_reference_planning(reference_planning);
+    Ok(summarize_outcome(sim.run(), scenario.duration))
 }
 
 /// Runs both strategies on the same workload.
@@ -222,6 +281,43 @@ pub fn compare_on(
 ) -> Result<Comparison, ScenarioError> {
     let uncoordinated = run_strategy_on(scenario, Strategy::Uncoordinated, cp.clone(), engine)?;
     let coordinated = run_strategy_on(scenario, Strategy::coordinated(), cp, engine)?;
+    Ok(Comparison {
+        scenario: scenario.clone(),
+        uncoordinated,
+        coordinated,
+    })
+}
+
+/// [`compare`] under a shared [`FaultPlan`]: both strategies face the
+/// identical churn/outage/dropout timeline, so the comparison isolates
+/// what coordination buys (or costs) under failure.
+///
+/// # Errors
+///
+/// [`ScenarioError`] exactly as [`run_strategy_faulted`].
+pub fn compare_faulted(
+    scenario: &Scenario,
+    cp: CpModel,
+    engine: EngineKind,
+    faults: &FaultPlan,
+    staleness_ttl: Option<u32>,
+) -> Result<Comparison, ScenarioError> {
+    let uncoordinated = run_strategy_faulted(
+        scenario,
+        Strategy::Uncoordinated,
+        cp.clone(),
+        engine,
+        faults,
+        staleness_ttl,
+    )?;
+    let coordinated = run_strategy_faulted(
+        scenario,
+        Strategy::coordinated(),
+        cp,
+        engine,
+        faults,
+        staleness_ttl,
+    )?;
     Ok(Comparison {
         scenario: scenario.clone(),
         uncoordinated,
@@ -378,6 +474,63 @@ mod tests {
             reference.outcome.divergent_rounds
         );
         assert_eq!(fast.samples, reference.samples);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_compatible() {
+        let scenario = short_scenario(ArrivalRate::High, 7);
+        let cp = CpModel::LossyRecord {
+            miss_probability: 0.2,
+        };
+        let plain = run_strategy(&scenario, Strategy::coordinated(), cp.clone()).expect("valid");
+        let faulted = run_strategy_faulted(
+            &scenario,
+            Strategy::coordinated(),
+            cp,
+            EngineKind::Round,
+            &FaultPlan::empty(),
+            None,
+        )
+        .expect("valid");
+        assert_eq!(
+            plain.outcome.schedule_digest,
+            faulted.outcome.schedule_digest
+        );
+        assert_eq!(plain.outcome.trace, faulted.outcome.trace);
+        assert_eq!(plain.samples, faulted.samples);
+        assert!(faulted.outcome.resilience.is_quiet());
+    }
+
+    #[test]
+    fn faulted_comparison_shares_the_timeline() {
+        let scenario = short_scenario(ArrivalRate::Moderate, 11);
+        let faults = FaultPlan::parse("down:2@10; up:2@30").expect("valid plan");
+        let comparison =
+            compare_faulted(&scenario, CpModel::Ideal, EngineKind::Event, &faults, None)
+                .expect("valid");
+        assert_eq!(
+            comparison.uncoordinated.outcome.resilience.down_node_rounds,
+            comparison.coordinated.outcome.resilience.down_node_rounds,
+            "both strategies must face identical churn"
+        );
+        assert!(comparison.coordinated.outcome.resilience.down_node_rounds > 0);
+        assert_eq!(comparison.coordinated.outcome.deadline_misses, 0);
+    }
+
+    #[test]
+    fn fault_plan_outside_fleet_is_rejected() {
+        let scenario = short_scenario(ArrivalRate::Low, 0);
+        let faults = FaultPlan::parse("down:99@5").expect("parses");
+        let err = run_strategy_faulted(
+            &scenario,
+            Strategy::Uncoordinated,
+            CpModel::Ideal,
+            EngineKind::Round,
+            &faults,
+            None,
+        )
+        .expect_err("node 99 is outside the fleet");
+        assert!(matches!(err, ScenarioError::InvalidFaultPlan { .. }));
     }
 
     #[test]

@@ -23,7 +23,8 @@
 //!
 //! Both are deterministic: same neighborhood, same policy, same report.
 
-use crate::experiment::{collect_results, run_strategy_on, StrategyResult, SAMPLE_INTERVAL};
+use crate::experiment::{collect_results, run_strategy_faulted, StrategyResult, SAMPLE_INTERVAL};
+use crate::fault::degrade_cap_profile;
 use crate::feeder::convergence::{ConvergenceCriterion, ConvergenceTracker, StopReason};
 use crate::feeder::signal::FeederSignal;
 use crate::feeder::ConvergenceTrace;
@@ -31,6 +32,7 @@ use crate::neighborhood::{Home, Neighborhood, NeighborhoodReport};
 use crate::simulation::Strategy;
 use han_metrics::stats::Summary;
 use han_metrics::tariff::{Billing, CostBreakdown};
+use han_sim::time::SimDuration;
 use han_workload::fleet::ScenarioError;
 use han_workload::scenario::Scenario;
 use han_workload::signal::PowerCapProfile;
@@ -57,16 +59,26 @@ pub struct FeederPolicy {
     pub iteration: IterationPolicy,
     /// The stopping rule.
     pub convergence: ConvergenceCriterion,
+    /// How long a home keeps acting on its last-known-good cap when its
+    /// fault plan drops the broadcast (a [`FaultEvent::SignalLoss`]
+    /// window — see [`degrade_cap_profile`]). Past the horizon the home
+    /// fails **open**: admission is unconstrained, obligations are
+    /// untouched, so dropout can never cause a deadline miss.
+    ///
+    /// [`FaultEvent::SignalLoss`]: crate::fault::FaultEvent::SignalLoss
+    pub signal_staleness_horizon: SimDuration,
 }
 
 impl FeederPolicy {
     /// A Jacobi policy with the default convergence criterion — the
-    /// configuration a periodic one-shot broadcast corresponds to.
+    /// configuration a periodic one-shot broadcast corresponds to — and a
+    /// 30-minute signal-staleness horizon.
     pub fn new(signal: FeederSignal) -> Self {
         FeederPolicy {
             signal,
             iteration: IterationPolicy::Jacobi,
             convergence: ConvergenceCriterion::default(),
+            signal_staleness_horizon: SimDuration::from_mins(30),
         }
     }
 
@@ -219,16 +231,32 @@ fn sum_series(series: &[Vec<f64>]) -> Vec<f64> {
 
 /// Re-simulates one home against an admission cap (the signal-aware hook:
 /// the cap rides [`Scenario::power_cap`] into the coordinated planner).
-fn replan(home: &Home, cap: PowerCapProfile) -> Result<StrategyResult, ScenarioError> {
+///
+/// If the home's fault plan drops the broadcast, the cap the home acts on
+/// is the degraded profile — last-known-good held for at most `horizon`,
+/// then open until the dropout ends (see [`degrade_cap_profile`]). The
+/// home's churn/outage events run inside the simulation itself.
+fn replan(
+    home: &Home,
+    cap: PowerCapProfile,
+    horizon: SimDuration,
+) -> Result<StrategyResult, ScenarioError> {
+    let cap = if home.faults.has_signal_faults() {
+        degrade_cap_profile(&cap, &home.faults.signal_loss_windows(), horizon)
+    } else {
+        cap
+    };
     let scenario = Scenario {
         power_cap: Some(cap),
         ..home.scenario.clone()
     };
-    run_strategy_on(
+    run_strategy_faulted(
         &scenario,
         Strategy::coordinated(),
         home.cp.clone(),
         home.engine,
+        &home.faults,
+        None,
     )
 }
 
@@ -288,7 +316,9 @@ pub(crate) fn coordinate(
                     .collect::<Result<_, _>>()?;
                 results = collect_results(
                     jobs.into_par_iter()
-                        .map(|(i, cap)| replan(&hood.homes[i], cap))
+                        .map(|(i, cap)| {
+                            replan(&hood.homes[i], cap, policy.signal_staleness_horizon)
+                        })
                         .collect(),
                 )?;
                 for (samples, r) in home_samples.iter_mut().zip(&results) {
@@ -301,7 +331,7 @@ pub(crate) fn coordinate(
                         policy
                             .signal
                             .resolve_home_cap(&aggregate, &home_samples[i], rated[i])?;
-                    let r = replan(&hood.homes[i], cap)?;
+                    let r = replan(&hood.homes[i], cap, policy.signal_staleness_horizon)?;
                     // Later homes see this home's fresh series: swap its
                     // contribution in place, O(samples) per home instead
                     // of re-summing the whole street.
@@ -493,15 +523,14 @@ mod tests {
         let hood = Neighborhood::uniform("street", &short_paper(9), CpModel::Ideal, 3).unwrap();
         let independent = hood.run().unwrap();
         let policy = FeederPolicy {
-            signal: FeederSignal::Capacity(
-                PowerCapProfile::constant(independent.feeder_coordinated.peak * 0.5).unwrap(),
-            ),
-            iteration: IterationPolicy::Jacobi,
             // An impossible tolerance forces the budget to fire.
             convergence: ConvergenceCriterion {
                 max_iterations: 2,
                 tolerance_kw: 0.0,
             },
+            ..FeederPolicy::new(FeederSignal::Capacity(
+                PowerCapProfile::constant(independent.feeder_coordinated.peak * 0.5).unwrap(),
+            ))
         };
         let report = hood.run_with(&policy).unwrap();
         assert!(report.iterations() <= 2);
@@ -518,24 +547,49 @@ mod tests {
     #[test]
     fn invalid_policies_rejected() {
         let hood = single_home(&short_paper(0), CpModel::Ideal).unwrap();
-        let bad = FeederPolicy {
-            signal: FeederSignal::Congestion { utilization: -1.0 },
-            iteration: IterationPolicy::Jacobi,
-            convergence: ConvergenceCriterion::default(),
-        };
+        let bad = FeederPolicy::new(FeederSignal::Congestion { utilization: -1.0 });
         assert!(hood.run_with(&bad).is_err());
         let bad = FeederPolicy {
-            signal: FeederSignal::Capacity(PowerCapProfile::unlimited()),
-            iteration: IterationPolicy::Jacobi,
             convergence: ConvergenceCriterion {
                 max_iterations: 0,
                 tolerance_kw: 0.1,
             },
+            ..FeederPolicy::new(FeederSignal::Capacity(PowerCapProfile::unlimited()))
         };
         assert!(matches!(
             hood.run_with(&bad),
             Err(ScenarioError::InvalidConvergence { .. })
         ));
+    }
+
+    #[test]
+    fn signal_dropout_fails_safe() {
+        use crate::fault::FaultPlan;
+        // A tight capacity cap, with one home losing the broadcast for
+        // most of the run. The dropped home holds its last-known-good cap
+        // for the horizon, then fails open — never a deadline miss, and
+        // the committed iterate never regresses below the signal-free
+        // street.
+        let mut hood = Neighborhood::uniform("street", &short_paper(6), CpModel::Ideal, 3).unwrap();
+        hood.homes[1].faults = FaultPlan::parse("sigloss:10-80").expect("valid plan");
+        let independent = hood.run().unwrap();
+        let cap = independent.feeder_coordinated.peak * 0.85;
+        let policy = FeederPolicy::new(FeederSignal::Capacity(
+            PowerCapProfile::constant(cap).unwrap(),
+        ));
+        assert_eq!(policy.signal_staleness_horizon, SimDuration::from_mins(30));
+        let report = hood.run_with(&policy).unwrap();
+        assert_eq!(report.total_deadline_misses(), 0);
+        assert!(
+            report.feeder.peak <= independent.feeder_coordinated.peak + 1e-9,
+            "dropout must not regress the street below its signal-free state"
+        );
+        // The dropout is visible: the dropped home's coordinated series
+        // differs from what the same street produces with no dropout.
+        let mut clean = hood.clone();
+        clean.homes[1].faults = FaultPlan::empty();
+        let clean_report = clean.run_with(&policy).unwrap();
+        assert_eq!(clean_report.total_deadline_misses(), 0);
     }
 
     #[test]

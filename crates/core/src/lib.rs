@@ -19,6 +19,11 @@
 //! * [`simulation`] — the round-by-round two-plane simulation
 //!   ([`simulation::HanSimulation`]), configured by a heterogeneous
 //!   [`han_workload::fleet::FleetSpec`];
+//! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`]):
+//!   node churn, CP outages and feeder signal dropout, replayed
+//!   identically through both engines;
+//! * [`checkpoint`] — versioned, bit-identical checkpoint/restore of a
+//!   running simulation ([`checkpoint::Checkpoint`]);
 //! * [`experiment`] — the shared harness the figure reproductions use;
 //! * [`neighborhood`] — many homes on one feeder
 //!   ([`neighborhood::Neighborhood`]), run one-home-per-worker with a
@@ -52,8 +57,10 @@
 #![deny(missing_docs)]
 
 pub mod algorithm;
+pub mod checkpoint;
 pub mod cp;
 pub mod experiment;
+pub mod fault;
 pub mod feeder;
 pub mod neighborhood;
 pub mod pool;
@@ -65,8 +72,10 @@ pub use algorithm::{
     demand_rate_kw, plan_coordinated, plan_uncoordinated, plan_with_level, CoordinatedPlanner,
     Plan, PlanConfig, SchedulingRule,
 };
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use cp::event::{CpEvent, EngineKind};
 pub use cp::{CommunicationPlane, CpModel, CpStats};
+pub use fault::{degrade_cap_profile, FaultEvent, FaultPlan};
 pub use feeder::{
     ConvergenceCriterion, ConvergenceTrace, FeederPolicy, FeederReport, FeederSignal,
     IterationPolicy, StopReason,

@@ -39,7 +39,10 @@
 
 use crate::cp::event::EngineKind;
 use crate::cp::CpModel;
-use crate::experiment::{collect_results, compare_on, Comparison, CostComparison, SAMPLE_INTERVAL};
+use crate::experiment::{
+    collect_results, compare_faulted, Comparison, CostComparison, SAMPLE_INTERVAL,
+};
+use crate::fault::FaultPlan;
 use han_metrics::stats::Summary;
 use han_metrics::tariff::Billing;
 use han_workload::fleet::ScenarioError;
@@ -64,6 +67,10 @@ pub struct Home {
     /// default; the event backend is bit-identical by contract, see
     /// [`crate::cp::event`]).
     pub engine: EngineKind,
+    /// This home's fault timeline (node churn, CP outages, signal
+    /// dropout — see [`crate::fault`]). Empty by default; an empty plan
+    /// reproduces the fault-free run bit for bit.
+    pub faults: FaultPlan,
 }
 
 impl Home {
@@ -80,7 +87,16 @@ impl Home {
             scenario,
             cp,
             engine,
+            faults: FaultPlan::empty(),
         }
+    }
+
+    /// Scripts a fault timeline onto this home (builder-style). Homes
+    /// fail independently — each plan names nodes in its own HAN.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -208,11 +224,16 @@ impl Neighborhood {
             self.homes
                 .par_iter()
                 .map(|home| {
-                    compare_on(&home.scenario, home.cp.clone(), home.engine).map(|comparison| {
-                        HomeResult {
-                            name: home.name.clone(),
-                            comparison,
-                        }
+                    compare_faulted(
+                        &home.scenario,
+                        home.cp.clone(),
+                        home.engine,
+                        &home.faults,
+                        None,
+                    )
+                    .map(|comparison| HomeResult {
+                        name: home.name.clone(),
+                        comparison,
                     })
                 })
                 .collect(),
@@ -525,6 +546,46 @@ mod tests {
             0
         );
         assert!(report.feeder_uncoordinated.peak > 0.0);
+    }
+
+    #[test]
+    fn one_faulty_home_leaves_neighbors_untouched() {
+        // Two identical homes; only the second suffers churn. The healthy
+        // home's result must be bit-identical to a fault-free street, and
+        // even the faulty home keeps its obligations.
+        let faults = FaultPlan::parse("down:4@10; up:4@40").expect("valid plan");
+        let healthy = Neighborhood::new(
+            "street",
+            vec![
+                Home::new(short_paper(20), CpModel::Ideal),
+                Home::new(short_paper(21), CpModel::Ideal),
+            ],
+        )
+        .unwrap();
+        let faulty = Neighborhood::new(
+            "street",
+            vec![
+                Home::new(short_paper(20), CpModel::Ideal),
+                Home::new(short_paper(21), CpModel::Ideal).with_faults(faults),
+            ],
+        )
+        .unwrap();
+        let a = healthy.run().unwrap();
+        let b = faulty.run().unwrap();
+        assert_eq!(
+            a.homes[0].comparison.coordinated.outcome.schedule_digest,
+            b.homes[0].comparison.coordinated.outcome.schedule_digest,
+            "homes do not share a CP: faults must stay inside their home"
+        );
+        let faulted = &b.homes[1].comparison.coordinated.outcome;
+        assert!(faulted.resilience.down_node_rounds > 0);
+        assert_eq!(faulted.deadline_misses, 0);
+        assert!(a.homes[1]
+            .comparison
+            .coordinated
+            .outcome
+            .resilience
+            .is_quiet());
     }
 
     #[test]

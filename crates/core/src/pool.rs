@@ -71,6 +71,12 @@ impl ViewHandle {
     pub fn id(self) -> u32 {
         self.0
     }
+
+    /// Rebuilds a handle from its raw id — only for checkpoint restore,
+    /// where the id was captured from a live handle of the exported pool.
+    pub(crate) fn from_id(id: u32) -> Self {
+        ViewHandle(id)
+    }
 }
 
 /// One pool slot. Reclaimed slots stay allocated (refs = 0, parked on the
@@ -338,6 +344,71 @@ impl ViewPool {
                 * (std::mem::size_of::<Option<StatusRecord>>() + std::mem::size_of::<u64>())
     }
 
+    /// Serializes the pool's exact structural state for a checkpoint:
+    /// per-slot `(refs, key, records-if-live)` in slot order, the free
+    /// list verbatim (its LIFO order decides which slot the next
+    /// acquisition reuses, so future handle ids depend on it), and the
+    /// live/peak counters. Parked slots export no records — their buffers
+    /// are fully overwritten before reuse.
+    pub(crate) fn export(&self) -> ViewPoolExport {
+        ViewPoolExport {
+            slots: self
+                .entries
+                .iter()
+                .map(|e| PoolSlotExport {
+                    refs: e.refs,
+                    key: e.key,
+                    records: if e.refs > 0 {
+                        (0..self.device_count)
+                            .map(|i| e.view.record(han_device::appliance::DeviceId(i as u32)))
+                            .map(|r| r.copied())
+                            .collect()
+                    } else {
+                        Vec::new()
+                    },
+                })
+                .collect(),
+            free: self.free.clone(),
+            live: self.live,
+            peak: self.peak,
+        }
+    }
+
+    /// Rebuilds a pool from an [`export`](ViewPool::export). The content
+    /// index is reconstructed from the live slots (filed in ascending slot
+    /// order — bucket order only matters on 64-bit fingerprint collisions,
+    /// where equality checks disambiguate regardless of order).
+    pub(crate) fn restore(device_count: usize, export: &ViewPoolExport) -> Self {
+        let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
+        let entries: Vec<Entry> = export
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(id, slot)| {
+                let mut view = SystemView::new(device_count);
+                if slot.refs > 0 {
+                    for rec in slot.records.iter().flatten() {
+                        view.refresh(*rec);
+                    }
+                    index.entry(slot.key).or_default().push(id as u32);
+                }
+                Entry {
+                    view,
+                    refs: slot.refs,
+                    key: slot.key,
+                }
+            })
+            .collect();
+        ViewPool {
+            entries,
+            free: export.free.clone(),
+            index,
+            device_count,
+            live: export.live,
+            peak: export.peak,
+        }
+    }
+
     /// Current memory counters, with the dense one-view-per-`nodes` layout
     /// as the comparison baseline.
     pub fn stats(&self, nodes: usize) -> ViewPoolStats {
@@ -349,6 +420,25 @@ impl ViewPool {
             per_node_bytes: nodes * self.bytes_per_view(),
         }
     }
+}
+
+/// The checkpointable structural state of a [`ViewPool`] — see
+/// [`ViewPool::export`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ViewPoolExport {
+    pub(crate) slots: Vec<PoolSlotExport>,
+    pub(crate) free: Vec<u32>,
+    pub(crate) live: usize,
+    pub(crate) peak: usize,
+}
+
+/// One exported pool slot: refcount, index key and (for live slots) the
+/// record contents per device slot.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PoolSlotExport {
+    pub(crate) refs: u32,
+    pub(crate) key: u64,
+    pub(crate) records: Vec<Option<StatusRecord>>,
 }
 
 #[cfg(test)]
@@ -464,6 +554,34 @@ mod tests {
     fn wrong_size_rejected() {
         let mut pool = ViewPool::new(3);
         pool.acquire(&SystemView::new(2));
+    }
+
+    #[test]
+    fn export_restore_preserves_structure_and_future_handles() {
+        let mut pool = ViewPool::new(2);
+        let a = pool.acquire(&view_with(2, &[record(0, 15)]));
+        let b = pool.acquire(&view_with(2, &[record(1, 9)]));
+        let c = pool.acquire(&view_with(2, &[record(0, 3)]));
+        pool.retain(a);
+        pool.release(b); // park slot 1
+        pool.release(c); // park slot 2 — free list is [1, 2]
+        let export = pool.export();
+        let mut restored = ViewPool::restore(2, &export);
+        assert_eq!(restored.live_views(), pool.live_views());
+        assert_eq!(restored.peak_views(), pool.peak_views());
+        assert_eq!(restored.slot_count(), pool.slot_count());
+        assert_eq!(restored.view(a), pool.view(a));
+        assert!(restored.is_sole_owner(a) == pool.is_sole_owner(a));
+        // Future behavior must match: dedup onto the live entry…
+        let v0 = view_with(2, &[record(0, 15)]);
+        assert_eq!(restored.acquire(&v0), pool.acquire(&v0));
+        // …and parked-slot reuse in the same LIFO order.
+        let v_new = view_with(2, &[record(1, 4)]);
+        assert_eq!(restored.acquire(&v_new), pool.acquire(&v_new));
+        let v_new2 = view_with(2, &[record(1, 5)]);
+        assert_eq!(restored.acquire(&v_new2), pool.acquire(&v_new2));
+        // A second export of the restored pool is identical.
+        assert_eq!(restored.export(), pool.export());
     }
 
     #[test]

@@ -19,14 +19,18 @@
 use crate::algorithm::{
     demand_rate_kw, plan_with_level, CoordinatedPlanner, Plan, PlanConfig, SchedulingRule,
 };
+use crate::checkpoint::{Checkpoint, CheckpointError, SimState};
 use crate::cp::event::{self, EngineKind, RoundPhases};
 use crate::cp::{CommunicationPlane, CpModel, CpStats};
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::schedule::Schedule;
+use crate::state::SystemView;
 use han_device::appliance::DeviceId;
 use han_device::interface::DeviceInterface;
 use han_device::request::Request;
 use han_device::status::StatusRecord;
 use han_metrics::timeseries::LoadTrace;
+use han_metrics::ResilienceStats;
 use han_sim::time::{SimDuration, SimTime};
 use han_workload::fleet::{FleetSpec, ScenarioError};
 use std::collections::{HashMap, HashSet};
@@ -137,6 +141,18 @@ impl SimulationConfig {
                     });
                 }
             }
+            CpModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            } => {
+                for p in [p_good_to_bad, p_bad_to_good, loss_good, loss_bad] {
+                    if !(0.0..=1.0).contains(p) {
+                        return Err(ScenarioError::InvalidProbability { probability: *p });
+                    }
+                }
+            }
             CpModel::Ideal => {}
         }
         Ok(())
@@ -174,6 +190,10 @@ pub struct SimulationOutcome {
     /// round — the probe the differential tests use to prove the memoized
     /// execution plane exactly matches the naive per-node reference.
     pub schedule_digest: u64,
+    /// Resilience accounting under the configured [`FaultPlan`]: fault
+    /// exposure, recovery times to re-agreement, misses by cause. Quiet
+    /// (all zeros) when no faults were injected.
+    pub resilience: ResilienceStats,
 }
 
 impl SimulationOutcome {
@@ -195,6 +215,8 @@ pub struct HanSimulation {
     requests: Vec<Request>,
     background: Option<LoadTrace>,
     reference_planning: bool,
+    faults: FaultPlan,
+    staleness_ttl: Option<u32>,
 }
 
 /// Reusable per-round working memory for the execution plane, allocated
@@ -253,7 +275,34 @@ impl HanSimulation {
             requests,
             background: None,
             reference_planning: false,
+            faults: FaultPlan::empty(),
+            staleness_ttl: None,
         })
+    }
+
+    /// Installs a deterministic [`FaultPlan`]: node churn and CP outages
+    /// are injected identically through both engines, round by round. An
+    /// empty plan (the default) leaves every code path bit-identical to a
+    /// fault-free run.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::InvalidFaultPlan`] if the plan names a node
+    /// outside the fleet.
+    pub fn set_faults(&mut self, faults: FaultPlan) -> Result<&mut Self, ScenarioError> {
+        faults.validate_nodes(self.config.fleet.device_count())?;
+        self.faults = faults;
+        Ok(self)
+    }
+
+    /// Ages out ghost records: at plan time each node ignores any foreign
+    /// record older than `ttl` rounds (its own record is always kept).
+    /// `None` — the default — disables the filter, preserving bit-exact
+    /// compatibility with earlier releases, where a dead node's last
+    /// record lingers in every survivor's view forever.
+    pub fn set_staleness_ttl(&mut self, ttl: Option<u32>) -> &mut Self {
+        self.staleness_ttl = ttl;
+        self
     }
 
     /// Forces the naive reference formulation end to end: the
@@ -281,35 +330,183 @@ impl HanSimulation {
         self
     }
 
+    /// Total rounds the configured horizon executes (rounds fire at
+    /// `0, p, 2p, …` while the instant is at or before the end).
+    fn total_rounds(&self) -> u64 {
+        self.config.duration.as_micros() / self.config.round_period.as_micros() + 1
+    }
+
+    /// Advisory fingerprint of everything that shapes the run besides the
+    /// dynamic state: a checkpoint refuses to resume under a different
+    /// configuration. Not cryptographic — it catches mistakes, not
+    /// adversaries.
+    fn fingerprint(&self) -> u64 {
+        let mut d: u64 = 0x4841_4E43_4B50_5431; // "HANCKPT1"
+        let mut fold = |v: u64| d = (d.rotate_left(5) ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        fold(self.config.fleet.device_count() as u64);
+        fold(self.config.duration.as_micros());
+        fold(self.config.round_period.as_micros());
+        fold(self.config.seed);
+        fold(match self.config.engine {
+            EngineKind::Round => 0,
+            EngineKind::Event => 1,
+        });
+        fold(match &self.config.strategy {
+            Strategy::Coordinated(_) => 0,
+            Strategy::Uncoordinated => 1,
+            Strategy::Centralized { controller, .. } => 2 | (u64::from(controller.0) << 8),
+        });
+        fold(match &self.config.cp {
+            CpModel::Ideal => 0,
+            CpModel::LossyRound { miss_probability } => 1 | (miss_probability.to_bits() << 8),
+            CpModel::LossyRecord { miss_probability } => 2 | (miss_probability.to_bits() << 8),
+            CpModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                ..
+            } => 3 | (p_good_to_bad.to_bits() ^ p_bad_to_good.to_bits()) << 8,
+            CpModel::Packet { .. } => 4,
+        });
+        fold(u64::from(self.reference_planning));
+        fold(match self.staleness_ttl {
+            None => u64::MAX,
+            Some(t) => u64::from(t),
+        });
+        fold(self.requests.len() as u64);
+        for r in &self.requests {
+            fold(u64::from(r.device.0));
+            fold(r.arrival.as_micros());
+        }
+        fold(self.faults.events().len() as u64);
+        for ev in self.faults.events() {
+            match *ev {
+                FaultEvent::NodeDown { at, node } => {
+                    fold(1 | (node as u64) << 8);
+                    fold(at.as_micros());
+                }
+                FaultEvent::NodeUp { at, node } => {
+                    fold(2 | (node as u64) << 8);
+                    fold(at.as_micros());
+                }
+                FaultEvent::CpOutage { from, until } => {
+                    fold(3);
+                    fold(from.as_micros());
+                    fold(until.as_micros());
+                }
+                FaultEvent::SignalLoss { from, until } => {
+                    fold(4);
+                    fold(from.as_micros());
+                    fold(until.as_micros());
+                }
+            }
+        }
+        d
+    }
+
     /// Runs the simulation to completion.
     pub fn run(self) -> SimulationOutcome {
         let engine = self.config.engine;
         let period = self.config.round_period;
         let end = SimTime::ZERO + self.config.duration;
+        let total = self.total_rounds();
         let mut driver = Driver::new(self);
-        match engine {
-            EngineKind::Round => {
-                // The fixed-step synchronous loop: the same phase sequence
-                // the event backend replays, as straight-line calls.
-                let mut now = SimTime::ZERO;
-                while now <= end {
-                    driver.begin_round(now);
-                    for k in 0..driver.flood_phases() {
-                        driver.flood_phase(k);
-                    }
-                    for row in 0..driver.delivery_rows() {
-                        driver.deliver_row(row);
-                    }
-                    driver.plan(now);
-                    driver.end_round(now);
-                    now += period;
+        let events = run_span(&mut driver, engine, period, end, 0, total);
+        driver.into_outcome(events)
+    }
+
+    /// Runs to completion like [`HanSimulation::run`], additionally
+    /// capturing a [`Checkpoint`] at the `at_round` boundary (after
+    /// `at_round` rounds have executed; clamped to the horizon). The
+    /// capture is a pure snapshot: the returned outcome is bit-identical
+    /// to an uncheckpointed run.
+    pub fn run_checkpointed(self, at_round: u64) -> (SimulationOutcome, Checkpoint) {
+        let engine = self.config.engine;
+        let period = self.config.round_period;
+        let end = SimTime::ZERO + self.config.duration;
+        let total = self.total_rounds();
+        let split = at_round.min(total);
+        let fingerprint = self.fingerprint();
+        let mut driver = Driver::new(self);
+        let mut events = run_span(&mut driver, engine, period, end, 0, split);
+        let checkpoint = Checkpoint {
+            state: driver.export_state(fingerprint),
+        };
+        events += run_span(&mut driver, engine, period, end, split, total);
+        (driver.into_outcome(events), checkpoint)
+    }
+
+    /// Resumes a checkpointed run to completion. The configuration,
+    /// request trace, fault plan and tuning flags must match the original
+    /// run (enforced by fingerprint); the continuation is then digest-,
+    /// trace- and CP-stats-identical to the uninterrupted run. Only
+    /// [`SimulationOutcome::events`] may differ, since the resumed event
+    /// engine does not replay already-executed rounds.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::ConfigMismatch`] if the checkpoint was taken
+    /// under a different configuration.
+    pub fn resume(self, checkpoint: &Checkpoint) -> Result<SimulationOutcome, CheckpointError> {
+        let expected = self.fingerprint();
+        if checkpoint.state.fingerprint != expected {
+            return Err(CheckpointError::ConfigMismatch {
+                expected,
+                found: checkpoint.state.fingerprint,
+            });
+        }
+        let engine = self.config.engine;
+        let period = self.config.round_period;
+        let end = SimTime::ZERO + self.config.duration;
+        let total = self.total_rounds();
+        let from = checkpoint.state.next_round;
+        let mut driver = Driver::restore(self, &checkpoint.state);
+        let events = run_span(&mut driver, engine, period, end, from, total);
+        Ok(driver.into_outcome(events))
+    }
+}
+
+/// Executes rounds `[from, to)` on the chosen backend. Returns the events
+/// fired (0 under the synchronous loop).
+fn run_span(
+    driver: &mut Driver,
+    engine: EngineKind,
+    period: SimDuration,
+    end: SimTime,
+    from: u64,
+    to: u64,
+) -> u64 {
+    if to <= from {
+        return 0;
+    }
+    match engine {
+        EngineKind::Round => {
+            // The fixed-step synchronous loop: the same phase sequence
+            // the event backend replays, as straight-line calls.
+            let mut now = SimTime::ZERO + period * from;
+            let mut round = from;
+            while now <= end && round < to {
+                if driver.has_faults() {
+                    driver.fault_phase(now);
                 }
-                driver.into_outcome(0)
+                driver.begin_round(now);
+                for k in 0..driver.flood_phases() {
+                    driver.flood_phase(k);
+                }
+                for row in 0..driver.delivery_rows() {
+                    driver.deliver_row(row);
+                }
+                driver.plan(now);
+                driver.end_round(now);
+                now += period;
+                round += 1;
             }
-            EngineKind::Event => {
-                let events = event::drive(&mut driver, period, end);
-                driver.into_outcome(events)
-            }
+            0
+        }
+        EngineKind::Event => {
+            // The span's last round starts at `(to − 1) × period`; the
+            // engine horizon is inclusive, exactly like the loop above.
+            let span_end = end.min(SimTime::ZERO + period * (to - 1));
+            event::drive_from(driver, period, from, span_end)
         }
     }
 }
@@ -337,6 +534,25 @@ struct Driver {
     next_request: usize,
     last_load_kw: f64,
     schedule_digest: u64,
+    /// The deterministic fault timeline (empty = fault-free fast path).
+    faults: FaultPlan,
+    /// Ghost-record age-out horizon, in rounds (`None` = keep forever).
+    staleness_ttl: Option<u32>,
+    /// Scratch: which nodes are down this round (re-derived statelessly
+    /// from the plan each round, so it never enters a checkpoint).
+    down: Vec<bool>,
+    /// Whether a CP outage blacks out this round.
+    outage: bool,
+    resilience: ResilienceStats,
+    /// Round at which the last fault cleared, while the divergence probe
+    /// has not yet seen the fleet re-agree.
+    recovery_since: Option<u64>,
+    /// Whether any fault was active in the previous round (detects the
+    /// fault-cleared edge that starts the recovery clock).
+    fault_active_last: bool,
+    /// Total deadline misses at the end of the previous round, for
+    /// per-round attribution of new misses to the active fault class.
+    last_miss_total: u32,
 }
 
 impl Driver {
@@ -356,6 +572,12 @@ impl Driver {
         let mut cp = CommunicationPlane::new(cfg.cp.clone(), n, cfg.seed);
         if sim.reference_planning {
             cp.set_reference_views();
+        }
+        // Churn and outages need per-node delivery rows (a down node's
+        // view diverges from the survivors'); fault-free runs keep the
+        // shared-row fast path bit-identical to earlier releases.
+        if sim.faults.has_cp_faults() {
+            cp.enable_per_node_rows();
         }
         let planners: Vec<CoordinatedPlanner> = match &cfg.strategy {
             Strategy::Coordinated(plan_cfg) => (0..n)
@@ -383,11 +605,76 @@ impl Driver {
             next_request: 0,
             last_load_kw: 0.0,
             schedule_digest: 0,
+            faults: sim.faults,
+            staleness_ttl: sim.staleness_ttl,
+            down: vec![false; n],
+            outage: false,
+            resilience: ResilienceStats::default(),
+            recovery_since: None,
+            fault_active_last: false,
+            last_miss_total: 0,
             config: sim.config,
             requests: sim.requests,
             background: sim.background,
             reference_planning: sim.reference_planning,
         }
+    }
+
+    /// Captures the complete dynamic state at a round boundary (all
+    /// rounds `< self.rounds` executed, round `self.rounds` next).
+    fn export_state(&self, fingerprint: u64) -> SimState {
+        SimState {
+            fingerprint,
+            next_round: self.rounds,
+            divergent_rounds: self.divergent_rounds,
+            delivered: self.delivered as u64,
+            next_request: self.next_request as u64,
+            last_load_kw: self.last_load_kw,
+            schedule_digest: self.schedule_digest,
+            trace: self.trace.points().to_vec(),
+            last_command: self.last_command.clone(),
+            dis: self.dis.iter().map(DeviceInterface::snapshot).collect(),
+            planners: self
+                .planners
+                .iter()
+                .map(CoordinatedPlanner::persisted_level)
+                .collect(),
+            cp: self.cp.export(),
+            resilience: self.resilience.clone(),
+            recovery_since: self.recovery_since,
+            fault_active_last: self.fault_active_last,
+            last_miss_total: self.last_miss_total,
+        }
+    }
+
+    /// Rebuilds a driver mid-run from a captured state: static structure
+    /// from the (fingerprint-checked) configuration, dynamic state from
+    /// the checkpoint.
+    fn restore(sim: HanSimulation, state: &SimState) -> Driver {
+        let model = sim.config.cp.clone();
+        let n = sim.config.fleet.device_count();
+        let seed = sim.config.seed;
+        let mut driver = Driver::new(sim);
+        driver.cp = CommunicationPlane::restore(model, n, seed, &state.cp);
+        for (di, snap) in driver.dis.iter_mut().zip(&state.dis) {
+            di.restore(snap);
+        }
+        for (planner, &(level, last)) in driver.planners.iter_mut().zip(&state.planners) {
+            planner.restore_level(level, last);
+        }
+        driver.last_command.clone_from(&state.last_command);
+        driver.trace = state.trace.iter().copied().collect();
+        driver.divergent_rounds = state.divergent_rounds;
+        driver.rounds = state.next_round;
+        driver.delivered = state.delivered as usize;
+        driver.next_request = state.next_request as usize;
+        driver.last_load_kw = state.last_load_kw;
+        driver.schedule_digest = state.schedule_digest;
+        driver.resilience = state.resilience.clone();
+        driver.recovery_since = state.recovery_since;
+        driver.fault_active_last = state.fault_active_last;
+        driver.last_miss_total = state.last_miss_total;
+        driver
     }
 
     /// Closes the run: end-of-horizon aggregation over the device
@@ -417,11 +704,63 @@ impl Driver {
             events,
             cp: self.cp.into_stats(),
             schedule_digest: self.schedule_digest,
+            resilience: self.resilience,
         }
     }
 }
 
+/// Builds node `node`'s TTL-filtered view if any foreign record has aged
+/// past `ttl` rounds, or `None` when the raw (pooled) view serves as-is.
+/// A node's own record is never aged out — the DI is the authority on
+/// itself.
+fn ttl_filtered_view(
+    cp: &CommunicationPlane,
+    node: usize,
+    device_count: usize,
+    ttl: u32,
+) -> Option<SystemView> {
+    let mut filtered: Option<SystemView> = None;
+    for origin in 0..device_count {
+        if origin == node {
+            continue;
+        }
+        let device = DeviceId(origin as u32);
+        if matches!(cp.age(node, device), Some(age) if age > ttl) {
+            filtered
+                .get_or_insert_with(|| cp.view(node).clone())
+                .clear_slot(device);
+        }
+    }
+    filtered
+}
+
 impl RoundPhases for Driver {
+    fn has_faults(&self) -> bool {
+        !self.faults.is_empty()
+    }
+
+    fn fault_phase(&mut self, now: SimTime) {
+        // Stateless re-derivation from the plan: the fault set for a
+        // round is a pure function of `now`, so checkpoints never need
+        // to carry it and both backends apply it identically.
+        self.faults.down_at(now, &mut self.down);
+        self.outage = self.faults.outage_at(now);
+        let down_count = self.down.iter().filter(|&&d| d).count();
+        if self.uses_cp {
+            self.cp.set_round_faults(&self.down, self.outage);
+        }
+        self.resilience.record_round(down_count, self.outage);
+        let fault_active = down_count > 0 || self.outage;
+        if self.fault_active_last && !fault_active {
+            // The fault cleared this round: the recovery clock runs
+            // until the divergence probe sees the fleet re-agree.
+            self.recovery_since = Some(self.rounds);
+        } else if fault_active {
+            self.recovery_since = None;
+        }
+        self.fault_active_last = fault_active;
+    }
+
     fn begin_round(&mut self, now: SimTime) {
         // 1. Deliver user requests that arrived up to this round. The
         // DI anchors the activity window at the round boundary: with a
@@ -492,6 +831,8 @@ impl RoundPhases for Driver {
         }
 
         // 4. Execution plane: per-device decisions.
+        let n = self.dis.len();
+        let ttl = self.staleness_ttl;
         let dis = &mut self.dis;
         let cp = &self.cp;
         let planners = &mut self.planners;
@@ -509,7 +850,11 @@ impl RoundPhases for Driver {
                     // Naive reference: the paper's literal formulation —
                     // every node runs the full planner on its own view.
                     for (i, planner) in planners.iter_mut().enumerate() {
-                        let view = cp.view(i);
+                        // The TTL filter must match the memoized path's
+                        // exactly, or the differential oracle would flag
+                        // a staleness divergence as a planning bug.
+                        let filtered = ttl.and_then(|t| ttl_filtered_view(cp, i, n, t));
+                        let view = filtered.as_ref().unwrap_or_else(|| cp.view(i));
                         let level = planner.advance_level(demand_rate_kw(view), now);
                         scratch
                             .plans
@@ -535,6 +880,20 @@ impl RoundPhases for Driver {
                     let mut prev_demand: Option<(u32, f64)> = None;
                     let mut prev_group: Option<((u32, u64), usize)> = None;
                     for (i, planner) in planners.iter_mut().enumerate() {
+                        // Ghost-record aging: a node holding expired
+                        // foreign records plans on a filtered copy and
+                        // bypasses the handle-keyed memo (its effective
+                        // view no longer matches its pool handle).
+                        if let Some(t) = ttl {
+                            if let Some(view) = ttl_filtered_view(cp, i, n, t) {
+                                let level = planner.advance_level(demand_rate_kw(&view), now);
+                                scratch
+                                    .plans
+                                    .push(plan_with_level(&view, now, plan_cfg, level));
+                                scratch.node_plan.push(scratch.plans.len() - 1);
+                                continue;
+                            }
+                        }
                         let view = cp.view(i);
                         let handle = cp.view_handle(i);
                         let demand = match prev_demand {
@@ -611,6 +970,14 @@ impl RoundPhases for Driver {
                 if scratch.hashes.len() > 1 {
                     self.divergent_rounds += 1;
                 }
+                // Recovery clock: first fully-agreed round after the
+                // fault cleared closes the re-agreement transient.
+                if let Some(since) = self.recovery_since {
+                    if scratch.hashes.len() <= 1 {
+                        self.resilience.record_recovery(self.rounds - since);
+                        self.recovery_since = None;
+                    }
+                }
             }
             Strategy::Uncoordinated => {
                 for di in dis.iter_mut() {
@@ -660,6 +1027,26 @@ impl RoundPhases for Driver {
 
     fn end_round(&mut self, now: SimTime) {
         self.rounds += 1;
+
+        // Attribute any misses this round produced to the fault classes
+        // active while it ran (only under a fault plan — the counter
+        // scan is pure overhead otherwise).
+        if !self.faults.is_empty() {
+            let total: u32 = self
+                .dis
+                .iter()
+                .map(|di| di.counters().deadline_misses)
+                .sum();
+            let delta = total - self.last_miss_total;
+            if delta > 0 {
+                self.resilience.attribute_misses(
+                    u64::from(delta),
+                    self.down.contains(&true),
+                    self.outage,
+                );
+            }
+            self.last_miss_total = total;
+        }
 
         // 5. Record the load (schedulable + Type-1 background).
         let background_kw = self.background.as_ref().map_or(0.0, |b| b.value_at(now));
@@ -916,5 +1303,143 @@ mod tests {
         let reqs = burst(SimTime::from_mins(1), 4);
         let out = run(Strategy::coordinated(), CpModel::Ideal, reqs);
         assert_eq!(out.service_rate(), 1.0);
+    }
+
+    #[test]
+    fn node_churn_degrades_gracefully() {
+        use crate::fault::FaultPlan;
+        let reqs = burst(SimTime::from_mins(1), 8);
+        let mut sim =
+            HanSimulation::new(small_config(Strategy::coordinated(), CpModel::Ideal), reqs)
+                .unwrap();
+        sim.set_faults(FaultPlan::parse("down:3@5; up:3@15").unwrap())
+            .unwrap();
+        let out = sim.run();
+        // The down node's DI still guards its own obligation locally.
+        assert_eq!(out.deadline_misses, 0, "obligations must hold under churn");
+        assert_eq!(out.windows_served, 8);
+        // 10 minutes down at a 2 s round period = 300 down-node-rounds.
+        assert_eq!(out.resilience.down_node_rounds, 300);
+        assert!(out.resilience.availability(out.rounds, 10) < 1.0);
+        // The fleet re-agreed after the revival.
+        assert_eq!(out.resilience.recoveries.len(), 1);
+    }
+
+    #[test]
+    fn fault_plans_are_identical_across_engines() {
+        use crate::fault::FaultPlan;
+        let reqs = burst(SimTime::from_mins(1), 6);
+        let run_engine = |engine: EngineKind| {
+            let mut cfg = small_config(
+                Strategy::coordinated(),
+                CpModel::LossyRecord {
+                    miss_probability: 0.15,
+                },
+            );
+            cfg.engine = engine;
+            let mut sim = HanSimulation::new(cfg, reqs.clone()).unwrap();
+            sim.set_faults(FaultPlan::parse("down:1@4; up:1@9; outage:20-24").unwrap())
+                .unwrap();
+            sim.run()
+        };
+        let round = run_engine(EngineKind::Round);
+        let event = run_engine(EngineKind::Event);
+        assert_eq!(round.schedule_digest, event.schedule_digest);
+        assert_eq!(round.trace, event.trace);
+        assert_eq!(format!("{:?}", round.cp), format!("{:?}", event.cp));
+        assert_eq!(round.resilience, event.resilience);
+        assert!(round.resilience.outage_rounds > 0);
+    }
+
+    #[test]
+    fn invalid_fault_plan_rejected() {
+        use crate::fault::FaultPlan;
+        let mut sim = HanSimulation::new(
+            small_config(Strategy::coordinated(), CpModel::Ideal),
+            vec![],
+        )
+        .unwrap();
+        assert!(matches!(
+            sim.set_faults(FaultPlan::parse("down:42@5").unwrap()),
+            Err(ScenarioError::InvalidFaultPlan { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        use crate::fault::FaultPlan;
+        let reqs = burst(SimTime::from_mins(1), 8);
+        let build = || {
+            let mut sim = HanSimulation::new(
+                small_config(
+                    Strategy::coordinated(),
+                    CpModel::LossyRound {
+                        miss_probability: 0.25,
+                    },
+                ),
+                reqs.clone(),
+            )
+            .unwrap();
+            sim.set_faults(FaultPlan::parse("down:2@3; up:2@8").unwrap())
+                .unwrap();
+            sim
+        };
+        let baseline = build().run();
+        let (full, ckpt) = build().run_checkpointed(400);
+        // Capture is a pure snapshot: the checkpointed run matches.
+        assert_eq!(full.schedule_digest, baseline.schedule_digest);
+        assert_eq!(full.trace, baseline.trace);
+        // Serialize, restore, resume: still bit-identical.
+        let bytes = ckpt.to_bytes();
+        let restored = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.round(), 400);
+        let resumed = build().resume(&restored).unwrap();
+        assert_eq!(resumed.schedule_digest, baseline.schedule_digest);
+        assert_eq!(resumed.trace, baseline.trace);
+        assert_eq!(format!("{:?}", resumed.cp), format!("{:?}", baseline.cp));
+        assert_eq!(resumed.deadline_misses, baseline.deadline_misses);
+        assert_eq!(resumed.resilience, baseline.resilience);
+    }
+
+    #[test]
+    fn resume_rejects_foreign_config() {
+        let reqs = burst(SimTime::from_mins(1), 4);
+        let cfg = small_config(Strategy::coordinated(), CpModel::Ideal);
+        let (_, ckpt) = HanSimulation::new(cfg.clone(), reqs.clone())
+            .unwrap()
+            .run_checkpointed(100);
+        let mut other = cfg;
+        other.seed = 999;
+        let err = HanSimulation::new(other, reqs)
+            .unwrap()
+            .resume(&ckpt)
+            .expect_err("different seed must not resume");
+        assert!(matches!(err, CheckpointError::ConfigMismatch { .. }));
+    }
+
+    #[test]
+    fn staleness_ttl_ages_out_ghost_records() {
+        use crate::fault::FaultPlan;
+        let reqs = burst(SimTime::from_mins(1), 8);
+        let run_ttl = |ttl: Option<u32>| {
+            let mut sim = HanSimulation::new(
+                small_config(Strategy::coordinated(), CpModel::Ideal),
+                reqs.clone(),
+            )
+            .unwrap();
+            // Node 5 dies at minute 5 and never comes back.
+            sim.set_faults(FaultPlan::parse("down:5@5").unwrap())
+                .unwrap();
+            sim.set_staleness_ttl(ttl);
+            sim.run()
+        };
+        let forever = run_ttl(None);
+        let aged = run_ttl(Some(30));
+        // Both keep every obligation (the dead node misses nothing here:
+        // its own DI guard still runs).
+        assert_eq!(forever.deadline_misses, 0);
+        assert_eq!(aged.deadline_misses, 0);
+        // The filter changes survivor planning once ghosts expire.
+        assert_ne!(forever.schedule_digest, aged.schedule_digest);
     }
 }

@@ -130,6 +130,24 @@ impl SystemView {
         self.records.get(device.index()).and_then(Option::as_ref)
     }
 
+    /// Empties a slot, XORing its contribution back out of the
+    /// fingerprint (the update is an involution, so clearing then
+    /// re-refreshing the same record restores the fingerprint exactly).
+    ///
+    /// Used by the staleness filter: a node planning with a TTL drops
+    /// records whose age exceeds the bound before handing the view to the
+    /// (age-blind) planner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device id is out of range.
+    pub fn clear_slot(&mut self, device: DeviceId) {
+        let idx = device.index();
+        self.fingerprint ^= self.contribs[idx];
+        self.contribs[idx] = 0;
+        self.records[idx] = None;
+    }
+
     /// Iterates the records present in the view, in device order.
     pub fn iter(&self) -> impl Iterator<Item = &StatusRecord> {
         self.records.iter().filter_map(Option::as_ref)
@@ -217,6 +235,23 @@ mod tests {
         let snapshot = v.clone();
         v.refresh(active_record(1));
         assert_eq!(v, snapshot, "idempotent refresh");
+    }
+
+    #[test]
+    fn clear_slot_is_fingerprint_involution() {
+        let mut v = SystemView::new(3);
+        v.refresh(active_record(0));
+        let one_record = v.fingerprint();
+        v.refresh(active_record(2));
+        v.clear_slot(DeviceId(2));
+        assert_eq!(v.fingerprint(), one_record);
+        assert!(v.record(DeviceId(2)).is_none());
+        v.clear_slot(DeviceId(0));
+        assert_eq!(v.fingerprint(), 0);
+        assert!(v.is_empty());
+        // Clearing an already-empty slot is a no-op.
+        v.clear_slot(DeviceId(1));
+        assert_eq!(v.fingerprint(), 0);
     }
 
     #[test]

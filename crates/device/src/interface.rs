@@ -9,7 +9,7 @@
 //! them.
 
 use crate::appliance::{Appliance, DeviceClass, DeviceId};
-use crate::duty_cycle::{AdvanceOutcome, DutyCycleConstraints, DutyCycler};
+use crate::duty_cycle::{AdvanceOutcome, DutyCycleConstraints, DutyCycler, DutyCyclerSnapshot};
 use crate::power::Watts;
 use crate::request::Request;
 use crate::status::StatusRecord;
@@ -257,6 +257,46 @@ impl DeviceInterface {
     pub fn seq(&self) -> u32 {
         self.seq
     }
+
+    /// Captures the DI's mutable state as plain data, for
+    /// checkpoint/restore of a running simulation. The appliance itself is
+    /// excluded — it is rebuilt from the fleet spec on reconstruction.
+    pub fn snapshot(&self) -> DeviceInterfaceSnapshot {
+        DeviceInterfaceSnapshot {
+            cycler: self.cycler.snapshot(),
+            counters: self.counters,
+            seq: self.seq,
+            planned_start: self.planned_start,
+            last_published: self.last_published,
+        }
+    }
+
+    /// Restores the state captured by [`DeviceInterface::snapshot`] onto a
+    /// freshly built DI of the same appliance.
+    pub fn restore(&mut self, snapshot: &DeviceInterfaceSnapshot) {
+        self.cycler.restore(&snapshot.cycler);
+        self.counters = snapshot.counters;
+        self.seq = snapshot.seq;
+        self.planned_start = snapshot.planned_start;
+        self.last_published = snapshot.last_published;
+    }
+}
+
+/// Plain-data snapshot of a [`DeviceInterface`]'s mutable state, captured
+/// by [`DeviceInterface::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceInterfaceSnapshot {
+    /// Duty-cycle bookkeeping.
+    pub cycler: DutyCyclerSnapshot,
+    /// Constraint-event counters.
+    pub counters: DiCounters,
+    /// Status version.
+    pub seq: u32,
+    /// Committed instance placement.
+    pub planned_start: Option<SimTime>,
+    /// Last record handed to the communication plane (exact, full
+    /// resolution — required for publish-side change detection).
+    pub last_published: Option<StatusRecord>,
 }
 
 #[cfg(test)]
@@ -391,6 +431,29 @@ mod tests {
         let s = d2.status(t(1));
         assert_eq!(s.planned_start, Some(t(9)));
         assert_eq!(s.power_w, 1000);
+    }
+
+    #[test]
+    fn snapshot_round_trips_running_device() {
+        let mut d = di();
+        d.handle_request(t(0), &Request::new(DeviceId(1), t(0)))
+            .unwrap();
+        d.command(t(0), true);
+        d.set_planned_start(Some(t(3)));
+        d.publish(t(4));
+        let snap = d.snapshot();
+        let mut restored = di();
+        restored.restore(&snap);
+        assert_eq!(restored.seq(), d.seq());
+        assert_eq!(restored.planned_start(), d.planned_start());
+        assert_eq!(restored.counters(), d.counters());
+        assert_eq!(restored.status(t(10)), d.status(t(10)));
+        // Publishing an unchanged record must not bump seq on either.
+        let s = d.seq();
+        d.publish(t(4));
+        restored.publish(t(4));
+        assert_eq!(d.seq(), s);
+        assert_eq!(restored.seq(), s);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //!   percentiles, ramp detection and reduction percentages;
 //! * [`report`] — comparison tables and CSV export shared by all
 //!   figure-reproduction harnesses;
+//! * [`resilience`] — [`resilience::ResilienceStats`], availability and
+//!   recovery-time accounting for fault-injected runs;
 //! * [`tariff`] — time-of-use pricing and peak-demand charges, the money
 //!   view of a load shape.
 //!
@@ -36,11 +38,13 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod resilience;
 pub mod stats;
 pub mod tariff;
 pub mod timeseries;
 
 pub use report::{ComparisonReport, ComparisonRow};
+pub use resilience::ResilienceStats;
 pub use stats::Summary;
 pub use tariff::{demand_charge, Billing, CostBreakdown, TimeOfUseTariff};
 pub use timeseries::LoadTrace;

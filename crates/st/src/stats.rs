@@ -41,6 +41,46 @@ impl DisseminationStats {
         self.nodes = report.coverage.len();
     }
 
+    /// The raw accumulator words, for checkpointing: `(rounds,
+    /// all_to_all_rounds, reliability_sum, worst_reliability, total_tx,
+    /// total_radio_on, nodes)`. Round-trips exactly through
+    /// [`DisseminationStats::from_raw_parts`].
+    #[allow(clippy::type_complexity)]
+    pub fn raw_parts(&self) -> (u64, u64, f64, f64, u64, SimDuration, usize) {
+        (
+            self.rounds,
+            self.all_to_all_rounds,
+            self.reliability_sum,
+            self.worst_reliability,
+            self.total_tx,
+            self.total_radio_on,
+            self.nodes,
+        )
+    }
+
+    /// Rebuilds an accumulator from [`DisseminationStats::raw_parts`].
+    #[allow(clippy::type_complexity)]
+    pub fn from_raw_parts(parts: (u64, u64, f64, f64, u64, SimDuration, usize)) -> Self {
+        let (
+            rounds,
+            all_to_all_rounds,
+            reliability_sum,
+            worst_reliability,
+            total_tx,
+            total_radio_on,
+            nodes,
+        ) = parts;
+        DisseminationStats {
+            rounds,
+            all_to_all_rounds,
+            reliability_sum,
+            worst_reliability,
+            total_tx,
+            total_radio_on,
+            nodes,
+        }
+    }
+
     /// Number of rounds recorded.
     pub fn rounds(&self) -> u64 {
         self.rounds

@@ -97,6 +97,29 @@ impl SyncTracker {
             .collect()
     }
 
+    /// The full staleness vector (rounds since each node's last beacon),
+    /// for checkpointing a running simulation. The crystal drifts are
+    /// *not* part of the snapshot — they are redrawn deterministically
+    /// from the seed on reconstruction.
+    pub fn staleness_snapshot(&self) -> &[u32] {
+        &self.rounds_since_sync
+    }
+
+    /// Restores a staleness vector captured by
+    /// [`SyncTracker::staleness_snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from the node count.
+    pub fn restore_staleness(&mut self, rounds_since_sync: &[u32]) {
+        assert_eq!(
+            rounds_since_sync.len(),
+            self.len(),
+            "one staleness counter per node"
+        );
+        self.rounds_since_sync.copy_from_slice(rounds_since_sync);
+    }
+
     /// How many rounds a node with crystal error `ppm` can free-run before
     /// its boundary error exceeds `guard`.
     pub fn sustainable_outage_rounds(
@@ -195,6 +218,23 @@ mod tests {
             assert_eq!(flagged, vec![2]);
         } else {
             assert!(flagged.is_empty());
+        }
+    }
+
+    #[test]
+    fn staleness_snapshot_round_trips() {
+        let mut t = tracker(3);
+        for _ in 0..7 {
+            t.record_round(&[true, false, false]);
+        }
+        t.record_round(&[true, true, false]);
+        let snap: Vec<u32> = t.staleness_snapshot().to_vec();
+        assert_eq!(snap, vec![0, 0, 8]);
+        let mut fresh = tracker(3);
+        fresh.restore_staleness(&snap);
+        for i in 0..3 {
+            assert_eq!(fresh.rounds_since_sync(i), t.rounds_since_sync(i));
+            assert_eq!(fresh.boundary_error(i), t.boundary_error(i));
         }
     }
 

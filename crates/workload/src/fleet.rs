@@ -110,6 +110,12 @@ pub enum ScenarioError {
         /// What was wrong with the criterion.
         reason: &'static str,
     },
+    /// A fault plan was structurally invalid (unordered events, an empty
+    /// outage window, a node id out of range, or an unparsable spec).
+    InvalidFaultPlan {
+        /// What was wrong with the plan.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -191,6 +197,9 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::InvalidConvergence { reason } => {
                 write!(f, "invalid convergence criterion: {reason}")
+            }
+            ScenarioError::InvalidFaultPlan { reason } => {
+                write!(f, "invalid fault plan: {reason}")
             }
         }
     }

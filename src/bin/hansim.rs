@@ -13,7 +13,10 @@
 //!   --strategy <coordinated|uncoordinated|centralized|compare>
 //!                                  scheduling strategy (default: compare;
 //!                                  neighborhood runs always compare)
-//!   --cp <ideal|lossy:P|packet>    communication plane (default: ideal)
+//!   --cp <ideal|lossy:P|ge:PGB,PBG|packet>
+//!                                  communication plane (default: ideal;
+//!                                  ge = Gilbert-Elliott burst loss with
+//!                                  good/bad transition probabilities)
 //!   --engine <round|event>         simulation backend (default: round;
 //!                                  event = typed events on the han-sim
 //!                                  discrete-event engine, bit-identical
@@ -26,13 +29,31 @@
 //!   --feeder <cap:KW|tou|congestion[:U]>
 //!                                  broadcast a feeder coordination signal
 //!                                  and iterate homes to convergence
+//!   --faults <spec>                scripted fault plan, e.g.
+//!                                  "down:3@10; up:3@40; outage:60-65"
+//!                                  (see han_core::fault for the grammar);
+//!                                  single home: resilience metrics are
+//!                                  reported; neighborhood: every home
+//!                                  suffers the same timeline
+//!   --stale-ttl <N>                age out unrefreshed peer records after
+//!                                  N rounds (single home only; off by
+//!                                  default for bit-compatibility)
+//!   --checkpoint <path>            run to completion but snapshot the
+//!                                  mid-run state to <path> (single home,
+//!                                  single strategy)
+//!   --restore <path>               resume from a snapshot instead of
+//!                                  simulating from round zero; the report
+//!                                  is byte-identical to the uninterrupted
+//!                                  run
 //!   --seed <N>                     workload/channel seed (default: 0)
 //!   --csv                          per-minute series as CSV (single home:
 //!                                  per-strategy loads; neighborhood: the
 //!                                  feeder aggregate per policy)
 //! ```
 
-use smart_han::core::experiment::{run_strategy_on, SAMPLE_INTERVAL};
+use smart_han::core::experiment::{
+    build_simulation, run_strategy_faulted, summarize_outcome, SAMPLE_INTERVAL,
+};
 use smart_han::core::feeder::{FeederPolicy, FeederReport, FeederSignal};
 use smart_han::metrics::report::series_csv;
 use smart_han::metrics::tariff::{Billing, CostBreakdown};
@@ -60,6 +81,11 @@ enum CliError {
     UnknownFlag { flag: String },
     /// The composed scenario, neighborhood or policy was invalid.
     Scenario(ScenarioError),
+    /// A checkpoint file failed to read back (truncated, foreign, or
+    /// from a different configuration).
+    Checkpoint(CheckpointError),
+    /// A checkpoint file could not be read or written.
+    Io { path: String, error: std::io::Error },
 }
 
 impl fmt::Display for CliError {
@@ -74,6 +100,8 @@ impl fmt::Display for CliError {
             } => write!(f, "bad value '{value}' for {flag} (expected {expected})"),
             CliError::UnknownFlag { flag } => write!(f, "unknown flag '{flag}'"),
             CliError::Scenario(e) => write!(f, "{e}"),
+            CliError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            CliError::Io { path, error } => write!(f, "{path}: {error}"),
         }
     }
 }
@@ -90,6 +118,12 @@ impl From<ScenarioError> for CliError {
 enum CpChoice {
     Ideal,
     Lossy(f64),
+    /// Gilbert-Elliott burst loss: perfect good state, total loss in the
+    /// bad state, with the given transition probabilities.
+    Ge {
+        p_good_to_bad: f64,
+        p_bad_to_good: f64,
+    },
     Packet,
 }
 
@@ -99,6 +133,15 @@ impl CpChoice {
             CpChoice::Ideal => CpModel::Ideal,
             CpChoice::Lossy(p) => CpModel::LossyRound {
                 miss_probability: *p,
+            },
+            CpChoice::Ge {
+                p_good_to_bad,
+                p_bad_to_good,
+            } => CpModel::GilbertElliott {
+                p_good_to_bad: *p_good_to_bad,
+                p_bad_to_good: *p_bad_to_good,
+                loss_good: 0.0,
+                loss_bad: 1.0,
             },
             CpChoice::Packet => CpModel::paper_packet(seed),
         }
@@ -115,6 +158,10 @@ struct Args {
     devices: usize,
     homes: usize,
     feeder: Option<FeederSignal>,
+    faults: FaultPlan,
+    stale_ttl: Option<u32>,
+    checkpoint: Option<String>,
+    restore: Option<String>,
     seed: u64,
     csv: bool,
 }
@@ -157,6 +204,10 @@ fn parse_args() -> Result<Args, CliError> {
         devices: 26,
         homes: 1,
         feeder: None,
+        faults: FaultPlan::empty(),
+        stale_ttl: None,
+        checkpoint: None,
+        restore: None,
         seed: 0,
         csv: false,
     };
@@ -208,23 +259,26 @@ fn parse_args() -> Result<Args, CliError> {
             }
             "--cp" => {
                 let v = value("--cp")?;
+                let invalid = |v: &str| CliError::Invalid {
+                    flag: "--cp",
+                    value: v.to_string(),
+                    expected: "ideal|lossy:P|ge:PGB,PBG|packet",
+                };
                 cp_choice = if v == "ideal" {
                     CpChoice::Ideal
                 } else if v == "packet" {
                     CpChoice::Packet
                 } else if let Some(p) = v.strip_prefix("lossy:") {
-                    let p: f64 = p.parse().map_err(|_| CliError::Invalid {
-                        flag: "--cp",
-                        value: v.clone(),
-                        expected: "ideal|lossy:P|packet",
-                    })?;
+                    let p: f64 = p.parse().map_err(|_| invalid(&v))?;
                     CpChoice::Lossy(p)
+                } else if let Some(probs) = v.strip_prefix("ge:") {
+                    let (gb, bg) = probs.split_once(',').ok_or_else(|| invalid(&v))?;
+                    CpChoice::Ge {
+                        p_good_to_bad: gb.parse().map_err(|_| invalid(&v))?,
+                        p_bad_to_good: bg.parse().map_err(|_| invalid(&v))?,
+                    }
                 } else {
-                    return Err(CliError::Invalid {
-                        flag: "--cp",
-                        value: v,
-                        expected: "ideal|lossy:P|packet",
-                    });
+                    return Err(invalid(&v));
                 };
             }
             "--engine" => {
@@ -239,6 +293,19 @@ fn parse_args() -> Result<Args, CliError> {
             "--devices" => args.devices = parse_num(&value("--devices")?, "--devices")?,
             "--homes" => args.homes = parse_num(&value("--homes")?, "--homes")?,
             "--feeder" => args.feeder = Some(parse_feeder(&value("--feeder")?)?),
+            "--faults" => {
+                let v = value("--faults")?;
+                args.faults = FaultPlan::parse(&v).map_err(|_| CliError::Invalid {
+                    flag: "--faults",
+                    value: v,
+                    expected: "e.g. \"down:3@10; up:3@40; outage:60-65; sigloss:80-90\"",
+                })?;
+            }
+            "--stale-ttl" => {
+                args.stale_ttl = Some(parse_num(&value("--stale-ttl")?, "--stale-ttl")?)
+            }
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?),
+            "--restore" => args.restore = Some(value("--restore")?),
             "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")?,
             "--csv" => args.csv = true,
             "--help" | "-h" => return Err(CliError::Usage),
@@ -300,9 +367,77 @@ fn cost_line(cost: &CostBreakdown) -> String {
     )
 }
 
+/// Runs one strategy the way `run_single_home` needs it: through the
+/// checkpoint API when `--checkpoint`/`--restore` are in play, plainly
+/// otherwise. Either way the returned result covers the full timeline —
+/// a resumed run's report is byte-identical to the uninterrupted one.
+fn run_one(
+    args: &Args,
+    scenario: &Scenario,
+    strategy: Strategy,
+) -> Result<StrategyResult, CliError> {
+    if args.checkpoint.is_none() && args.restore.is_none() {
+        return Ok(run_strategy_faulted(
+            scenario,
+            strategy,
+            args.cp.clone(),
+            args.engine,
+            &args.faults,
+            args.stale_ttl,
+        )?);
+    }
+    let sim = build_simulation(
+        scenario,
+        strategy,
+        args.cp.clone(),
+        args.engine,
+        &args.faults,
+        args.stale_ttl,
+    )?;
+    let outcome = if let Some(path) = &args.restore {
+        let bytes = std::fs::read(path).map_err(|error| CliError::Io {
+            path: path.clone(),
+            error,
+        })?;
+        let checkpoint = Checkpoint::from_bytes(&bytes).map_err(CliError::Checkpoint)?;
+        sim.resume(&checkpoint).map_err(CliError::Checkpoint)?
+    } else {
+        // Snapshot at the midpoint of the timeline (rounds are 2 s, so
+        // `minutes * 30 / 2` rounds in), then keep running: the printed
+        // report is the full-run report, the file is the restart point.
+        let (outcome, checkpoint) = sim.run_checkpointed(args.minutes * 15);
+        let path = args.checkpoint.as_deref().expect("checked above");
+        std::fs::write(path, checkpoint.to_bytes()).map_err(|error| CliError::Io {
+            path: path.to_string(),
+            error,
+        })?;
+        outcome
+    };
+    Ok(summarize_outcome(outcome, scenario.duration))
+}
+
 /// The original one-home path, byte-compatible with earlier releases
 /// apart from the new cost columns.
 fn run_single_home(args: &Args, scenario: &Scenario) -> Result<(), CliError> {
+    if args.checkpoint.is_some() && args.restore.is_some() {
+        return Err(CliError::Invalid {
+            flag: "--restore",
+            value: "with --checkpoint".into(),
+            expected: "either --checkpoint or --restore, not both",
+        });
+    }
+    if (args.checkpoint.is_some() || args.restore.is_some()) && args.strategy == "compare" {
+        let flag = if args.checkpoint.is_some() {
+            "--checkpoint"
+        } else {
+            "--restore"
+        };
+        return Err(CliError::Invalid {
+            flag,
+            value: "compare".into(),
+            expected: "a single strategy (checkpoints hold one simulation's state)",
+        });
+    }
     let named: Vec<(&str, Strategy)> = if args.strategy == "compare" {
         vec![
             ("uncoordinated", Strategy::Uncoordinated),
@@ -317,7 +452,7 @@ fn run_single_home(args: &Args, scenario: &Scenario) -> Result<(), CliError> {
 
     let mut results: Vec<(&str, StrategyResult)> = Vec::new();
     for (name, strategy) in &named {
-        let r = run_strategy_on(scenario, strategy.clone(), args.cp.clone(), args.engine)?;
+        let r = run_one(args, scenario, strategy.clone())?;
         results.push((*name, r));
     }
 
@@ -354,6 +489,27 @@ fn run_single_home(args: &Args, scenario: &Scenario) -> Result<(), CliError> {
         );
         let cost = billing.cost(&r.outcome.trace, SimTime::ZERO, end);
         println!("         bill: {}", cost_line(&cost));
+        if !args.faults.is_empty() {
+            let res = &r.outcome.resilience;
+            println!(
+                "         resilience: availability {:.4} | node-down rounds {} | \
+                 outage rounds {} | misses while down/during outage {}/{}",
+                res.availability(r.outcome.cp.rounds, args.devices),
+                res.down_node_rounds,
+                res.outage_rounds,
+                res.misses_while_down,
+                res.misses_during_outage,
+            );
+            match res.mean_recovery_rounds() {
+                Some(mean) => println!(
+                    "         recovery: {} event(s), mean {:.1} rounds, worst {} rounds",
+                    res.recoveries.len(),
+                    mean,
+                    res.worst_recovery_rounds().unwrap_or(0),
+                ),
+                None => println!("         recovery: no re-agreement events"),
+            }
+        }
         if let Some(d) = &r.outcome.cp.dissemination {
             println!(
                 "         CP: reliability {:.2}%, radio duty cycle {:.1}%",
@@ -420,13 +576,33 @@ fn run_neighborhood(args: &Args, scenario: &Scenario) -> Result<(), CliError> {
             expected: "compare (neighborhood runs always compare)",
         });
     }
-    let hood = Neighborhood::uniform(
+    for (flag, present) in [
+        ("--stale-ttl", args.stale_ttl.is_some()),
+        ("--checkpoint", args.checkpoint.is_some()),
+        ("--restore", args.restore.is_some()),
+    ] {
+        if present {
+            return Err(CliError::Invalid {
+                flag,
+                value: "with a neighborhood".into(),
+                expected: "a single home (--homes 1, no --feeder)",
+            });
+        }
+    }
+    let mut hood = Neighborhood::uniform(
         format!("cli street x{}", args.homes),
         scenario,
         args.cp.clone(),
         args.homes,
     )?
     .on_engine(args.engine);
+    if !args.faults.is_empty() {
+        // Every home suffers the same scripted timeline (homes fail
+        // independently inside their own HANs).
+        for home in &mut hood.homes {
+            home.faults = args.faults.clone();
+        }
+    }
     let report = hood.run()?;
     let feeder_run = match &args.feeder {
         Some(signal) => Some(hood.run_with(&FeederPolicy::new(signal.clone()))?),
@@ -522,8 +698,9 @@ fn fail(error: &CliError) -> ExitCode {
     eprintln!(
         "usage: hansim [--rate low|moderate|high|N] [--workload poisson|daily] \
          [--strategy coordinated|uncoordinated|centralized|compare] \
-         [--cp ideal|lossy:P|packet] [--engine round|event] [--minutes N] \
+         [--cp ideal|lossy:P|ge:PGB,PBG|packet] [--engine round|event] [--minutes N] \
          [--devices N] [--homes N] [--feeder cap:KW|tou|congestion[:U]] \
+         [--faults SPEC] [--stale-ttl N] [--checkpoint PATH] [--restore PATH] \
          [--seed N] [--csv]"
     );
     ExitCode::FAILURE

@@ -108,7 +108,8 @@ pub mod prelude {
     pub use han_core::cp::event::EngineKind;
     pub use han_core::cp::CpModel;
     pub use han_core::experiment::{
-        compare, compare_on, run_strategy, run_strategy_on, Comparison, StrategyResult,
+        compare, compare_faulted, compare_on, run_strategy, run_strategy_faulted, run_strategy_on,
+        Comparison, StrategyResult,
     };
     pub use han_core::feeder::{
         ConvergenceCriterion, ConvergenceTrace, FeederPolicy, FeederReport, FeederSignal,
@@ -116,11 +117,13 @@ pub mod prelude {
     };
     pub use han_core::neighborhood::{Home, HomeResult, Neighborhood, NeighborhoodReport};
     pub use han_core::{
-        HanSimulation, PlanConfig, SchedulingRule, SimulationConfig, SimulationOutcome, Strategy,
+        Checkpoint, CheckpointError, FaultEvent, FaultPlan, HanSimulation, PlanConfig,
+        SchedulingRule, SimulationConfig, SimulationOutcome, Strategy,
     };
     pub use han_device::{
         Appliance, ApplianceKind, DeviceId, DeviceInterface, DutyCycleConstraints, Request, Watts,
     };
+    pub use han_metrics::ResilienceStats;
     pub use han_metrics::{
         Billing, ComparisonReport, ComparisonRow, CostBreakdown, LoadTrace, Summary,
         TimeOfUseTariff,
