@@ -34,7 +34,13 @@
 //!   (empty [`FaultPlan`], digest equality with the
 //!   plain path asserted, overhead gated) and its recovery metrics under
 //!   scripted node churn — availability, recovery transient (rounds from
-//!   fault clearing to full re-agreement), zero deadline misses asserted.
+//!   fault clearing to full re-agreement), zero deadline misses asserted,
+//! * **online service**: the same workload streamed through the daemon's
+//!   [`OnlineDriver`] arrival by arrival — digest equality with the
+//!   batch loop asserted, throughput parity gated, raw ingest events/s,
+//!   the latency of the first round after a cap injection (the
+//!   memo-invalidating incremental re-plan, gated below the 2 s round
+//!   period), and the `HANSRV01` snapshot size.
 //!
 //! Run with: `cargo run --release -p han-bench --bin perf`
 //!
@@ -51,11 +57,14 @@ use han_core::experiment::{
 };
 use han_core::feeder::{FeederPolicy, FeederSignal};
 use han_core::neighborhood::Neighborhood;
-use han_core::{EngineKind, FaultPlan, Strategy};
-use han_sim::time::SimDuration;
-use han_workload::fleet::ScenarioError;
+use han_core::online::OnlineDriver;
+use han_core::{EngineKind, FaultPlan, HanSimulation, SimulationConfig, Strategy};
+use han_sim::time::{SimDuration, SimTime};
+use han_workload::fleet::{FleetSpec, ScenarioError};
 use han_workload::scenario::{ArrivalRate, Scenario};
 use han_workload::signal::PowerCapProfile;
+use han_workload::telemetry::TelemetryEvent;
+use han_workload::PoissonArrivals;
 use std::time::Instant;
 
 const SWEEP_SEEDS: std::ops::Range<u64> = 0..6;
@@ -378,6 +387,127 @@ fn main() -> Result<(), ScenarioError> {
     let mean_recovery = resilience.mean_recovery_rounds().unwrap_or(0.0);
     let worst_recovery = resilience.worst_recovery_rounds().unwrap_or(0);
 
+    // Online service mode: the paper workload streamed through the
+    // daemon's driver, arrival by arrival, must reproduce the batch
+    // digest (the contract prop_online.rs pins) at throughput parity —
+    // without fault telemetry the driver keeps the batch loop's
+    // shared-row fast path (per-node delivery rows fan out lazily at the
+    // first fault event), so streaming must cost next to nothing. Also
+    // measured: raw ingest throughput and the latency of the first round
+    // after a cap injection (the memo-invalidating incremental re-plan).
+    let online_config = SimulationConfig {
+        fleet: FleetSpec::paper(),
+        duration: SimDuration::from_mins(minutes),
+        round_period: SimDuration::from_secs(2),
+        strategy: Strategy::coordinated(),
+        cp: CpModel::Ideal,
+        engine: EngineKind::Round,
+        seed: 0,
+    };
+    let online_requests =
+        PoissonArrivals::new(30.0, 26).generate(SimDuration::from_mins(minutes), 0);
+    let online_events: Vec<TelemetryEvent> = online_requests
+        .iter()
+        .map(|r| TelemetryEvent::Arrival {
+            device: r.device,
+            at: r.arrival,
+            windows: r.windows,
+        })
+        .collect();
+    let telemetry_count = online_events.len();
+    let online_batch = HanSimulation::new(online_config.clone(), online_requests.clone())?.run();
+    let streamed = {
+        let mut d = OnlineDriver::new(HanSimulation::new(online_config.clone(), Vec::new())?);
+        for ev in &online_events {
+            d.ingest(*ev).expect("in-window arrival");
+        }
+        d.run_to_end();
+        d.into_outcome()
+    };
+    assert_eq!(
+        streamed.schedule_digest, online_batch.schedule_digest,
+        "streamed ingest diverged from the batch trace"
+    );
+    assert_eq!(streamed.trace, online_batch.trace);
+    let online_s = median_secs(runs, || {
+        let mut d = OnlineDriver::new(
+            HanSimulation::new(online_config.clone(), Vec::new()).expect("valid config"),
+        );
+        for ev in &online_events {
+            d.ingest(*ev).expect("in-window arrival");
+        }
+        d.run_to_end();
+        std::hint::black_box(d.into_outcome());
+    });
+    let online_batch_s = median_secs(runs, || {
+        std::hint::black_box(
+            HanSimulation::new(online_config.clone(), online_requests.clone())
+                .expect("valid config")
+                .run(),
+        );
+    });
+    let online_parity = online_batch_s / online_s;
+    // Parity gate: committed full runs show the streamed service at
+    // ~1× the batch loop (same shared-row plane, same plan memo); the
+    // floor tolerates shared-runner noise while a structural regression
+    // on the ingest or injection path still fails CI.
+    assert!(
+        online_parity >= 0.5,
+        "online streaming regressed to {online_parity:.2}x of the batch loop \
+         (online {online_s:.4}s vs batch {online_batch_s:.4}s)"
+    );
+    let mut ingest_samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let mut d = OnlineDriver::new(
+                HanSimulation::new(online_config.clone(), Vec::new()).expect("valid config"),
+            );
+            let start = Instant::now();
+            for ev in &online_events {
+                d.ingest(*ev).expect("in-window arrival");
+            }
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    ingest_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let ingest_s = ingest_samples[ingest_samples.len() / 2].max(f64::MIN_POSITIVE);
+    let ingest_events_per_sec = telemetry_count as f64 / ingest_s;
+    // Re-plan latency: from mid-window, inject a cap change absorbing at
+    // the very next round and time that round alone — it pays the memo
+    // invalidation plus one full incremental re-plan.
+    let mut replan_driver =
+        OnlineDriver::new(HanSimulation::new(online_config.clone(), Vec::new())?);
+    for ev in &online_events {
+        replan_driver.ingest(*ev).expect("in-window arrival");
+    }
+    replan_driver.advance_to(replan_driver.total_rounds() / 2);
+    let snapshot_bytes = replan_driver.snapshot().len();
+    let mut replan_samples: Vec<f64> = [8.0, 6.0, 9.0, 5.0, 7.0]
+        .iter()
+        .map(|&kw| {
+            let round = replan_driver.next_round();
+            let at = SimTime::from_micros(round * 2_000_000);
+            replan_driver
+                .ingest(TelemetryEvent::CapChange {
+                    at,
+                    cap_kw: Some(kw),
+                })
+                .expect("in-window cap change");
+            let start = Instant::now();
+            replan_driver.advance_to(round + 1);
+            let sample = start.elapsed().as_secs_f64();
+            replan_driver.advance_to(round + 20);
+            sample
+        })
+        .collect();
+    replan_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let replan_ms = replan_samples[replan_samples.len() / 2] * 1e3;
+    // A re-plan far slower than the 2 s round period would make the
+    // daemon fall behind wall time; fail loudly well before that.
+    assert!(
+        replan_ms < 500.0,
+        "cap-injection re-plan took {replan_ms:.1} ms — the daemon cannot keep real-time pace"
+    );
+
     println!("# paper config: 26 devices, {minutes} min, high rate, ideal CP");
     println!("end_to_end_memoized_s,{memoized_s:.4}");
     println!("end_to_end_naive_s,{naive_s:.4}");
@@ -417,11 +547,16 @@ fn main() -> Result<(), ScenarioError> {
         "resilience_recovery_rounds,{mean_recovery:.1} mean / {worst_recovery} worst \
          ({recovery_events} event(s))"
     );
+    println!("online_streamed_wall_s,{online_s:.4} ({telemetry_count} telemetry events)");
+    println!("online_throughput_parity_vs_batch,{online_parity:.2}");
+    println!("online_ingest_events_per_sec,{ingest_events_per_sec:.0}");
+    println!("online_replan_after_cap_ms,{replan_ms:.2}");
+    println!("online_snapshot_bytes,{snapshot_bytes}");
 
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": 6,\n",
+            "  \"schema\": 7,\n",
             "  \"config\": {{\"devices\": 26, \"minutes\": {minutes}, \"rate_per_hour\": 30, \"cp\": \"ideal\"}},\n",
             "  \"rounds\": {rounds},\n",
             "  \"end_to_end\": {{\n",
@@ -493,6 +628,16 @@ fn main() -> Result<(), ScenarioError> {
             "    \"mean_recovery_rounds\": {mean_recovery:.2},\n",
             "    \"worst_recovery_rounds\": {worst_recovery},\n",
             "    \"deadline_misses\": 0\n",
+            "  }},\n",
+            "  \"online\": {{\n",
+            "    \"telemetry_events\": {telemetry_count},\n",
+            "    \"streamed_wall_s\": {online_s:.6},\n",
+            "    \"batch_wall_s\": {online_batch_s:.6},\n",
+            "    \"throughput_parity_vs_batch\": {online_parity:.3},\n",
+            "    \"digest_identical\": true,\n",
+            "    \"ingest_events_per_sec\": {ingest_eps:.0},\n",
+            "    \"replan_after_cap_ms\": {replan_ms:.3},\n",
+            "    \"snapshot_bytes\": {snapshot_bytes}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -543,6 +688,13 @@ fn main() -> Result<(), ScenarioError> {
         recovery_events = recovery_events,
         mean_recovery = mean_recovery,
         worst_recovery = worst_recovery,
+        telemetry_count = telemetry_count,
+        online_s = online_s,
+        online_batch_s = online_batch_s,
+        online_parity = online_parity,
+        ingest_eps = ingest_events_per_sec,
+        replan_ms = replan_ms,
+        snapshot_bytes = snapshot_bytes,
     );
     // Smoke numbers (60 min, 4 homes) must never clobber the committed
     // full-run file the README and ROADMAP cite.

@@ -403,6 +403,24 @@ impl CoordinatedPlanner {
         self.level_kw
     }
 
+    /// Replaces the admission cap in force from `at` onward — the online
+    /// ingest path's incremental re-planning hook.
+    ///
+    /// Invalidation is *horizon-crossing*, not unconditional: the plan memo
+    /// is dropped only when its validity horizon reaches `at` (it could
+    /// otherwise answer a round that should already see the new cap). A
+    /// memo that expires strictly before `at` can never be consulted at or
+    /// after the change, so it survives and keeps earning early-outs until
+    /// it ages out naturally.
+    pub fn set_admission_cap(&mut self, cap: Option<PowerCapProfile>, at: SimTime) {
+        self.config.admission_cap = cap;
+        if let Some(cached) = &self.cache {
+            if cached.valid_until >= at {
+                self.cache = None;
+            }
+        }
+    }
+
     /// Computes this round's plan and updates the level tracker.
     pub fn plan(&mut self, view: &SystemView, now: SimTime) -> Plan {
         self.advance_level(demand_rate_kw(view), now);
@@ -947,6 +965,34 @@ mod tests {
         fresh.plan(&v, t(0));
         let recomputed = fresh.plan(&v, t(0));
         assert_eq!(again, recomputed);
+    }
+
+    #[test]
+    fn cap_change_invalidates_only_crossed_horizons() {
+        // Steady view, frozen level: the memo answers repeatedly.
+        let mut planner = CoordinatedPlanner::new(PlanConfig {
+            level_slew_kw_per_hour: 0.0,
+            ..PlanConfig::default()
+        });
+        let v = view_of((0..4).map(|i| rec(i, false, 15, 300, 0)), 4);
+        planner.plan(&v, t(0));
+        planner.plan(&v, t(1));
+        assert_eq!(planner.cache_hits(), 1, "steady state hits the memo");
+        // A cap change effective far beyond the memo's horizon leaves it
+        // alone: the memo can never answer a round at or after the change.
+        planner.set_admission_cap(Some(PowerCapProfile::constant(50.0).unwrap()), t(10_000));
+        planner.plan(&v, t(2));
+        assert_eq!(planner.cache_hits(), 2, "uncrossed horizon keeps earning");
+        // A cap change inside the horizon drops the memo: the next plan
+        // recomputes under the new cap.
+        planner.set_admission_cap(Some(PowerCapProfile::constant(1.0).unwrap()), t(3));
+        let p = planner.plan(&v, t(3));
+        assert_eq!(
+            planner.cache_hits(),
+            2,
+            "crossed horizon forces a recompute"
+        );
+        assert_eq!(p.schedule.on_count(), 1, "the new 1 kW cap admits one");
     }
 
     #[test]

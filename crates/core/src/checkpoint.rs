@@ -241,7 +241,10 @@ impl<'a> Dec<'a> {
         self.bytes.len() - self.pos
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+    /// Consumes the next `n` raw bytes (shared with the sibling `HANSRV01`
+    /// online-snapshot codec, which embeds whole `HANCKPT1` streams as
+    /// length-prefixed blobs).
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
         if self.remaining() < n {
             return Err(CheckpointError::Truncated { offset: self.pos });
         }

@@ -442,28 +442,36 @@ impl CommunicationPlane {
     /// per delivery row afterwards, which for fault-free rounds adds up
     /// to the same totals the shared row reports.
     ///
-    /// # Panics
-    ///
-    /// Panics if any round has already run.
+    /// May be called mid-run: on a fault-free Ideal plane every node's
+    /// view *is* the shared row, so fanning the single entry out to one
+    /// handle per node (still one resident entry — the pool is
+    /// content-addressed) and replicating its refresh row is
+    /// behavior-identical. The online service relies on this to keep the
+    /// shared-row fast path until the first fault telemetry arrives.
     pub fn enable_per_node_rows(&mut self) {
-        assert_eq!(
-            self.round_index, 0,
-            "switch row layout before the first round"
-        );
         self.per_node_rows = true;
         let n = self.device_count;
         if self.store.rows() == n {
             return;
         }
-        let mut pool = ViewPool::new(n);
-        let empty = SystemView::new(n);
-        let handles = (0..n).map(|_| pool.acquire(&empty)).collect();
+        let (pool, handles) = match &self.store {
+            ViewStore::Pooled { pool, handles, .. } => {
+                let shared = pool.view(handles[0]);
+                let mut fanned = ViewPool::new(n);
+                let fanned_handles = (0..n).map(|_| fanned.acquire(shared)).collect();
+                (fanned, fanned_handles)
+            }
+            // Reference views always hold one row per node, caught by
+            // the early return above.
+            ViewStore::PerNode { .. } => unreachable!("per-node reference views have n rows"),
+        };
         self.store = ViewStore::Pooled {
             pool,
             handles,
-            staging: empty,
+            staging: SystemView::new(n),
         };
-        self.last_refresh = vec![NEVER; n * n];
+        let row: Vec<u64> = self.last_refresh[..n].to_vec();
+        self.last_refresh = row.repeat(n);
     }
 
     /// Installs this round's fault exposure: `down[i] = true` suppresses

@@ -8,6 +8,7 @@
 //!
 //! | event | granularity | work |
 //! |---|---|---|
+//! | [`CpEvent::Inject`] | one per round, only while an external injection source is attached | drains online telemetry due this round |
 //! | [`CpEvent::Fault`] | one per round, only while a fault plan is active | node churn / outage application for the round |
 //! | [`CpEvent::RoundStart`] | one per round | request delivery, duty-cycle advance, status publish |
 //! | [`CpEvent::Flood`] | one per MiniCast flood step (packet CP: sync beacon + one data flood per topology node) | a single Glossy flood |
@@ -82,6 +83,16 @@ impl std::fmt::Display for EngineKind {
 /// the taxonomy and granularity of each variant).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CpEvent {
+    /// Drains externally injected telemetry due at round `round` — the
+    /// online service mode's splice point, firing before even the fault
+    /// plan so an injected fault applies in the same round it arrives.
+    /// Scheduled only when [`RoundPhases::has_injections`] reports an
+    /// active source, so batch runs fire exactly the same events as
+    /// before the online plane existed.
+    Inject {
+        /// Round counter.
+        round: u64,
+    },
     /// Applies the fault plan for round `round` — node churn and CP
     /// outages take effect here, before the round opens. Scheduled only
     /// when [`RoundPhases::has_faults`] reports an active plan, so
@@ -166,6 +177,18 @@ pub trait RoundPhases {
     fn has_faults(&self) -> bool {
         false
     }
+    /// Drains externally injected telemetry at instant `now`, before
+    /// [`RoundPhases::fault_phase`] and [`RoundPhases::begin_round`].
+    /// No-op by default — only the online driver overrides it.
+    fn inject_phase(&mut self, _now: SimTime) {}
+    /// Whether an external injection source is attached. Governs both
+    /// backends the way [`RoundPhases::has_faults`] does: the synchronous
+    /// loop calls [`RoundPhases::inject_phase`] each round and the event
+    /// backend schedules a [`CpEvent::Inject`] per round exactly when
+    /// this returns `true`, keeping batch event counts unchanged.
+    fn has_injections(&self) -> bool {
+        false
+    }
 }
 
 /// [`World`] adapter dispatching [`CpEvent`]s onto a [`RoundPhases`]
@@ -181,6 +204,19 @@ impl<P: RoundPhases> World for EventWorld<'_, P> {
 
     fn handle(&mut self, engine: &mut Engine<CpEvent>, at: SimTime, event: CpEvent) {
         match event {
+            CpEvent::Inject { round } => {
+                let had_faults = self.phases.has_faults();
+                self.phases.inject_phase(at);
+                if !had_faults && self.phases.has_faults() {
+                    // The drain installed the run's *first* fault plan, so
+                    // no Fault event was scheduled for this round
+                    // (`has_faults` was false when the round was chained).
+                    // Splice one in front of the already-queued RoundStart
+                    // — the synchronous loop re-checks `has_faults` after
+                    // draining for exactly the same reason.
+                    engine.schedule_front(at, CpEvent::Fault { round });
+                }
+            }
             CpEvent::Fault { .. } => self.phases.fault_phase(at),
             CpEvent::RoundStart { round } => {
                 self.phases.begin_round(at);
@@ -215,9 +251,13 @@ impl<P: RoundPhases> World for EventWorld<'_, P> {
                 self.phases.end_round(at);
                 let next = at + self.period;
                 if next <= self.end {
-                    // FIFO tie-breaking fires the fault application
-                    // before the round opens, matching the synchronous
-                    // loop's `fault_phase; begin_round` order.
+                    // FIFO tie-breaking fires injection draining, then
+                    // the fault application, before the round opens —
+                    // matching the synchronous loop's
+                    // `inject_phase; fault_phase; begin_round` order.
+                    if self.phases.has_injections() {
+                        engine.schedule_at(next, CpEvent::Inject { round: round + 1 });
+                    }
                     if self.phases.has_faults() {
                         engine.schedule_at(next, CpEvent::Fault { round: round + 1 });
                     }
@@ -255,6 +295,9 @@ pub fn drive_from<P: RoundPhases>(
     if start > end {
         return 0;
     }
+    if world.phases.has_injections() {
+        engine.schedule_at(start, CpEvent::Inject { round: start_round });
+    }
     if world.phases.has_faults() {
         engine.schedule_at(start, CpEvent::Fault { round: start_round });
     }
@@ -275,6 +318,11 @@ mod tests {
         floods: usize,
         rows: usize,
         faults: bool,
+        injections: bool,
+        /// Simulates an injection installing the run's first fault plan:
+        /// the Nth `inject_phase` call (0-based) flips `faults` on.
+        arm_faults_on_inject: Option<usize>,
+        inject_calls: usize,
     }
 
     impl RoundPhases for Script {
@@ -305,12 +353,25 @@ mod tests {
         fn has_faults(&self) -> bool {
             self.faults
         }
+        fn inject_phase(&mut self, now: SimTime) {
+            self.calls.push(format!("inject@{}", now.as_micros()));
+            if self.arm_faults_on_inject == Some(self.inject_calls) {
+                self.faults = true;
+            }
+            self.inject_calls += 1;
+        }
+        fn has_injections(&self) -> bool {
+            self.injections
+        }
     }
 
     /// The synchronous loop's phase order, for differential comparison.
     fn sync_drive(phases: &mut Script, period: SimDuration, end: SimTime) {
         let mut now = SimTime::ZERO;
         while now <= end {
+            if phases.has_injections() {
+                phases.inject_phase(now);
+            }
             if phases.has_faults() {
                 phases.fault_phase(now);
             }
@@ -329,17 +390,26 @@ mod tests {
 
     #[test]
     fn event_backend_replays_the_synchronous_phase_order() {
-        for (floods, rows, faults) in [(0, 1, false), (0, 4, false), (5, 4, false), (2, 3, true)] {
+        for (floods, rows, faults, injections) in [
+            (0, 1, false, false),
+            (0, 4, false, false),
+            (5, 4, false, false),
+            (2, 3, true, false),
+            (2, 3, false, true),
+            (1, 2, true, true),
+        ] {
             let mut sync = Script {
                 floods,
                 rows,
                 faults,
+                injections,
                 ..Script::default()
             };
             let mut event = Script {
                 floods,
                 rows,
                 faults,
+                injections,
                 ..Script::default()
             };
             let period = SimDuration::from_secs(2);
@@ -348,7 +418,8 @@ mod tests {
             drive(&mut event, period, end);
             assert_eq!(
                 sync.calls, event.calls,
-                "floods={floods} rows={rows} faults={faults}: FIFO must replay the loop order"
+                "floods={floods} rows={rows} faults={faults} injections={injections}: \
+                 FIFO must replay the loop order"
             );
         }
     }
@@ -378,6 +449,83 @@ mod tests {
                 "deliver0",
                 "plan@2000000",
                 "end@2000000",
+            ],
+        );
+    }
+
+    #[test]
+    fn inject_events_fire_before_fault_and_round_start() {
+        let mut phases = Script {
+            rows: 1,
+            faults: true,
+            injections: true,
+            ..Script::default()
+        };
+        drive(
+            &mut phases,
+            SimDuration::from_secs(2),
+            SimTime::from_secs(2),
+        );
+        assert_eq!(
+            phases.calls,
+            vec![
+                "inject@0",
+                "fault@0",
+                "begin@0",
+                "deliver0",
+                "plan@0",
+                "end@0",
+                "inject@2000000",
+                "fault@2000000",
+                "begin@2000000",
+                "deliver0",
+                "plan@2000000",
+                "end@2000000",
+            ],
+        );
+    }
+
+    #[test]
+    fn injection_installing_first_fault_plan_faults_the_same_round() {
+        // An injection drained at round 1 installs the run's first fault
+        // plan. The Fault event for round 1 was never chained (the plan
+        // did not exist at round 0's RoundEnd), so the backend must
+        // splice it in front of the already-queued RoundStart — and the
+        // result must equal the synchronous loop, which simply re-checks
+        // `has_faults` after draining.
+        let make = || Script {
+            rows: 1,
+            injections: true,
+            arm_faults_on_inject: Some(1),
+            ..Script::default()
+        };
+        let period = SimDuration::from_secs(2);
+        let end = SimTime::from_secs(4);
+        let mut sync = make();
+        sync_drive(&mut sync, period, end);
+        let mut event = make();
+        drive(&mut event, period, end);
+        assert_eq!(sync.calls, event.calls);
+        assert_eq!(
+            event.calls,
+            vec![
+                "inject@0",
+                "begin@0",
+                "deliver0",
+                "plan@0",
+                "end@0",
+                "inject@2000000",
+                "fault@2000000",
+                "begin@2000000",
+                "deliver0",
+                "plan@2000000",
+                "end@2000000",
+                "inject@4000000",
+                "fault@4000000",
+                "begin@4000000",
+                "deliver0",
+                "plan@4000000",
+                "end@4000000",
             ],
         );
     }

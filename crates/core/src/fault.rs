@@ -190,6 +190,40 @@ impl FaultPlan {
         FaultPlan::from_events(events)
     }
 
+    /// Appends one event to a live plan, preserving the sorted-by-effective
+    /// -time invariant (an appended event fires *after* existing events at
+    /// the same instant, exactly as a stable re-sort would place it). This
+    /// is the online-ingest entry point: a running daemon grows its fault
+    /// timeline one injected event at a time, and because
+    /// [`down_at`](FaultPlan::down_at) / [`outage_at`](FaultPlan::outage_at)
+    /// are stateless scans, events appended mid-run take effect from the
+    /// next round consulted.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::InvalidFaultPlan`] for an empty window, as in
+    /// [`from_events`](FaultPlan::from_events). Node indices are checked
+    /// separately via [`validate_nodes`](FaultPlan::validate_nodes).
+    pub fn push(&mut self, event: FaultEvent) -> Result<(), ScenarioError> {
+        if let FaultEvent::CpOutage { from, until } | FaultEvent::SignalLoss { from, until } =
+            &event
+        {
+            if from >= until {
+                return Err(ScenarioError::InvalidFaultPlan {
+                    reason: format!(
+                        "window [{}, {}) is empty (from must precede until)",
+                        from.as_micros(),
+                        until.as_micros()
+                    ),
+                });
+            }
+        }
+        let at = event.effective_at();
+        let idx = self.events.partition_point(|e| e.effective_at() <= at);
+        self.events.insert(idx, event);
+        Ok(())
+    }
+
     /// The events, sorted by effective time.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -460,6 +494,34 @@ mod tests {
             );
         }
         assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn push_keeps_the_plan_sorted_and_stable() {
+        let mut plan = FaultPlan::parse("down:1@10; up:1@30").unwrap();
+        plan.push(FaultEvent::NodeDown { at: t(20), node: 0 })
+            .unwrap();
+        // Tie at minute 10: the appended event lands after the existing one,
+        // as a stable re-sort of [existing.., appended] would place it.
+        plan.push(FaultEvent::NodeUp { at: t(10), node: 0 })
+            .unwrap();
+        assert_eq!(
+            plan.events(),
+            &[
+                FaultEvent::NodeDown { at: t(10), node: 1 },
+                FaultEvent::NodeUp { at: t(10), node: 0 },
+                FaultEvent::NodeDown { at: t(20), node: 0 },
+                FaultEvent::NodeUp { at: t(30), node: 1 },
+            ]
+        );
+        let err = plan
+            .push(FaultEvent::CpOutage {
+                from: t(5),
+                until: t(5),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidFaultPlan { .. }));
+        assert_eq!(plan.events().len(), 4, "rejected events are not inserted");
     }
 
     #[test]

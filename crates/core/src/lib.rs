@@ -63,6 +63,7 @@ pub mod experiment;
 pub mod fault;
 pub mod feeder;
 pub mod neighborhood;
+pub mod online;
 pub mod pool;
 pub mod schedule;
 pub mod simulation;
@@ -81,6 +82,7 @@ pub use feeder::{
     IterationPolicy, StopReason,
 };
 pub use neighborhood::{Home, HomeResult, Neighborhood, NeighborhoodReport};
+pub use online::{OnlineDriver, OnlineError, ServeOptions};
 pub use pool::{ViewHandle, ViewPool, ViewPoolStats};
 pub use schedule::Schedule;
 pub use simulation::{HanSimulation, SimulationConfig, SimulationOutcome, Strategy};

@@ -1,0 +1,563 @@
+//! The long-lived simulation driver behind the online service mode.
+//!
+//! [`OnlineDriver`] wraps the same [`Driver`] the batch backends run,
+//! advancing it round by round over a long-lived process and splicing
+//! externally ingested telemetry between rounds. Its contract is the
+//! repo-wide one: **streaming a workload online is bit-identical to
+//! batch-running the same workload** — same order-sensitive
+//! `schedule_digest`, same load trace, same service metrics — because
+//! every injected event lands in the exact phase slot a batch trace
+//! containing it from round zero would have used (see
+//! [`super::ingest`]).
+//!
+//! Re-planning after an injection is *incremental*: the coordinated
+//! planners keep their memoized plans, and an injected cap change only
+//! invalidates memos whose validity horizon it crosses
+//! ([`CoordinatedPlanner::set_admission_cap`](crate::algorithm::CoordinatedPlanner::set_admission_cap));
+//! arrivals and completions change the published view, which misses the
+//! memo key on its own. Nothing is recomputed wholesale.
+//!
+//! # Service snapshots (`HANSRV01`)
+//!
+//! A batch [`Checkpoint`] fingerprints the *static* request trace and
+//! fault plan, but an online run's trace grows as telemetry arrives. A
+//! service snapshot therefore carries the full telemetry log alongside
+//! the embedded state checkpoint: `HANSRV01` magic, the ingested events
+//! as length-prefixed canonical-grammar lines (they round-trip through
+//! [`TelemetryEvent::parse`]), then the `HANCKPT1` state blob. Restore
+//! replays the log against the base scenario — past arrivals merge into
+//! the request trace, fault events re-append to the timeline, cap
+//! changes re-fold in ingest order — and the recomputed fingerprint
+//! must match the one captured at snapshot time. A daemon killed
+//! mid-day and restored from its last auto-checkpoint finishes with a
+//! byte-identical report (events ingested *after* that checkpoint are
+//! lost by design, exactly like any crash-recovery log cut).
+
+use crate::checkpoint::{Checkpoint, CheckpointError, Dec, Enc};
+use crate::cp::event::EngineKind;
+use crate::simulation::{
+    run_span, Driver, HanSimulation, Injection, SimulationConfig, SimulationOutcome, Strategy,
+};
+use han_device::request::Request;
+use han_sim::time::{SimDuration, SimTime};
+use han_workload::signal::PowerCapProfile;
+use han_workload::telemetry::TelemetryEvent;
+
+use super::ingest::{absorbing_round, merge_cap, translate, Action, IngestContext, OnlineError};
+
+const MAGIC: &[u8; 8] = b"HANSRV01";
+
+/// A point-in-time view of the running service, as reported by `STATUS`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineStatus {
+    /// The round the driver will execute next.
+    pub next_round: u64,
+    /// Rounds in the full simulated window.
+    pub total_rounds: u64,
+    /// The simulated instant of the next round.
+    pub time: SimTime,
+    /// Last recorded total load, kW.
+    pub load_kw: f64,
+    /// Running order-sensitive schedule digest.
+    pub digest: u64,
+    /// Requests delivered to devices so far.
+    pub delivered: usize,
+    /// Requests in the trace not yet delivered.
+    pub pending_requests: usize,
+    /// Injected actions still awaiting their round.
+    pub pending_injections: usize,
+    /// Rounds in which the fleet disagreed on the schedule.
+    pub divergent_rounds: u64,
+    /// Energy delivered so far, kWh.
+    pub energy_kwh: f64,
+    /// Whether the full window has been simulated.
+    pub finished: bool,
+}
+
+/// One node's actuation state, as reported by `SCHEDULE <node>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSchedule {
+    /// The node (device interface) index.
+    pub node: usize,
+    /// Whether the appliance is currently drawing power.
+    pub on: bool,
+    /// Whether the device has an active obligation.
+    pub active: bool,
+    /// Rated power, W.
+    pub power_w: f64,
+    /// The planner-committed start instant, if one is planned.
+    pub planned_start: Option<SimTime>,
+    /// Duty-cycle windows served so far.
+    pub windows_served: u32,
+    /// Deadline misses so far.
+    pub deadline_misses: u32,
+}
+
+/// The feeder-side view, as reported by `FEEDER`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeederStatus {
+    /// The admission cap in force right now, kW (`None` = unconstrained).
+    pub cap_kw: Option<f64>,
+    /// Last recorded total load, kW.
+    pub load_kw: f64,
+    /// The flat tariff in force right now (`None` until a tariff event
+    /// arrives — tariffs are reporting-level, never scheduled on).
+    pub rate_per_kwh: Option<f64>,
+    /// Energy delivered so far, kWh.
+    pub energy_kwh: f64,
+}
+
+/// A long-lived, externally drivable simulation: the batch round loop
+/// turned into a daemon-able service (see the [module docs](self)).
+pub struct OnlineDriver {
+    driver: Driver,
+    engine: EngineKind,
+    period: SimDuration,
+    /// End of the simulated window (inclusive round horizon).
+    end: SimTime,
+    total_rounds: u64,
+    device_count: usize,
+    duration: SimDuration,
+    events_fired: u64,
+    /// Every successfully ingested event, in ingest order — the
+    /// snapshot's replay log.
+    log: Vec<TelemetryEvent>,
+    /// The admission-cap profile currently in force: the base strategy
+    /// cap merged with every cap change ingested so far.
+    cap: Option<PowerCapProfile>,
+    /// Tariff changes, sorted by effective instant (stable): reporting
+    /// state only.
+    tariffs: Vec<(SimTime, f64)>,
+}
+
+/// The base admission cap the strategy was configured with.
+fn base_cap(config: &SimulationConfig) -> Option<PowerCapProfile> {
+    match &config.strategy {
+        Strategy::Coordinated(plan) => plan.admission_cap.clone(),
+        Strategy::Centralized { plan, .. } => plan.admission_cap.clone(),
+        Strategy::Uncoordinated => None,
+    }
+}
+
+impl OnlineDriver {
+    /// Wraps a fully built simulation into a drivable service.
+    ///
+    /// The simulation's configuration, request trace and fault plan
+    /// become the *base* state; everything ingested afterwards grows it.
+    /// Fault telemetry may arrive at any later round: the Ideal CP keeps
+    /// its shared-row fast path until the first fault event, then fans
+    /// out to per-node delivery rows mid-run (behavior-identical — every
+    /// node's view *is* the shared row on a fault-free plane).
+    ///
+    /// Online mode does not carry the batch-only tuning hooks
+    /// (`set_reference_planning`, `set_background`); build the
+    /// simulation plainly, as [`crate::experiment::build_simulation`]
+    /// does.
+    pub fn new(sim: HanSimulation) -> OnlineDriver {
+        let config = sim.config();
+        let engine = config.engine;
+        let period = config.round_period;
+        let duration = config.duration;
+        let end = SimTime::ZERO + duration;
+        let total_rounds = duration.as_micros() / period.as_micros() + 1;
+        let device_count = config.fleet.device_count();
+        let cap = base_cap(config);
+        let driver = Driver::new(sim);
+        OnlineDriver {
+            driver,
+            engine,
+            period,
+            end,
+            total_rounds,
+            device_count,
+            duration,
+            events_fired: 0,
+            log: Vec::new(),
+            cap,
+            tariffs: Vec::new(),
+        }
+    }
+
+    /// Validates and applies one telemetry event. On success the event
+    /// is appended to the snapshot log; on error nothing changes.
+    ///
+    /// # Errors
+    ///
+    /// See [`OnlineError`]: scenario-level violations, staleness (the
+    /// absorbing round already ran), horizon overruns, or a finished run.
+    pub fn ingest(&mut self, event: TelemetryEvent) -> Result<(), OnlineError> {
+        if self.finished() {
+            return Err(OnlineError::Finished);
+        }
+        let action = translate(
+            &event,
+            &IngestContext {
+                next_round: self.driver.next_round(),
+                period: self.period,
+                duration: self.duration,
+                device_count: self.device_count,
+                cap: self.cap.as_ref(),
+            },
+        )?;
+        match action {
+            Action::Inject { round, injection } => {
+                if let Injection::CapChange(Some(profile)) = &injection {
+                    self.cap = Some(profile.clone());
+                }
+                self.driver.queue_injection(round, injection);
+            }
+            Action::Fault(fault) => self.driver.push_fault(fault)?,
+            Action::Tariff { at, rate_per_kwh } => {
+                let idx = self.tariffs.partition_point(|(t, _)| *t <= at);
+                self.tariffs.insert(idx, (at, rate_per_kwh));
+            }
+        }
+        self.log.push(event);
+        Ok(())
+    }
+
+    /// Parses and ingests a whole telemetry script (the `INJECT` /
+    /// `--replay` grammar). Events apply in script order; on the first
+    /// failure the error is returned and later entries are not applied
+    /// (earlier ones stay, as reported by the returned count inside
+    /// `Ok`).
+    ///
+    /// # Errors
+    ///
+    /// The first parse or ingest failure, typed.
+    pub fn ingest_script(&mut self, spec: &str) -> Result<usize, OnlineError> {
+        let events = TelemetryEvent::parse_script(spec)?;
+        let mut applied = 0;
+        for event in events {
+            self.ingest(event)?;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
+    /// Runs the simulation forward until `round` rounds have executed
+    /// (clamped to the window). Telemetry ingested before this call and
+    /// absorbed by the advanced-over rounds takes effect exactly where a
+    /// batch run would have placed it.
+    pub fn advance_to(&mut self, round: u64) {
+        let to = round.min(self.total_rounds);
+        let from = self.driver.next_round();
+        if to <= from {
+            return;
+        }
+        self.events_fired += run_span(
+            &mut self.driver,
+            self.engine,
+            self.period,
+            self.end,
+            from,
+            to,
+        );
+    }
+
+    /// Advances until the simulated clock has covered `time`: every
+    /// round whose phase instant is at or before `time` executes.
+    pub fn advance_to_time(&mut self, time: SimTime) {
+        let covered = time.min(self.end);
+        self.advance_to(covered.as_micros() / self.period.as_micros() + 1);
+    }
+
+    /// Runs the remaining window to completion.
+    pub fn run_to_end(&mut self) {
+        self.advance_to(self.total_rounds);
+    }
+
+    /// Whether the full window has been simulated.
+    pub fn finished(&self) -> bool {
+        self.driver.next_round() >= self.total_rounds
+    }
+
+    /// The round the driver will execute next.
+    pub fn next_round(&self) -> u64 {
+        self.driver.next_round()
+    }
+
+    /// Rounds in the full simulated window.
+    pub fn total_rounds(&self) -> u64 {
+        self.total_rounds
+    }
+
+    /// The simulated instant of the next round (capped at the horizon).
+    pub fn now(&self) -> SimTime {
+        (SimTime::ZERO + self.period * self.driver.next_round()).min(self.end)
+    }
+
+    /// The current service status (the `STATUS` reply).
+    pub fn status(&self) -> OnlineStatus {
+        let now = self.now();
+        OnlineStatus {
+            next_round: self.driver.next_round(),
+            total_rounds: self.total_rounds,
+            time: now,
+            load_kw: self.driver.last_load_kw(),
+            digest: self.driver.schedule_digest(),
+            delivered: self.driver.delivered(),
+            pending_requests: self.driver.pending_requests(),
+            pending_injections: self.driver.pending_injections(),
+            divergent_rounds: self.driver.divergent_rounds(),
+            energy_kwh: self.driver.energy_kwh_to(now),
+            finished: self.finished(),
+        }
+    }
+
+    /// One node's actuation state (the `SCHEDULE <node>` reply).
+    ///
+    /// # Errors
+    ///
+    /// [`OnlineError::UnknownNode`] for an index outside the fleet.
+    pub fn schedule_of(&self, node: usize) -> Result<NodeSchedule, OnlineError> {
+        let devices = self.driver.devices();
+        let di = devices.get(node).ok_or(OnlineError::UnknownNode {
+            node,
+            fleet: devices.len(),
+        })?;
+        let counters = di.counters();
+        Ok(NodeSchedule {
+            node,
+            on: di.is_on(),
+            active: di.is_active(),
+            power_w: di.power().0,
+            planned_start: di.planned_start(),
+            windows_served: counters.windows_served,
+            deadline_misses: counters.deadline_misses,
+        })
+    }
+
+    /// The feeder-side view (the `FEEDER` reply).
+    pub fn feeder(&self) -> FeederStatus {
+        let now = self.now();
+        let cap_kw = self
+            .cap
+            .as_ref()
+            .map(|p| p.cap_at(now))
+            .filter(|c| c.is_finite());
+        let rate_per_kwh = self
+            .tariffs
+            .iter()
+            .rev()
+            .find(|(t, _)| *t <= now)
+            .map(|(_, rate)| *rate);
+        FeederStatus {
+            cap_kw,
+            load_kw: self.driver.last_load_kw(),
+            rate_per_kwh,
+            energy_kwh: self.driver.energy_kwh_to(now),
+        }
+    }
+
+    /// Closes a completed run into the standard outcome record.
+    ///
+    /// [`SimulationOutcome::events`] counts only the events fired by
+    /// *this* process — after a snapshot restore it excludes the rounds
+    /// the pre-kill process executed, exactly like
+    /// [`HanSimulation::resume`]. Every other field is restart-invariant.
+    pub fn into_outcome(self) -> SimulationOutcome {
+        self.driver.into_outcome(self.events_fired)
+    }
+
+    // ---- service snapshots ------------------------------------------
+
+    /// Serializes the full service state: the telemetry log plus an
+    /// embedded state checkpoint, fingerprinted over the *grown*
+    /// request/fault state (see the [module docs](self)).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.raw(MAGIC);
+        e.len(self.log.len());
+        for event in &self.log {
+            let line = event.to_string();
+            e.len(line.len());
+            e.raw(line.as_bytes());
+        }
+        let checkpoint = Checkpoint {
+            state: self.driver.export_state(self.driver.fingerprint()),
+        };
+        let blob = checkpoint.to_bytes();
+        e.len(blob.len());
+        e.raw(&blob);
+        e.into_bytes()
+    }
+
+    /// Writes a snapshot to `path` atomically: the bytes land in a
+    /// `.tmp` sibling first and are renamed into place, so a crash
+    /// mid-write never corrupts the previous checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`OnlineError::Io`] naming the path.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), OnlineError> {
+        let io_err = |error: std::io::Error| OnlineError::Io {
+            path: path.display().to_string(),
+            error: error.to_string(),
+        };
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.snapshot()).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)
+    }
+
+    /// Rebuilds a service from a snapshot and the *base* simulation —
+    /// the same configuration, request trace and fault plan originally
+    /// handed to [`OnlineDriver::new`]. The snapshot's telemetry log is
+    /// replayed: past arrivals merge into the request trace, fault
+    /// events re-append to the timeline, cap changes re-fold in ingest
+    /// order, and still-future events re-enter the injection queue. The
+    /// recomputed fingerprint must match the snapshot's.
+    ///
+    /// # Errors
+    ///
+    /// [`OnlineError::Checkpoint`] on a foreign or corrupted snapshot
+    /// (including a fingerprint mismatch), [`OnlineError::Scenario`] if
+    /// the replayed state fails validation.
+    pub fn restore(sim: HanSimulation, bytes: &[u8]) -> Result<OnlineDriver, OnlineError> {
+        let mut d = Dec::new(bytes);
+        if d.take(MAGIC.len()).map_err(|_| CheckpointError::BadMagic)? != MAGIC {
+            return Err(CheckpointError::BadMagic.into());
+        }
+        let count = d.len()?;
+        let mut log = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let n = d.len()?;
+            let raw = d.take(n)?;
+            let line = std::str::from_utf8(raw).map_err(|_| OnlineError::BadCommand {
+                reason: "snapshot log entry is not valid UTF-8".into(),
+            })?;
+            log.push(TelemetryEvent::parse(line)?);
+        }
+        let n = d.len()?;
+        let checkpoint = Checkpoint::from_bytes(d.take(n)?)?;
+        let next_round = checkpoint.round();
+
+        // Rebuild the merged base state the pre-kill process had grown.
+        let config = sim.config().clone();
+        let ttl = sim.ttl();
+        let period = config.round_period;
+        let duration = config.duration;
+        let mut requests = sim.requests().to_vec();
+        let mut faults = sim.fault_plan().clone();
+        let mut cap = base_cap(&config);
+        let mut tariffs: Vec<(SimTime, f64)> = Vec::new();
+        // The cap profile the planners had in force at the snapshot: the
+        // last cap-change injection *drained* before the checkpoint round
+        // (drain order is (absorbing round, ingest order)).
+        let mut drained_cap: Option<(u64, PowerCapProfile)> = None;
+        // Still-future actions, kept in ingest order.
+        let mut future: Vec<(u64, Injection)> = Vec::new();
+
+        for event in &log {
+            let round = absorbing_round(event.effective_at(), period);
+            match *event {
+                TelemetryEvent::Arrival {
+                    device,
+                    at,
+                    windows,
+                } => {
+                    let request = Request::with_windows(device, at, windows);
+                    if round < next_round {
+                        // Same sorted position the live inject_phase used.
+                        let key = (request.arrival, request.device);
+                        let idx = requests.partition_point(|r| (r.arrival, r.device) <= key);
+                        requests.insert(idx, request);
+                    } else {
+                        future.push((round, Injection::Arrival(request)));
+                    }
+                }
+                TelemetryEvent::Completion { device, .. } => {
+                    if round >= next_round {
+                        future.push((round, Injection::Completion(device)));
+                    }
+                    // A past completion's effects live in the checkpointed
+                    // device state; nothing to replay.
+                }
+                TelemetryEvent::CapChange { at, cap_kw } => {
+                    let merged = merge_cap(cap.as_ref(), at, cap_kw)?;
+                    cap = Some(merged.clone());
+                    if round < next_round {
+                        drained_cap = Some((round, merged));
+                    } else {
+                        future.push((round, Injection::CapChange(Some(merged))));
+                    }
+                }
+                TelemetryEvent::Tariff { at, rate_per_kwh } => {
+                    let idx = tariffs.partition_point(|(t, _)| *t <= at);
+                    tariffs.insert(idx, (at, rate_per_kwh));
+                }
+                TelemetryEvent::NodeDown { at, node } => {
+                    faults.push(crate::fault::FaultEvent::NodeDown { at, node })?;
+                }
+                TelemetryEvent::NodeUp { at, node } => {
+                    faults.push(crate::fault::FaultEvent::NodeUp { at, node })?;
+                }
+                TelemetryEvent::CpOutage { from, until } => {
+                    faults.push(crate::fault::FaultEvent::CpOutage { from, until })?;
+                }
+                TelemetryEvent::SignalLoss { from, until } => {
+                    faults.push(crate::fault::FaultEvent::SignalLoss { from, until })?;
+                }
+            }
+        }
+
+        let total_rounds = duration.as_micros() / period.as_micros() + 1;
+        let device_count = config.fleet.device_count();
+        let engine = config.engine;
+        let end = SimTime::ZERO + duration;
+
+        let mut merged = HanSimulation::new(config, requests)?;
+        merged.set_faults(faults)?;
+        merged.set_staleness_ttl(ttl);
+        let mut driver = Driver::restore(merged, &checkpoint.state);
+        let expected = driver.fingerprint();
+        if expected != checkpoint.state.fingerprint {
+            return Err(CheckpointError::ConfigMismatch {
+                expected,
+                found: checkpoint.state.fingerprint,
+            }
+            .into());
+        }
+
+        // Re-apply the cap the planners had in force (fresh planners
+        // restart from the base config cap). Queued first — against the
+        // restored round — it drains before any still-future injection,
+        // mirroring the fact that it had already drained pre-kill.
+        if let Some((_, profile)) = drained_cap {
+            driver.queue_injection(next_round, Injection::CapChange(Some(profile)));
+        }
+        for (round, injection) in future {
+            driver.queue_injection(round, injection);
+        }
+
+        Ok(OnlineDriver {
+            driver,
+            engine,
+            period,
+            end,
+            total_rounds,
+            device_count,
+            duration,
+            events_fired: 0,
+            log,
+            cap,
+            tariffs,
+        })
+    }
+
+    /// Reads a snapshot from `path` and restores from it.
+    ///
+    /// # Errors
+    ///
+    /// [`OnlineError::Io`] on read failure, plus everything
+    /// [`OnlineDriver::restore`] reports.
+    pub fn load(sim: HanSimulation, path: &std::path::Path) -> Result<OnlineDriver, OnlineError> {
+        let bytes = std::fs::read(path).map_err(|error| OnlineError::Io {
+            path: path.display().to_string(),
+            error: error.to_string(),
+        })?;
+        OnlineDriver::restore(sim, &bytes)
+    }
+}

@@ -33,7 +33,8 @@ use han_metrics::timeseries::LoadTrace;
 use han_metrics::ResilienceStats;
 use han_sim::time::{SimDuration, SimTime};
 use han_workload::fleet::{FleetSpec, ScenarioError};
-use std::collections::{HashMap, HashSet};
+use han_workload::signal::PowerCapProfile;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Scheduling strategy under test.
 #[derive(Debug, Clone)]
@@ -336,71 +337,39 @@ impl HanSimulation {
         self.config.duration.as_micros() / self.config.round_period.as_micros() + 1
     }
 
+    /// The configuration (crate-internal: the online driver snapshots it
+    /// before handing `self` to the round driver).
+    pub(crate) fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The sorted request trace (crate-internal, see [`Self::config`]).
+    pub(crate) fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// The installed fault plan (crate-internal, see [`Self::config`]).
+    pub(crate) fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The ghost-record TTL (crate-internal, see [`Self::config`]).
+    pub(crate) fn ttl(&self) -> Option<u32> {
+        self.staleness_ttl
+    }
+
     /// Advisory fingerprint of everything that shapes the run besides the
     /// dynamic state: a checkpoint refuses to resume under a different
     /// configuration. Not cryptographic — it catches mistakes, not
     /// adversaries.
     fn fingerprint(&self) -> u64 {
-        let mut d: u64 = 0x4841_4E43_4B50_5431; // "HANCKPT1"
-        let mut fold = |v: u64| d = (d.rotate_left(5) ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        fold(self.config.fleet.device_count() as u64);
-        fold(self.config.duration.as_micros());
-        fold(self.config.round_period.as_micros());
-        fold(self.config.seed);
-        fold(match self.config.engine {
-            EngineKind::Round => 0,
-            EngineKind::Event => 1,
-        });
-        fold(match &self.config.strategy {
-            Strategy::Coordinated(_) => 0,
-            Strategy::Uncoordinated => 1,
-            Strategy::Centralized { controller, .. } => 2 | (u64::from(controller.0) << 8),
-        });
-        fold(match &self.config.cp {
-            CpModel::Ideal => 0,
-            CpModel::LossyRound { miss_probability } => 1 | (miss_probability.to_bits() << 8),
-            CpModel::LossyRecord { miss_probability } => 2 | (miss_probability.to_bits() << 8),
-            CpModel::GilbertElliott {
-                p_good_to_bad,
-                p_bad_to_good,
-                ..
-            } => 3 | (p_good_to_bad.to_bits() ^ p_bad_to_good.to_bits()) << 8,
-            CpModel::Packet { .. } => 4,
-        });
-        fold(u64::from(self.reference_planning));
-        fold(match self.staleness_ttl {
-            None => u64::MAX,
-            Some(t) => u64::from(t),
-        });
-        fold(self.requests.len() as u64);
-        for r in &self.requests {
-            fold(u64::from(r.device.0));
-            fold(r.arrival.as_micros());
-        }
-        fold(self.faults.events().len() as u64);
-        for ev in self.faults.events() {
-            match *ev {
-                FaultEvent::NodeDown { at, node } => {
-                    fold(1 | (node as u64) << 8);
-                    fold(at.as_micros());
-                }
-                FaultEvent::NodeUp { at, node } => {
-                    fold(2 | (node as u64) << 8);
-                    fold(at.as_micros());
-                }
-                FaultEvent::CpOutage { from, until } => {
-                    fold(3);
-                    fold(from.as_micros());
-                    fold(until.as_micros());
-                }
-                FaultEvent::SignalLoss { from, until } => {
-                    fold(4);
-                    fold(from.as_micros());
-                    fold(until.as_micros());
-                }
-            }
-        }
-        d
+        run_fingerprint(
+            &self.config,
+            self.reference_planning,
+            self.staleness_ttl,
+            &self.requests,
+            &self.faults,
+        )
     }
 
     /// Runs the simulation to completion.
@@ -465,9 +434,85 @@ impl HanSimulation {
     }
 }
 
+/// Fingerprint of everything that shapes a run besides the dynamic
+/// state: configuration, tuning flags, the request trace and the fault
+/// timeline. [`HanSimulation`] folds it into every [`Checkpoint`] so a
+/// resume under a different setup is refused; the online driver recomputes
+/// it over its *grown* request/fault state, so a service snapshot is
+/// refused unless replaying the telemetry log reproduced that state
+/// exactly. Not cryptographic — it catches mistakes, not adversaries.
+pub(crate) fn run_fingerprint(
+    config: &SimulationConfig,
+    reference_planning: bool,
+    staleness_ttl: Option<u32>,
+    requests: &[Request],
+    faults: &FaultPlan,
+) -> u64 {
+    let mut d: u64 = 0x4841_4E43_4B50_5431; // "HANCKPT1"
+    let mut fold = |v: u64| d = (d.rotate_left(5) ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    fold(config.fleet.device_count() as u64);
+    fold(config.duration.as_micros());
+    fold(config.round_period.as_micros());
+    fold(config.seed);
+    fold(match config.engine {
+        EngineKind::Round => 0,
+        EngineKind::Event => 1,
+    });
+    fold(match &config.strategy {
+        Strategy::Coordinated(_) => 0,
+        Strategy::Uncoordinated => 1,
+        Strategy::Centralized { controller, .. } => 2 | (u64::from(controller.0) << 8),
+    });
+    fold(match &config.cp {
+        CpModel::Ideal => 0,
+        CpModel::LossyRound { miss_probability } => 1 | (miss_probability.to_bits() << 8),
+        CpModel::LossyRecord { miss_probability } => 2 | (miss_probability.to_bits() << 8),
+        CpModel::GilbertElliott {
+            p_good_to_bad,
+            p_bad_to_good,
+            ..
+        } => 3 | (p_good_to_bad.to_bits() ^ p_bad_to_good.to_bits()) << 8,
+        CpModel::Packet { .. } => 4,
+    });
+    fold(u64::from(reference_planning));
+    fold(match staleness_ttl {
+        None => u64::MAX,
+        Some(t) => u64::from(t),
+    });
+    fold(requests.len() as u64);
+    for r in requests {
+        fold(u64::from(r.device.0));
+        fold(r.arrival.as_micros());
+    }
+    fold(faults.events().len() as u64);
+    for ev in faults.events() {
+        match *ev {
+            FaultEvent::NodeDown { at, node } => {
+                fold(1 | (node as u64) << 8);
+                fold(at.as_micros());
+            }
+            FaultEvent::NodeUp { at, node } => {
+                fold(2 | (node as u64) << 8);
+                fold(at.as_micros());
+            }
+            FaultEvent::CpOutage { from, until } => {
+                fold(3);
+                fold(from.as_micros());
+                fold(until.as_micros());
+            }
+            FaultEvent::SignalLoss { from, until } => {
+                fold(4);
+                fold(from.as_micros());
+                fold(until.as_micros());
+            }
+        }
+    }
+    d
+}
+
 /// Executes rounds `[from, to)` on the chosen backend. Returns the events
 /// fired (0 under the synchronous loop).
-fn run_span(
+pub(crate) fn run_span(
     driver: &mut Driver,
     engine: EngineKind,
     period: SimDuration,
@@ -485,6 +530,13 @@ fn run_span(
             let mut now = SimTime::ZERO + period * from;
             let mut round = from;
             while now <= end && round < to {
+                // Injections drain first: a drained event may install the
+                // run's first fault plan, so `has_faults` is re-checked
+                // *after* — the event backend's Inject handler does the
+                // same.
+                if driver.has_injections() {
+                    driver.inject_phase(now);
+                }
                 if driver.has_faults() {
                     driver.fault_phase(now);
                 }
@@ -511,10 +563,38 @@ fn run_span(
     }
 }
 
+/// One externally injected action, queued against the round that absorbs
+/// it. The online service mode translates ingested telemetry
+/// (`han_workload::telemetry::TelemetryEvent`) into these; the round
+/// loop drains them in [`RoundPhases::inject_phase`], *before* the
+/// round's fault application and request delivery, so an injected event
+/// lands exactly where a batch run would have placed it.
+///
+/// Fault telemetry takes a different path: it is pushed straight into
+/// the [`FaultPlan`] at ingest time (the plan's per-round scans are
+/// stateless, so appended events simply start matching), which keeps the
+/// fingerprint covering it immediately.
+#[derive(Debug, Clone)]
+pub(crate) enum Injection {
+    /// Deliver a new user request. Inserted into the trace in sorted
+    /// `(arrival, device)` position — bit-identical to a batch run whose
+    /// trace contained the request from the start.
+    Arrival(Request),
+    /// Early release: the user asks the device off ahead of plan. Routed
+    /// through the DI's own command path, so the minDCD interlock still
+    /// refuses unsafe early-offs (counted, device stays on).
+    Completion(DeviceId),
+    /// Swap the admission-cap profile on every planner. The caller passes
+    /// the *merged* profile (old cap before the change instant, new cap
+    /// after), so memoized plans that survive the horizon-crossing
+    /// invalidation stay correct.
+    CapChange(Option<PowerCapProfile>),
+}
+
 /// The round-phase implementation both backends drive: all mutable run
 /// state (devices, communication plane, planners, accumulators) plus the
 /// phase methods of [`RoundPhases`].
-struct Driver {
+pub(crate) struct Driver {
     config: SimulationConfig,
     requests: Vec<Request>,
     background: Option<LoadTrace>,
@@ -553,10 +633,16 @@ struct Driver {
     /// Total deadline misses at the end of the previous round, for
     /// per-round attribution of new misses to the active fault class.
     last_miss_total: u32,
+    /// Externally injected actions awaiting their round, sorted by round
+    /// (stable for equal rounds: ingest order). Always empty in batch
+    /// runs — only the online service mode queues into it, and it is
+    /// never checkpointed (the service snapshot replays the telemetry
+    /// log instead).
+    injections: VecDeque<(u64, Injection)>,
 }
 
 impl Driver {
-    fn new(sim: HanSimulation) -> Driver {
+    pub(crate) fn new(sim: HanSimulation) -> Driver {
         let cfg = &sim.config;
         let n = cfg.fleet.device_count();
 
@@ -613,6 +699,7 @@ impl Driver {
             recovery_since: None,
             fault_active_last: false,
             last_miss_total: 0,
+            injections: VecDeque::new(),
             config: sim.config,
             requests: sim.requests,
             background: sim.background,
@@ -622,7 +709,7 @@ impl Driver {
 
     /// Captures the complete dynamic state at a round boundary (all
     /// rounds `< self.rounds` executed, round `self.rounds` next).
-    fn export_state(&self, fingerprint: u64) -> SimState {
+    pub(crate) fn export_state(&self, fingerprint: u64) -> SimState {
         SimState {
             fingerprint,
             next_round: self.rounds,
@@ -650,7 +737,7 @@ impl Driver {
     /// Rebuilds a driver mid-run from a captured state: static structure
     /// from the (fingerprint-checked) configuration, dynamic state from
     /// the checkpoint.
-    fn restore(sim: HanSimulation, state: &SimState) -> Driver {
+    pub(crate) fn restore(sim: HanSimulation, state: &SimState) -> Driver {
         let model = sim.config.cp.clone();
         let n = sim.config.fleet.device_count();
         let seed = sim.config.seed;
@@ -679,7 +766,7 @@ impl Driver {
 
     /// Closes the run: end-of-horizon aggregation over the device
     /// counters and the load trace.
-    fn into_outcome(self, events: u64) -> SimulationOutcome {
+    pub(crate) fn into_outcome(self, events: u64) -> SimulationOutcome {
         let end = SimTime::ZERO + self.config.duration;
         let energy_kwh = self.trace.energy_kwh(SimTime::ZERO, end);
         let mut deadline_misses = 0;
@@ -706,6 +793,111 @@ impl Driver {
             schedule_digest: self.schedule_digest,
             resilience: self.resilience,
         }
+    }
+
+    // ---- online service surface (crate-internal) --------------------
+    //
+    // The `online` module drives a `Driver` round by round over a long-
+    // lived process, splicing externally observed telemetry between
+    // rounds. Everything below is the minimal surface that makes that
+    // possible without widening any field.
+
+    /// The round the driver will execute next (equals rounds executed).
+    pub(crate) fn next_round(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Requests delivered to devices so far.
+    pub(crate) fn delivered(&self) -> usize {
+        self.delivered
+    }
+
+    /// Requests in the trace not yet delivered.
+    pub(crate) fn pending_requests(&self) -> usize {
+        self.requests.len() - self.next_request
+    }
+
+    /// Externally injected actions still awaiting their round.
+    pub(crate) fn pending_injections(&self) -> usize {
+        self.injections.len()
+    }
+
+    /// Last recorded total load, kW.
+    pub(crate) fn last_load_kw(&self) -> f64 {
+        self.last_load_kw
+    }
+
+    /// Energy delivered so far, kWh, up to `until` (zero before the
+    /// first round has run — `LoadTrace` rejects empty intervals).
+    pub(crate) fn energy_kwh_to(&self, until: SimTime) -> f64 {
+        if until == SimTime::ZERO {
+            return 0.0;
+        }
+        self.trace.energy_kwh(SimTime::ZERO, until)
+    }
+
+    /// Running order-sensitive schedule digest.
+    pub(crate) fn schedule_digest(&self) -> u64 {
+        self.schedule_digest
+    }
+
+    /// Rounds in which the fleet disagreed on the schedule so far.
+    pub(crate) fn divergent_rounds(&self) -> u64 {
+        self.divergent_rounds
+    }
+
+    /// The per-device interfaces (actuated state, counters, cyclers).
+    pub(crate) fn devices(&self) -> &[DeviceInterface] {
+        &self.dis
+    }
+
+    /// Fingerprint over the driver's *current* request trace and fault
+    /// timeline — the grown state, not the batch seed.
+    pub(crate) fn fingerprint(&self) -> u64 {
+        run_fingerprint(
+            &self.config,
+            self.reference_planning,
+            self.staleness_ttl,
+            &self.requests,
+            &self.faults,
+        )
+    }
+
+    /// Queues an injected action for the round that absorbs it. Stable
+    /// for equal rounds: later queues drain after earlier ones.
+    pub(crate) fn queue_injection(&mut self, round: u64, injection: Injection) {
+        let idx = self.injections.partition_point(|(r, _)| *r <= round);
+        self.injections.insert(idx, (round, injection));
+    }
+
+    /// Appends a fault event to the live timeline. The plan's per-round
+    /// scans are stateless, so the event simply starts matching from its
+    /// effective instant onward.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError`] if the event is structurally invalid or names a
+    /// node outside the fleet.
+    pub(crate) fn push_fault(&mut self, event: FaultEvent) -> Result<(), ScenarioError> {
+        if let FaultEvent::NodeDown { node, .. } | FaultEvent::NodeUp { node, .. } = &event {
+            if *node >= self.dis.len() {
+                return Err(ScenarioError::InvalidFaultPlan {
+                    reason: format!(
+                        "node {node} outside the fleet (devices 0..{})",
+                        self.dis.len()
+                    ),
+                });
+            }
+        }
+        self.faults.push(event)?;
+        // Churn and outages need per-node delivery rows. The Ideal
+        // plane's shared-row fast path is kept until the timeline first
+        // needs them; the mid-run fan-out is behavior-identical (see
+        // `CommunicationPlane::enable_per_node_rows`).
+        if self.uses_cp && self.faults.has_cp_faults() {
+            self.cp.enable_per_node_rows();
+        }
+        Ok(())
     }
 }
 
@@ -737,6 +929,42 @@ fn ttl_filtered_view(
 impl RoundPhases for Driver {
     fn has_faults(&self) -> bool {
         !self.faults.is_empty()
+    }
+
+    fn has_injections(&self) -> bool {
+        !self.injections.is_empty()
+    }
+
+    fn inject_phase(&mut self, now: SimTime) {
+        // Drain everything due this round, in queue order. Arrivals are
+        // spliced into the trace exactly where a batch run would have
+        // sorted them: at the upper bound of `(arrival, device)`, which
+        // is always at or past the delivery cursor because an event's
+        // absorbing round starts after every already-delivered arrival.
+        while matches!(self.injections.front(), Some((r, _)) if *r <= self.rounds) {
+            let (_, injection) = self.injections.pop_front().expect("front checked");
+            match injection {
+                Injection::Arrival(req) => {
+                    let key = (req.arrival, req.device);
+                    let idx = self
+                        .requests
+                        .partition_point(|r| (r.arrival, r.device) <= key)
+                        .max(self.next_request);
+                    self.requests.insert(idx, req);
+                }
+                Injection::Completion(device) => {
+                    // The DI's own interlock arbitrates: a minDCD-unsafe
+                    // early-off is refused (and counted), a completed
+                    // instance simply turns off.
+                    self.dis[device.index()].command(now, false);
+                }
+                Injection::CapChange(cap) => {
+                    for planner in &mut self.planners {
+                        planner.set_admission_cap(cap.clone(), now);
+                    }
+                }
+            }
+        }
     }
 
     fn fault_phase(&mut self, now: SimTime) {

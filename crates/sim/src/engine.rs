@@ -71,6 +71,13 @@ pub trait World {
 
 struct Scheduled<E> {
     at: SimTime,
+    /// Same-instant tie-break key. Normal scheduling draws monotone keys
+    /// from the upper half of the key space (FIFO); front splicing
+    /// ([`Engine::schedule_front`]) draws monotone keys from the lower
+    /// half, so every spliced event sorts before every normally scheduled
+    /// event at the same instant while splices keep FIFO among
+    /// themselves.
+    key: u64,
     /// Monotone schedule order; doubles as the event's [`EventId`] value.
     seq: u64,
     event: E,
@@ -88,11 +95,16 @@ impl<E> PartialOrd for Scheduled<E> {
     }
 }
 impl<E> Ord for Scheduled<E> {
-    // Reversed so that the std max-heap pops the earliest (time, seq) first.
+    // Reversed so that the std max-heap pops the earliest (time, key) first.
     fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        (other.at, other.key).cmp(&(self.at, self.key))
     }
 }
+
+/// Keys at or above this mark belong to normal FIFO scheduling; keys
+/// below it to front splicing. Both counters are bounded by the number of
+/// events ever scheduled, so neither half can overflow into the other.
+const NORMAL_KEY_BASE: u64 = 1 << 63;
 
 /// A deterministic discrete-event engine over event payloads of type `E`.
 ///
@@ -101,6 +113,8 @@ pub struct Engine<E> {
     now: SimTime,
     queue: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
+    /// Next lower-half tie-break key handed to [`Engine::schedule_front`].
+    next_front_key: u64,
     /// `states[seq]` is the exact lifecycle state of event `seq`. Grows by
     /// one byte per scheduled event — bounded by the run length, and the
     /// price of exact `cancel`/`pending` answers with plain array reads on
@@ -134,6 +148,7 @@ impl<E> Engine<E> {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
             next_seq: 0,
+            next_front_key: 0,
             states: Vec::new(),
             live: 0,
             fired: 0,
@@ -177,6 +192,7 @@ impl<E> Engine<E> {
         let id = EventId(self.next_seq);
         self.queue.push(Scheduled {
             at,
+            key: NORMAL_KEY_BASE + self.next_seq,
             seq: self.next_seq,
             event,
         });
@@ -189,6 +205,42 @@ impl<E> Engine<E> {
     /// Schedules `event` to fire `delay` after the current instant.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
         self.schedule_at(self.now + delay, event)
+    }
+
+    /// Splices `event` in *front* of the same-instant queue: it fires at
+    /// `at` before every event already scheduled (or later scheduled
+    /// normally) for that instant. Front-spliced events keep FIFO order
+    /// among themselves.
+    ///
+    /// This is the external-injection hook: a handler reacting to
+    /// out-of-band input can insert a phase that, by the world's own
+    /// ordering contract, belongs *before* work that is already queued —
+    /// without cancelling and rebuilding the instant's chain. Everything
+    /// stays deterministic: the spliced order is a pure function of the
+    /// call sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current instant.
+    pub fn schedule_front(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={} at={}",
+            self.now,
+            at
+        );
+        let id = EventId(self.next_seq);
+        self.queue.push(Scheduled {
+            at,
+            key: self.next_front_key,
+            seq: self.next_seq,
+            event,
+        });
+        self.next_front_key += 1;
+        self.states.push(EventState::Pending);
+        self.live += 1;
+        self.next_seq += 1;
+        id
     }
 
     /// Cancels a pending event.
@@ -519,6 +571,65 @@ mod tests {
             vec![9, 10, 11, 12],
             "schedule order, not call style, decides same-instant firing"
         );
+    }
+
+    #[test]
+    fn schedule_front_preempts_same_instant_fifo() {
+        let mut engine = Engine::new();
+        let mut world = Recorder::default();
+        let t = SimTime::from_secs(3);
+        engine.schedule_at(t, Ev::A);
+        engine.schedule_at(t, Ev::B);
+        // Spliced last, fires first; a second splice fires after the
+        // first (FIFO among splices) but still before the normal queue.
+        engine.schedule_front(t, Ev::Chain(0));
+        engine.schedule_front(t, Ev::B);
+        engine.run_to_completion(&mut world);
+        assert_eq!(
+            world.seen.iter().map(|(_, e)| *e).collect::<Vec<_>>(),
+            vec![Ev::Chain(0), Ev::B, Ev::A, Ev::B],
+        );
+    }
+
+    #[test]
+    fn schedule_front_from_a_handler_preempts_the_instant_being_drained() {
+        // A handler reacting to event 0 splices a new event into the
+        // *current* instant: it must fire before the normally scheduled
+        // events of that instant that have not yet fired.
+        struct Splicer {
+            seen: Vec<u32>,
+        }
+        impl World for Splicer {
+            type Event = u32;
+            fn handle(&mut self, engine: &mut Engine<u32>, at: SimTime, ev: u32) {
+                self.seen.push(ev);
+                if ev == 0 {
+                    engine.schedule_front(at, 99);
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        let mut world = Splicer { seen: Vec::new() };
+        let t = SimTime::from_secs(1);
+        engine.schedule_at(t, 0);
+        engine.schedule_at(t, 1);
+        engine.schedule_at(t, 2);
+        engine.run_to_completion(&mut world);
+        assert_eq!(world.seen, vec![0, 99, 1, 2]);
+    }
+
+    #[test]
+    fn schedule_front_is_cancellable_and_counted() {
+        let mut engine: Engine<Ev> = Engine::new();
+        let t = SimTime::from_secs(2);
+        engine.schedule_at(t, Ev::A);
+        let front = engine.schedule_front(t, Ev::B);
+        assert_eq!(engine.pending(), 2);
+        assert!(engine.cancel(front));
+        assert_eq!(engine.pending(), 1);
+        let mut world = Recorder::default();
+        engine.run_to_completion(&mut world);
+        assert_eq!(world.seen, vec![(t, Ev::A)]);
     }
 
     #[test]

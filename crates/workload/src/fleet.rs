@@ -116,6 +116,18 @@ pub enum ScenarioError {
         /// What was wrong with the plan.
         reason: String,
     },
+    /// A replay trace was structurally invalid (a timestamp outside the
+    /// simulated window; monotonicity is enforced by construction).
+    InvalidTrace {
+        /// What was wrong with the trace.
+        reason: String,
+    },
+    /// A telemetry-event spec failed to parse or referenced an impossible
+    /// instant/device (the online ingest grammar; see `telemetry`).
+    InvalidTelemetry {
+        /// What was wrong with the spec.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -200,6 +212,12 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::InvalidFaultPlan { reason } => {
                 write!(f, "invalid fault plan: {reason}")
+            }
+            ScenarioError::InvalidTrace { reason } => {
+                write!(f, "invalid request trace: {reason}")
+            }
+            ScenarioError::InvalidTelemetry { reason } => {
+                write!(f, "invalid telemetry event: {reason}")
             }
         }
     }

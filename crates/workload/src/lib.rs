@@ -14,7 +14,11 @@
 //!   the validating [`scenario::ScenarioBuilder`]; the paper's exact
 //!   evaluation setup ([`scenario::Scenario::paper`]: 26 × 1 kW devices,
 //!   15/30 min constraints, 350 min, rates 4 / 18 / 30 per hour) and the
-//!   time-of-day [`scenario::Scenario::typical_day`] are one-line presets.
+//!   time-of-day [`scenario::Scenario::typical_day`] are one-line presets;
+//! * [`telemetry`] — externally observed events
+//!   ([`telemetry::TelemetryEvent`]: arrivals, early releases, cap/tariff
+//!   changes, churn and blackouts) with the text grammar the online
+//!   service mode in `han-core` ingests and replays.
 //!
 //! # Examples
 //!
@@ -57,9 +61,11 @@ pub mod fleet;
 pub mod household;
 pub mod scenario;
 pub mod signal;
+pub mod telemetry;
 
 pub use arrivals::{burst, PoissonArrivals, TraceArrivals};
 pub use fleet::{DeviceClass, DeviceSpec, FleetSpec, ScenarioError};
 pub use household::{generate_household, DailyProfile};
-pub use scenario::{ArrivalRate, Scenario, ScenarioBuilder, Workload};
+pub use scenario::{validate_trace_window, ArrivalRate, Scenario, ScenarioBuilder, Workload};
 pub use signal::PowerCapProfile;
+pub use telemetry::{validate_telemetry, TelemetryEvent};

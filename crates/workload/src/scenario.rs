@@ -12,7 +12,7 @@ use crate::fleet::{DeviceClass, FleetSpec, ScenarioError};
 use crate::household::{generate_household, DailyProfile};
 use crate::signal::PowerCapProfile;
 use han_device::request::Request;
-use han_sim::time::SimDuration;
+use han_sim::time::{SimDuration, SimTime};
 use std::fmt;
 
 /// The paper's three arrival-rate regimes.
@@ -239,8 +239,50 @@ impl Scenario {
         if self.duration.is_zero() {
             return Err(ScenarioError::ZeroDuration);
         }
+        if let Workload::Trace(trace) = &self.workload {
+            validate_trace_window(trace.requests(), self.duration)?;
+        }
         Ok(())
     }
+}
+
+/// Checks a fixed request trace against the simulated window: arrivals must
+/// be monotone non-decreasing and land within `[0, duration]`.
+///
+/// [`TraceArrivals`] sorts on construction, so traces built through it are
+/// monotone already — the check guards direct field edits (a `Scenario`
+/// whose `workload` was swapped in place) and the online ingest path, which
+/// replays externally supplied arrivals under the same contract.
+///
+/// # Errors
+///
+/// [`ScenarioError::InvalidTrace`] naming the first offending arrival.
+pub fn validate_trace_window(
+    requests: &[Request],
+    duration: SimDuration,
+) -> Result<(), ScenarioError> {
+    let end = SimTime::ZERO + duration;
+    let mut last = SimTime::ZERO;
+    for r in requests {
+        if r.arrival < last {
+            return Err(ScenarioError::InvalidTrace {
+                reason: format!(
+                    "arrival {} for {} precedes an earlier arrival {}",
+                    r.arrival, r.device, last
+                ),
+            });
+        }
+        if r.arrival > end {
+            return Err(ScenarioError::InvalidTrace {
+                reason: format!(
+                    "arrival {} for {} is outside the simulated window (ends {})",
+                    r.arrival, r.device, end
+                ),
+            });
+        }
+        last = r.arrival;
+    }
+    Ok(())
 }
 
 /// Validating builder for [`Scenario`].
@@ -536,6 +578,45 @@ mod tests {
         assert_eq!(reqs[0].device, DeviceId(0));
         // Mean rate of a trace: 2 requests over 0.5 h = 4/h.
         assert!((s.workload.mean_rate_per_hour(s.duration) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_outside_window_rejected() {
+        let trace = TraceArrivals::new(vec![
+            Request::new(DeviceId(0), SimTime::from_mins(5)),
+            Request::new(DeviceId(1), SimTime::from_mins(45)),
+        ]);
+        let err = Scenario::builder("late replay")
+            .class(DeviceClass::paper(2))
+            .workload(Workload::Trace(trace))
+            .duration(SimDuration::from_mins(30))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidTrace { .. }));
+        assert!(err.to_string().contains("outside the simulated window"));
+        // An arrival exactly at the window end is legal (inclusive bound,
+        // matching the simulation's inclusive final round).
+        let trace = TraceArrivals::new(vec![Request::new(DeviceId(0), SimTime::from_mins(30))]);
+        assert!(Scenario::builder("edge replay")
+            .class(DeviceClass::paper(1))
+            .workload(Workload::Trace(trace))
+            .duration(SimDuration::from_mins(30))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn trace_window_helper_rejects_unsorted_slices() {
+        // TraceArrivals sorts, but the helper also guards raw slices fed
+        // through the online ingest path.
+        let reqs = vec![
+            Request::new(DeviceId(0), SimTime::from_mins(10)),
+            Request::new(DeviceId(1), SimTime::from_mins(5)),
+        ];
+        let err = validate_trace_window(&reqs, SimDuration::from_mins(30)).unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidTrace { .. }));
+        assert!(err.to_string().contains("precedes"));
+        assert!(validate_trace_window(&[], SimDuration::from_mins(1)).is_ok());
     }
 
     #[test]

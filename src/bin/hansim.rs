@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! Usage: hansim [OPTIONS]
+//!        hansim serve [OPTIONS]   long-lived online service mode (below)
 //!   --rate <low|moderate|high|N>   aggregate request rate (default: high)
 //!   --workload <poisson|daily>     arrival process (default: poisson;
 //!                                  daily = time-of-day household profile,
@@ -49,12 +50,41 @@
 //!   --csv                          per-minute series as CSV (single home:
 //!                                  per-strategy loads; neighborhood: the
 //!                                  feeder aggregate per policy)
+//!
+//! Serve mode (`hansim serve`) runs one single-home scenario as a
+//! daemon: simulated time advances against the chosen pace, telemetry
+//! can be injected while it runs, and a newline-delimited TCP protocol
+//! (STATUS / SCHEDULE / FEEDER / INJECT / ADVANCE / CHECKPOINT /
+//! SHUTDOWN) answers queries. Scenario flags (--rate, --workload,
+//! --minutes, --devices, --cp, --engine, --faults, --stale-ttl, --seed)
+//! apply as above; --strategy must name a single strategy (default:
+//! coordinated). Serve-specific flags:
+//!
+//!   --listen <ADDR>                serve the protocol on ADDR (e.g.
+//!                                  127.0.0.1:7788); without it, serve
+//!                                  runs in replay mode and exits at the
+//!                                  end of the window
+//!   --replay <FILE>                ingest a telemetry script up front
+//!                                  (same grammar as INJECT) — a replayed
+//!                                  run is byte-identical to a batch run
+//!                                  whose trace carried the same events
+//!   --checkpoint <PATH>            where snapshots go (CHECKPOINT with
+//!                                  no path, and auto-checkpoints)
+//!   --checkpoint-every <MIN>       auto-checkpoint every MIN simulated
+//!                                  minutes (atomic rename into --checkpoint)
+//!   --restore <PATH>               resume a killed daemon from its last
+//!                                  snapshot; the finished report is
+//!                                  byte-identical to an uninterrupted run
+//!   --pace-us <N>                  one simulated round per N wall µs
+//!                                  (2000000 = real time; default: free-run)
+//!   --manual                       advance only on ADVANCE commands
 //! ```
 
 use smart_han::core::experiment::{
     build_simulation, run_strategy_faulted, summarize_outcome, SAMPLE_INTERVAL,
 };
 use smart_han::core::feeder::{FeederPolicy, FeederReport, FeederSignal};
+use smart_han::core::online::{serve, OnlineDriver, OnlineError, Pace, ServeOptions};
 use smart_han::metrics::report::series_csv;
 use smart_han::metrics::tariff::{Billing, CostBreakdown};
 use smart_han::prelude::*;
@@ -86,6 +116,8 @@ enum CliError {
     Checkpoint(CheckpointError),
     /// A checkpoint file could not be read or written.
     Io { path: String, error: std::io::Error },
+    /// The online service reported a typed failure (serve mode).
+    Online(OnlineError),
 }
 
 impl fmt::Display for CliError {
@@ -102,6 +134,7 @@ impl fmt::Display for CliError {
             CliError::Scenario(e) => write!(f, "{e}"),
             CliError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
             CliError::Io { path, error } => write!(f, "{path}: {error}"),
+            CliError::Online(e) => write!(f, "serve: {e}"),
         }
     }
 }
@@ -109,6 +142,12 @@ impl fmt::Display for CliError {
 impl From<ScenarioError> for CliError {
     fn from(e: ScenarioError) -> Self {
         CliError::Scenario(e)
+    }
+}
+
+impl From<OnlineError> for CliError {
+    fn from(e: OnlineError) -> Self {
+        CliError::Online(e)
     }
 }
 
@@ -671,7 +710,254 @@ fn run_neighborhood(args: &Args, scenario: &Scenario) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Serve-mode arguments: the single-home scenario flags plus the
+/// daemon-specific ones.
+struct ServeArgs {
+    rate: f64,
+    workload: String,
+    strategy: String,
+    cp: CpModel,
+    engine: EngineKind,
+    minutes: u64,
+    devices: usize,
+    faults: FaultPlan,
+    stale_ttl: Option<u32>,
+    seed: u64,
+    listen: Option<String>,
+    replay: Option<String>,
+    checkpoint: Option<String>,
+    checkpoint_every_min: Option<u64>,
+    restore: Option<String>,
+    pace_us: Option<u64>,
+    manual: bool,
+}
+
+fn parse_serve_args() -> Result<ServeArgs, CliError> {
+    let mut args = ServeArgs {
+        rate: 30.0,
+        workload: "poisson".into(),
+        strategy: "coordinated".into(),
+        cp: CpModel::Ideal,
+        engine: EngineKind::Round,
+        minutes: 350,
+        devices: 26,
+        faults: FaultPlan::empty(),
+        stale_ttl: None,
+        seed: 0,
+        listen: None,
+        replay: None,
+        checkpoint: None,
+        checkpoint_every_min: None,
+        restore: None,
+        pace_us: None,
+        manual: false,
+    };
+    let mut cp_choice = CpChoice::Ideal;
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &'static str| it.next().ok_or(CliError::MissingValue { flag: name });
+        match flag.as_str() {
+            "--rate" => args.rate = parse_num(&value("--rate")?, "--rate")?,
+            "--workload" => {
+                let v = value("--workload")?;
+                match v.as_str() {
+                    "poisson" | "daily" => args.workload = v,
+                    other => {
+                        return Err(CliError::Invalid {
+                            flag: "--workload",
+                            value: other.to_string(),
+                            expected: "poisson|daily",
+                        })
+                    }
+                }
+            }
+            "--strategy" => {
+                let v = value("--strategy")?;
+                match v.as_str() {
+                    "coordinated" | "uncoordinated" | "centralized" => args.strategy = v,
+                    other => {
+                        return Err(CliError::Invalid {
+                            flag: "--strategy",
+                            value: other.to_string(),
+                            expected: "a single strategy (serve holds one simulation's state)",
+                        })
+                    }
+                }
+            }
+            "--cp" => {
+                let v = value("--cp")?;
+                cp_choice = if v == "ideal" {
+                    CpChoice::Ideal
+                } else if let Some(p) = v.strip_prefix("lossy:") {
+                    CpChoice::Lossy(p.parse().map_err(|_| CliError::Invalid {
+                        flag: "--cp",
+                        value: v.clone(),
+                        expected: "ideal|lossy:P",
+                    })?)
+                } else {
+                    return Err(CliError::Invalid {
+                        flag: "--cp",
+                        value: v,
+                        expected: "ideal|lossy:P (serve mode)",
+                    });
+                };
+            }
+            "--engine" => {
+                let v = value("--engine")?;
+                args.engine = EngineKind::from_flag(&v).ok_or(CliError::Invalid {
+                    flag: "--engine",
+                    value: v,
+                    expected: "round|event",
+                })?;
+            }
+            "--minutes" => args.minutes = parse_num(&value("--minutes")?, "--minutes")?,
+            "--devices" => args.devices = parse_num(&value("--devices")?, "--devices")?,
+            "--faults" => {
+                let v = value("--faults")?;
+                args.faults = FaultPlan::parse(&v).map_err(|_| CliError::Invalid {
+                    flag: "--faults",
+                    value: v,
+                    expected: "e.g. \"down:3@10; up:3@40; outage:60-65\"",
+                })?;
+            }
+            "--stale-ttl" => {
+                args.stale_ttl = Some(parse_num(&value("--stale-ttl")?, "--stale-ttl")?)
+            }
+            "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")?,
+            "--listen" => args.listen = Some(value("--listen")?),
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?),
+            "--checkpoint-every" => {
+                args.checkpoint_every_min = Some(parse_num(
+                    &value("--checkpoint-every")?,
+                    "--checkpoint-every",
+                )?)
+            }
+            "--restore" => args.restore = Some(value("--restore")?),
+            "--pace-us" => args.pace_us = Some(parse_num(&value("--pace-us")?, "--pace-us")?),
+            "--manual" => args.manual = true,
+            "--help" | "-h" => return Err(CliError::Usage),
+            other => {
+                return Err(CliError::UnknownFlag {
+                    flag: other.to_string(),
+                })
+            }
+        }
+    }
+    args.cp = cp_choice.build(args.seed);
+    Ok(args)
+}
+
+/// The serve-mode final report, printed when the window completes.
+///
+/// Deliberately *excludes* the engine event count: a daemon restored
+/// from a snapshot does not replay already-executed rounds, so only
+/// that counter may differ — everything printed here is byte-identical
+/// between an uninterrupted run and a kill/restore one (the daemon
+/// smoke test compares these lines verbatim).
+fn serve_report(outcome: smart_han::core::SimulationOutcome, minutes: u64) -> String {
+    let r = summarize_outcome(outcome, SimDuration::from_mins(minutes));
+    format!(
+        "serve report: rounds={} digest={:016x} delivered={} served={} misses={} \
+         refused={} divergent={} peak_kw={:.3} energy_kwh={:.3}",
+        r.outcome.rounds,
+        r.outcome.schedule_digest,
+        r.outcome.requests_delivered,
+        r.outcome.windows_served,
+        r.outcome.deadline_misses,
+        r.outcome.refused_early_off,
+        r.outcome.divergent_rounds,
+        r.summary.peak,
+        r.outcome.energy_kwh,
+    )
+}
+
+fn run_serve() -> Result<(), CliError> {
+    let args = parse_serve_args()?;
+    if args.listen.is_none() && args.replay.is_none() && args.restore.is_none() {
+        return Err(CliError::Invalid {
+            flag: "--listen",
+            value: "absent".into(),
+            expected: "--listen ADDR, --replay FILE or --restore PATH (serve needs a driver)",
+        });
+    }
+    if args.checkpoint_every_min.is_some() && args.checkpoint.is_none() {
+        return Err(CliError::Invalid {
+            flag: "--checkpoint-every",
+            value: "without --checkpoint".into(),
+            expected: "--checkpoint PATH to name the snapshot file",
+        });
+    }
+    let scenario = Scenario::builder(format!("serve {}/h", args.rate))
+        .class(DeviceClass::paper(args.devices))
+        .workload(match args.workload.as_str() {
+            "daily" => Workload::Daily(DailyProfile::typical_household()),
+            _ => Workload::Poisson {
+                rate_per_hour: args.rate,
+            },
+        })
+        .duration(SimDuration::from_mins(args.minutes))
+        .seed(args.seed)
+        .build()?;
+    let sim = build_simulation(
+        &scenario,
+        strategy_by_name(&args.strategy),
+        args.cp.clone(),
+        args.engine,
+        &args.faults,
+        args.stale_ttl,
+    )?;
+
+    let driver = match &args.restore {
+        Some(path) => OnlineDriver::load(sim, std::path::Path::new(path))?,
+        None => OnlineDriver::new(sim),
+    };
+
+    let replay = match &args.replay {
+        Some(path) => {
+            let spec = std::fs::read_to_string(path).map_err(|error| CliError::Io {
+                path: path.clone(),
+                error,
+            })?;
+            smart_han::workload::telemetry::TelemetryEvent::parse_script(&spec)?
+        }
+        None => Vec::new(),
+    };
+
+    // Simulated minutes → rounds: one round per period (2 s).
+    let rounds_per_min = 60_000_000 / SimDuration::from_secs(2).as_micros();
+    let options = ServeOptions {
+        listen: args.listen.clone(),
+        replay,
+        checkpoint_path: args.checkpoint.as_ref().map(std::path::PathBuf::from),
+        checkpoint_every_rounds: args
+            .checkpoint_every_min
+            .map(|m| (m * rounds_per_min).max(1)),
+        pace: if args.manual {
+            Pace::Manual
+        } else if let Some(us) = args.pace_us {
+            Pace::Wall { us_per_round: us }
+        } else {
+            Pace::Free
+        },
+    };
+    if let Some(addr) = &args.listen {
+        eprintln!("hansim serve: listening on {addr}");
+    }
+    match serve(driver, &options)? {
+        Some(outcome) => println!("{}", serve_report(outcome, args.minutes)),
+        None => eprintln!("hansim serve: shut down mid-window (state in last checkpoint)"),
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        return match run_serve() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => return fail(&e),
@@ -701,7 +987,10 @@ fn fail(error: &CliError) -> ExitCode {
          [--cp ideal|lossy:P|ge:PGB,PBG|packet] [--engine round|event] [--minutes N] \
          [--devices N] [--homes N] [--feeder cap:KW|tou|congestion[:U]] \
          [--faults SPEC] [--stale-ttl N] [--checkpoint PATH] [--restore PATH] \
-         [--seed N] [--csv]"
+         [--seed N] [--csv]\n       \
+         hansim serve [scenario flags] [--listen ADDR] [--replay FILE] \
+         [--checkpoint PATH] [--checkpoint-every MIN] [--restore PATH] \
+         [--pace-us N] [--manual]"
     );
     ExitCode::FAILURE
 }

@@ -116,6 +116,7 @@ pub mod prelude {
         IterationPolicy, StopReason,
     };
     pub use han_core::neighborhood::{Home, HomeResult, Neighborhood, NeighborhoodReport};
+    pub use han_core::online::{serve, OnlineDriver, OnlineError, Pace, ServeOptions};
     pub use han_core::{
         Checkpoint, CheckpointError, FaultEvent, FaultPlan, HanSimulation, PlanConfig,
         SchedulingRule, SimulationConfig, SimulationOutcome, Strategy,
@@ -133,6 +134,6 @@ pub mod prelude {
     pub use han_st::StConfig;
     pub use han_workload::{
         ArrivalRate, DailyProfile, DeviceClass, FleetSpec, PoissonArrivals, PowerCapProfile,
-        Scenario, ScenarioBuilder, ScenarioError, Workload,
+        Scenario, ScenarioBuilder, ScenarioError, TelemetryEvent, Workload,
     };
 }

@@ -1,0 +1,235 @@
+//! Daemon smoke tests of `hansim serve` — the online service mode,
+//! end to end over a real loopback socket.
+//!
+//! The headline contract, exercised exactly as an operator would hit
+//! it: serve a scenario on loopback, inject telemetry over the wire,
+//! query `STATUS` / `SCHEDULE` / `FEEDER`, let the auto-checkpoint
+//! cadence snapshot the state, **kill the daemon with no warning**,
+//! restore a fresh process from the last snapshot, and finish the
+//! window. The finished report must be **byte-identical** to an
+//! uninterrupted replay-mode run of the same telemetry — the serve
+//! report deliberately excludes the engine event count, the one field
+//! the restore contract exempts.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// The telemetry every run ingests: two arrivals, a cap change, an
+/// early release (refused by the minDCD interlock — visible as
+/// `refused=1` in the report).
+const TELEMETRY: &str = "arrive:3@2; arrive:5@4; cap:10@6; done:3@8";
+
+const SCENARIO: &[&str] = &["--minutes", "20", "--devices", "8", "--rate", "6"];
+
+fn hansim_cmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hansim"))
+}
+
+/// Grabs a free loopback port (bind-then-drop; the daemon rebinds it).
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .expect("loopback bind")
+        .local_addr()
+        .expect("local addr")
+        .port()
+}
+
+/// Connects to the daemon, retrying while it boots.
+fn connect(port: u16) -> TcpStream {
+    let addr = format!("127.0.0.1:{port}");
+    for _ in 0..100 {
+        if let Ok(stream) = TcpStream::connect(&addr) {
+            return stream;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("daemon never came up on {addr}");
+}
+
+/// One request/reply exchange on the protocol.
+fn roundtrip(reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    reader
+        .get_mut()
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("send command");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read reply");
+    reply.trim_end().to_string()
+}
+
+fn spawn_daemon(port: u16, extra: &[&str]) -> Child {
+    hansim_cmd()
+        .arg("serve")
+        .args(SCENARIO)
+        .args(["--listen", &format!("127.0.0.1:{port}"), "--manual"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns")
+}
+
+fn wait_report(child: Child) -> String {
+    let out = child.wait_with_output().expect("daemon exits");
+    assert!(out.status.success(), "daemon failed: {out:?}");
+    String::from_utf8(out.stdout).expect("utf-8 report")
+}
+
+/// The uninterrupted reference: replay mode ingests the same telemetry
+/// up front and runs the window out with no socket.
+fn replay_reference(dir: &std::path::Path) -> String {
+    let script = dir.join("telemetry.txt");
+    std::fs::write(&script, TELEMETRY).expect("write telemetry");
+    let out = hansim_cmd()
+        .arg("serve")
+        .args(SCENARIO)
+        .args(["--replay", script.to_str().expect("utf-8 path")])
+        .output()
+        .expect("replay run");
+    assert!(out.status.success(), "replay run failed: {out:?}");
+    String::from_utf8(out.stdout).expect("utf-8 report")
+}
+
+#[test]
+fn daemon_kill_and_restore_report_is_byte_identical() {
+    let dir = std::env::temp_dir().join("hansim-cli-serve");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ck = dir.join("daemon.ck");
+    let ck_str = ck.to_str().expect("utf-8 path");
+    let _ = std::fs::remove_file(&ck);
+
+    let reference = replay_reference(&dir);
+    assert!(
+        reference.starts_with("serve report: rounds=601 "),
+        "unexpected reference report: {reference}"
+    );
+
+    // Phase 1: daemon with a 5-simulated-minute auto-checkpoint cadence.
+    let port = free_port();
+    let mut daemon = spawn_daemon(port, &["--checkpoint", ck_str, "--checkpoint-every", "5"]);
+    let mut client = BufReader::new(connect(port));
+
+    let inject = roundtrip(&mut client, &format!("INJECT {TELEMETRY}"));
+    assert_eq!(inject, "OK ingested=4 round=0", "inject reply");
+
+    let status = roundtrip(&mut client, "STATUS");
+    assert!(
+        status.starts_with("OK round=0/601 "),
+        "status reply: {status}"
+    );
+    let schedule = roundtrip(&mut client, "SCHEDULE 3");
+    assert!(
+        schedule.starts_with("OK node=3 "),
+        "schedule reply: {schedule}"
+    );
+    let feeder = roundtrip(&mut client, "FEEDER");
+    assert!(feeder.starts_with("OK cap_kw="), "feeder reply: {feeder}");
+
+    // Advance past two auto-checkpoint boundaries (5 min = 150 rounds).
+    let advance = roundtrip(&mut client, "ADVANCE 400");
+    assert_eq!(advance, "OK round=400/601 finished=false");
+    assert!(
+        std::fs::metadata(&ck).map(|m| m.len() > 0).unwrap_or(false),
+        "auto-checkpoint must exist after crossing the cadence"
+    );
+
+    // Errors are typed, and the connection survives them.
+    let err = roundtrip(&mut client, "SCHEDULE 99");
+    assert!(err.starts_with("ERR node 99 outside the fleet"), "{err}");
+    let stale = roundtrip(&mut client, "INJECT arrive:1@2");
+    assert!(stale.starts_with("ERR stale event"), "{stale}");
+
+    // Phase 2: kill without warning; the last auto-checkpoint (round
+    // 300) is all that survives.
+    daemon.kill().expect("kill daemon");
+    let _ = daemon.wait();
+
+    // Phase 3: restore a fresh daemon and run the window out.
+    let port = free_port();
+    let daemon = spawn_daemon(port, &["--restore", ck_str]);
+    let mut client = BufReader::new(connect(port));
+    let status = roundtrip(&mut client, "STATUS");
+    assert!(
+        status.starts_with("OK round=300/601 "),
+        "restored at the last auto-checkpoint: {status}"
+    );
+    let advance = roundtrip(&mut client, "ADVANCE end");
+    assert_eq!(advance, "OK round=601/601 finished=true");
+    assert_eq!(roundtrip(&mut client, "SHUTDOWN"), "OK bye");
+    drop(client);
+
+    let report = wait_report(daemon);
+    assert_eq!(
+        report, reference,
+        "kill/restore report must byte-match the uninterrupted run"
+    );
+}
+
+#[test]
+fn replay_mode_is_engine_blind() {
+    let dir = std::env::temp_dir().join("hansim-cli-serve-engines");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let script = dir.join("telemetry.txt");
+    std::fs::write(&script, TELEMETRY).expect("write telemetry");
+    let script = script.to_str().expect("utf-8 path");
+
+    let mut reports = Vec::new();
+    for engine in ["round", "event"] {
+        let out = hansim_cmd()
+            .arg("serve")
+            .args(SCENARIO)
+            .args(["--replay", script, "--engine", engine])
+            .output()
+            .expect("replay run");
+        assert!(out.status.success(), "replay on {engine} failed: {out:?}");
+        reports.push(String::from_utf8(out.stdout).expect("utf-8 report"));
+    }
+    assert_eq!(
+        reports[0], reports[1],
+        "replayed telemetry must be engine-blind"
+    );
+}
+
+#[test]
+fn serve_misuse_fails_through_typed_errors() {
+    // No driver at all: serve needs --listen, --replay or --restore.
+    let out = hansim_cmd()
+        .arg("serve")
+        .args(SCENARIO)
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--listen"), "names the missing flag: {err}");
+
+    // Auto-cadence without a snapshot path.
+    let out = hansim_cmd()
+        .arg("serve")
+        .args(SCENARIO)
+        .args(["--listen", "127.0.0.1:1", "--checkpoint-every", "5"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--checkpoint"),
+        "names the missing flag: {err}"
+    );
+
+    // Replaying telemetry that overruns the window is a typed error.
+    let dir = std::env::temp_dir().join("hansim-cli-serve-misuse");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let script = dir.join("late.txt");
+    std::fs::write(&script, "arrive:1@500").expect("write telemetry");
+    let out = hansim_cmd()
+        .arg("serve")
+        .args(SCENARIO)
+        .args(["--replay", script.to_str().expect("utf-8 path")])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("beyond the simulated horizon"), "{err}");
+}
