@@ -40,7 +40,12 @@
 //!   batch loop asserted, throughput parity gated, raw ingest events/s,
 //!   the latency of the first round after a cap injection (the
 //!   memo-invalidating incremental re-plan, gated below the 2 s round
-//!   period), and the `HANSRV01` snapshot size.
+//!   period), and the `HANSRV01` snapshot size,
+//! * **observability**: the `han-obs` instrumentation's cost with no
+//!   sink attached (must be invisible) and with the full registry +
+//!   flight-recorder sink (gated ≤5% on committed full runs), digest
+//!   equality with the plain run asserted, Prometheus exposition
+//!   validated.
 //!
 //! Run with: `cargo run --release -p han-bench --bin perf`
 //!
@@ -52,22 +57,58 @@
 
 use han_core::cp::CpModel;
 use han_core::experiment::{
-    compare_many, compare_seeds, run_strategy, run_strategy_faulted, run_strategy_on,
-    run_strategy_reference, StrategyResult,
+    build_simulation, compare_many, compare_seeds, run_strategy, run_strategy_faulted,
+    run_strategy_on, run_strategy_reference, StrategyResult,
 };
 use han_core::feeder::{FeederPolicy, FeederSignal};
 use han_core::neighborhood::Neighborhood;
 use han_core::online::OnlineDriver;
 use han_core::{EngineKind, FaultPlan, HanSimulation, SimulationConfig, Strategy};
+use han_obs::{Obs, ObsConfig, ObsSink};
 use han_sim::time::{SimDuration, SimTime};
 use han_workload::fleet::{FleetSpec, ScenarioError};
 use han_workload::scenario::{ArrivalRate, Scenario};
 use han_workload::signal::PowerCapProfile;
 use han_workload::telemetry::TelemetryEvent;
 use han_workload::PoissonArrivals;
+use std::sync::Arc;
 use std::time::Instant;
 
 const SWEEP_SEEDS: std::ops::Range<u64> = 0..6;
+
+/// Asserts `text` is well-formed Prometheus text exposition: every line
+/// is a `# HELP`/`# TYPE` annotation or a `name value` sample whose
+/// value parses as a finite number.
+fn assert_exposition_parses(text: &str) -> usize {
+    let mut samples = 0;
+    for line in text.lines() {
+        if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(' ')
+            .unwrap_or_else(|| panic!("exposition line without a value: {line:?}"));
+        assert!(
+            !name.is_empty()
+                && name.chars().all(|c| c.is_ascii_alphanumeric()
+                    || c == '_'
+                    || c == '{'
+                    || c == '}'
+                    || c == '"'
+                    || c == '='
+                    || c == '.'
+                    || c == '+'),
+            "malformed metric name in {line:?}"
+        );
+        let parsed: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("non-numeric sample value in {line:?}"));
+        assert!(parsed.is_finite(), "non-finite sample value in {line:?}");
+        samples += 1;
+    }
+    assert!(samples > 0, "exposition carried no samples");
+    samples
+}
 
 /// Median wall-clock seconds of `runs` invocations of `f`.
 fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
@@ -508,6 +549,64 @@ fn main() -> Result<(), ScenarioError> {
         "cap-injection re-plan took {replan_ms:.1} ms — the daemon cannot keep real-time pace"
     );
 
+    // Observability: the han-obs instrumentation must be invisible when
+    // no sink is attached (the default — the identical code path every
+    // number above measures) and near-free with the full production sink
+    // attached (registry + flight recorder; span tracing stays off here:
+    // it is diagnostic wall-clock by design and excluded from the gate).
+    // Digest equality with the plain run is asserted — the inertness
+    // contract prop_obs.rs pins — and the exposition must parse as
+    // Prometheus text.
+    let run_observed = |observer: Option<Arc<ObsSink>>| {
+        let mut sim = build_simulation(
+            &scenario,
+            Strategy::coordinated(),
+            CpModel::Ideal,
+            EngineKind::Round,
+            &FaultPlan::empty(),
+            None,
+        )
+        .expect("paper scenario is valid");
+        sim.set_reference_planning(false);
+        if let Some(sink) = observer {
+            sim.set_observer(Obs::new(sink));
+        }
+        sim.run()
+    };
+    let obs_sink = Arc::new(ObsSink::new(ObsConfig::default()));
+    let observed = run_observed(Some(obs_sink.clone()));
+    assert_eq!(
+        observed.schedule_digest, fast.outcome.schedule_digest,
+        "an attached sink perturbed the schedule digest"
+    );
+    let exposition = obs_sink.exposition();
+    let exposition_samples = assert_exposition_parses(&exposition);
+    let obs_disabled_s = median_secs(overhead_runs, || {
+        std::hint::black_box(run_observed(None));
+    });
+    let obs_enabled_s = median_secs(overhead_runs, || {
+        let sink = Arc::new(ObsSink::new(ObsConfig::default()));
+        std::hint::black_box(run_observed(Some(sink)));
+    });
+    let obs_plain_s = median_secs(overhead_runs, || {
+        std::hint::black_box(
+            run_strategy(&scenario, Strategy::coordinated(), CpModel::Ideal)
+                .expect("paper scenario is valid"),
+        );
+    });
+    let obs_disabled_overhead_percent = (obs_disabled_s / obs_plain_s - 1.0) * 100.0;
+    let obs_enabled_overhead_percent = (obs_enabled_s / obs_disabled_s - 1.0) * 100.0;
+    assert!(
+        obs_disabled_overhead_percent <= overhead_ceiling,
+        "disabled instrumentation costs {obs_disabled_overhead_percent:.1}% \
+         (disabled {obs_disabled_s:.4}s vs plain {obs_plain_s:.4}s, ceiling {overhead_ceiling}%)"
+    );
+    assert!(
+        obs_enabled_overhead_percent <= overhead_ceiling,
+        "enabled instrumentation costs {obs_enabled_overhead_percent:.1}% \
+         (enabled {obs_enabled_s:.4}s vs disabled {obs_disabled_s:.4}s, ceiling {overhead_ceiling}%)"
+    );
+
     println!("# paper config: 26 devices, {minutes} min, high rate, ideal CP");
     println!("end_to_end_memoized_s,{memoized_s:.4}");
     println!("end_to_end_naive_s,{naive_s:.4}");
@@ -552,11 +651,14 @@ fn main() -> Result<(), ScenarioError> {
     println!("online_ingest_events_per_sec,{ingest_events_per_sec:.0}");
     println!("online_replan_after_cap_ms,{replan_ms:.2}");
     println!("online_snapshot_bytes,{snapshot_bytes}");
+    println!("observability_disabled_overhead_percent,{obs_disabled_overhead_percent:.1}");
+    println!("observability_enabled_overhead_percent,{obs_enabled_overhead_percent:.1}");
+    println!("observability_exposition_samples,{exposition_samples}");
 
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": 7,\n",
+            "  \"schema\": 8,\n",
             "  \"config\": {{\"devices\": 26, \"minutes\": {minutes}, \"rate_per_hour\": 30, \"cp\": \"ideal\"}},\n",
             "  \"rounds\": {rounds},\n",
             "  \"end_to_end\": {{\n",
@@ -638,6 +740,14 @@ fn main() -> Result<(), ScenarioError> {
             "    \"ingest_events_per_sec\": {ingest_eps:.0},\n",
             "    \"replan_after_cap_ms\": {replan_ms:.3},\n",
             "    \"snapshot_bytes\": {snapshot_bytes}\n",
+            "  }},\n",
+            "  \"observability\": {{\n",
+            "    \"enabled_sink\": \"registry + flight recorder (spans off)\",\n",
+            "    \"disabled_overhead_percent\": {obs_disabled:.2},\n",
+            "    \"enabled_overhead_percent\": {obs_enabled:.2},\n",
+            "    \"digest_identical\": true,\n",
+            "    \"exposition_samples\": {expo_samples},\n",
+            "    \"exposition_parses\": true\n",
             "  }}\n",
             "}}\n"
         ),
@@ -695,6 +805,9 @@ fn main() -> Result<(), ScenarioError> {
         ingest_eps = ingest_events_per_sec,
         replan_ms = replan_ms,
         snapshot_bytes = snapshot_bytes,
+        obs_disabled = obs_disabled_overhead_percent,
+        obs_enabled = obs_enabled_overhead_percent,
+        expo_samples = exposition_samples,
     );
     // Smoke numbers (60 min, 4 homes) must never clobber the committed
     // full-run file the README and ROADMAP cite.

@@ -330,6 +330,14 @@ pub struct CoordinatedPlanner {
     /// Last computed plan, keyed by `(view fingerprint, level bits)`.
     cache: Option<CachedPlan>,
     cache_hits: u64,
+    /// Every [`plan_at_level`](CoordinatedPlanner::plan_at_level) call,
+    /// memo hit or miss. Observability-only: published to the metrics
+    /// registry at span boundaries, never read by planning itself, and
+    /// deliberately absent from checkpoints.
+    invocations: u64,
+    /// Cap changes absorbed without dropping the memo (the change lands
+    /// strictly past the memo's validity horizon). Observability-only.
+    horizon_early_outs: u64,
 }
 
 /// The planner's memo of its previous round.
@@ -349,6 +357,8 @@ impl CoordinatedPlanner {
             last_update: None,
             cache: None,
             cache_hits: 0,
+            invocations: 0,
+            horizon_early_outs: 0,
         }
     }
 
@@ -365,6 +375,18 @@ impl CoordinatedPlanner {
     /// How many rounds were answered from the plan memo (early-out).
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits
+    }
+
+    /// Every [`plan_at_level`](CoordinatedPlanner::plan_at_level) call,
+    /// memo hit or miss. `cache_hits() <= invocations()` always.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Cap changes that left the plan memo intact because the change
+    /// lands strictly beyond the memo's validity horizon.
+    pub fn horizon_early_outs(&self) -> u64 {
+        self.horizon_early_outs
     }
 
     /// The level tracker's persistent state `(level_kw, last_update)`, for
@@ -417,6 +439,8 @@ impl CoordinatedPlanner {
         if let Some(cached) = &self.cache {
             if cached.valid_until >= at {
                 self.cache = None;
+            } else {
+                self.horizon_early_outs += 1;
             }
         }
     }
@@ -436,6 +460,7 @@ impl CoordinatedPlanner {
     /// the meantime), the memoized plan is reused — only the starts of
     /// admitted devices, which by construction equal `now`, are refreshed.
     pub fn plan_at_level(&mut self, view: &SystemView, now: SimTime) -> Plan {
+        self.invocations += 1;
         let key = (view.fingerprint(), self.level_kw.to_bits());
         if let Some(cached) = &self.cache {
             if cached.key == key && now <= cached.valid_until {

@@ -565,6 +565,15 @@ impl CommunicationPlane {
         &self.stats
     }
 
+    /// Pool churn counters `(forks, in_place_edits)` — observability
+    /// only, `None` under the per-node reference store.
+    pub fn pool_churn(&self) -> Option<(u64, u64)> {
+        match &self.store {
+            ViewStore::Pooled { pool, .. } => Some((pool.forks(), pool.in_place_edits())),
+            ViewStore::PerNode { .. } => None,
+        }
+    }
+
     /// Consumes the plane, yielding owned statistics — for the one caller
     /// (the end-of-run outcome) that needs ownership.
     pub fn into_stats(self) -> CpStats {

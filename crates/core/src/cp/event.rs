@@ -44,6 +44,7 @@
 //! coexist with other event producers; pick [`EngineKind::Round`]
 //! (the default) for pure single-process sweeps.
 
+use han_obs::Obs;
 use han_sim::engine::{Engine, World};
 use han_sim::time::{SimDuration, SimTime};
 
@@ -191,18 +192,87 @@ pub trait RoundPhases {
     }
 }
 
+impl CpEvent {
+    /// The round this event belongs to.
+    fn round(self) -> u64 {
+        match self {
+            CpEvent::Inject { round }
+            | CpEvent::Fault { round }
+            | CpEvent::RoundStart { round }
+            | CpEvent::Flood { round, .. }
+            | CpEvent::Deliver { round, .. }
+            | CpEvent::Plan { round }
+            | CpEvent::RoundEnd { round } => round,
+        }
+    }
+
+    /// Dense kind index into [`EventTally::by_kind`] (declaration order).
+    fn kind_index(self) -> usize {
+        match self {
+            CpEvent::Inject { .. } => 0,
+            CpEvent::Fault { .. } => 1,
+            CpEvent::RoundStart { .. } => 2,
+            CpEvent::Flood { .. } => 3,
+            CpEvent::Deliver { .. } => 4,
+            CpEvent::Plan { .. } => 5,
+            CpEvent::RoundEnd { .. } => 6,
+        }
+    }
+
+    /// Stable span/metric label per kind.
+    fn kind_name(self) -> &'static str {
+        match self {
+            CpEvent::Inject { .. } => "inject",
+            CpEvent::Fault { .. } => "fault",
+            CpEvent::RoundStart { .. } => "begin",
+            CpEvent::Flood { .. } => "flood",
+            CpEvent::Deliver { .. } => "deliver",
+            CpEvent::Plan { .. } => "plan",
+            CpEvent::RoundEnd { .. } => "end",
+        }
+    }
+}
+
+/// Per-span event-engine tallies, published to the metrics registry by
+/// the caller. Collected only when observability is enabled — plain
+/// integers, no atomics, so the enabled cost is one array increment and
+/// one max per event.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct EventTally {
+    /// Events fired, indexed by [`CpEvent::kind_index`].
+    pub by_kind: [u64; 7],
+    /// Deepest pending-event heap observed while handling.
+    pub heap_depth_peak: usize,
+}
+
 /// [`World`] adapter dispatching [`CpEvent`]s onto a [`RoundPhases`]
 /// implementation.
 struct EventWorld<'a, P: RoundPhases> {
     phases: &'a mut P,
     period: SimDuration,
     end: SimTime,
+    /// Observability handle: span timing per event when tracing is on.
+    obs: Obs,
+    /// Event tallies, collected only when observability is enabled.
+    tally: Option<&'a mut EventTally>,
 }
 
 impl<P: RoundPhases> World for EventWorld<'_, P> {
     type Event = CpEvent;
 
     fn handle(&mut self, engine: &mut Engine<CpEvent>, at: SimTime, event: CpEvent) {
+        if let Some(tally) = self.tally.as_deref_mut() {
+            tally.by_kind[event.kind_index()] += 1;
+            tally.heap_depth_peak = tally.heap_depth_peak.max(engine.pending());
+        }
+        let span = self.obs.span_begin();
+        self.dispatch(engine, at, event);
+        self.obs.span_end(event.kind_name(), event.round(), span);
+    }
+}
+
+impl<P: RoundPhases> EventWorld<'_, P> {
+    fn dispatch(&mut self, engine: &mut Engine<CpEvent>, at: SimTime, event: CpEvent) {
         match event {
             CpEvent::Inject { round } => {
                 let had_faults = self.phases.has_faults();
@@ -285,12 +355,30 @@ pub fn drive_from<P: RoundPhases>(
     start_round: u64,
     end: SimTime,
 ) -> u64 {
+    drive_from_observed(phases, period, start_round, end, Obs::off(), None)
+}
+
+/// Like [`drive_from`], but with an observability handle: `obs` times a
+/// span per event when tracing is on, and `tally` (when provided)
+/// accumulates per-kind event counts plus the peak pending-heap depth.
+/// Purely additive — `drive_from(…)` is exactly
+/// `drive_from_observed(…, Obs::off(), None)`.
+pub(crate) fn drive_from_observed<P: RoundPhases>(
+    phases: &mut P,
+    period: SimDuration,
+    start_round: u64,
+    end: SimTime,
+    obs: Obs,
+    tally: Option<&mut EventTally>,
+) -> u64 {
     let mut engine = Engine::new();
     let start = SimTime::ZERO + period * start_round;
     let mut world = EventWorld {
         phases,
         period,
         end,
+        obs,
+        tally,
     };
     if start > end {
         return 0;
@@ -609,6 +697,34 @@ mod tests {
         );
         // Two rounds × (start + 2 floods + 3 delivers + plan + end).
         assert_eq!(fired, 2 * (1 + 2 + 3 + 1 + 1));
+    }
+
+    #[test]
+    fn event_tally_accounts_for_every_event() {
+        let mut phases = Script {
+            floods: 2,
+            rows: 3,
+            faults: true,
+            ..Script::default()
+        };
+        let mut tally = EventTally::default();
+        let fired = drive_from_observed(
+            &mut phases,
+            SimDuration::from_secs(2),
+            0,
+            SimTime::from_secs(2),
+            Obs::off(),
+            Some(&mut tally),
+        );
+        assert_eq!(tally.by_kind.iter().sum::<u64>(), fired);
+        // Two rounds: per round 1 fault, 1 start, 2 floods, 3 delivers,
+        // 1 plan, 1 end (no injections → index 0 stays empty).
+        assert_eq!(tally.by_kind, [0, 2, 2, 4, 6, 2, 2]);
+        assert!(
+            tally.heap_depth_peak >= 6,
+            "RoundStart queues the whole round: {} pending",
+            tally.heap_depth_peak
+        );
     }
 
     #[test]

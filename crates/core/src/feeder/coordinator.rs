@@ -149,6 +149,49 @@ impl FeederReport {
         self.trace.len()
     }
 
+    /// Publishes the run's convergence history into an observability
+    /// sink: iterations executed, committed iterate, stop reason
+    /// (0 converged, 1 max iterations, 2 oscillating), the per-iterate
+    /// feeder peak histogram, and one flight event summarizing the run.
+    /// Post-hoc and read-only — coordination itself is never observed
+    /// mid-flight, so instrumented runs stay bit-identical.
+    pub fn publish_obs(&self, obs: &han_obs::Obs) {
+        use crate::feeder::convergence::StopReason;
+        use han_obs::{Counter, Gauge, Hist, Subsystem};
+        if !obs.enabled() {
+            return;
+        }
+        obs.add(Counter::FeederIterations, self.trace.len() as u64);
+        obs.gauge(
+            Gauge::FeederSelectedIteration,
+            self.selected_iteration as u64,
+        );
+        let stop = match self.trace.stop {
+            StopReason::Converged => 0,
+            StopReason::MaxIterations => 1,
+            StopReason::Oscillating => 2,
+        };
+        obs.gauge(Gauge::FeederStopReason, stop);
+        for record in &self.trace.iterations {
+            // Watts: the histogram's power-of-two buckets resolve street
+            // peaks (tens of kW) poorly in kW units.
+            obs.observe(
+                Hist::FeederIteratePeakW,
+                (record.feeder_peak_kw * 1000.0).max(0.0) as u64,
+            );
+        }
+        obs.event(0, Subsystem::Feeder, "coordination-run", || {
+            format!(
+                "name={} iterations={} selected={} stop={:?} peak_kw={:.3}",
+                self.name,
+                self.trace.len(),
+                self.selected_iteration,
+                self.trace.stop,
+                self.feeder.peak
+            )
+        });
+    }
+
     /// Whether the aggregate reached the tolerance.
     pub fn converged(&self) -> bool {
         self.trace.converged()

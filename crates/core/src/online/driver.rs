@@ -1,6 +1,6 @@
 //! The long-lived simulation driver behind the online service mode.
 //!
-//! [`OnlineDriver`] wraps the same [`Driver`] the batch backends run,
+//! [`OnlineDriver`] wraps the same `Driver` the batch backends run,
 //! advancing it round by round over a long-lived process and splicing
 //! externally ingested telemetry between rounds. Its contract is the
 //! repo-wide one: **streaming a workload online is bit-identical to
@@ -39,9 +39,12 @@ use crate::simulation::{
     run_span, Driver, HanSimulation, Injection, SimulationConfig, SimulationOutcome, Strategy,
 };
 use han_device::request::Request;
+use han_obs::{Counter, Gauge, Hist, Obs, ObsSink};
 use han_sim::time::{SimDuration, SimTime};
 use han_workload::signal::PowerCapProfile;
 use han_workload::telemetry::TelemetryEvent;
+use std::sync::Arc;
+use std::time::Instant;
 
 use super::ingest::{absorbing_round, merge_cap, translate, Action, IngestContext, OnlineError};
 
@@ -128,6 +131,8 @@ pub struct OnlineDriver {
     /// Tariff changes, sorted by effective instant (stable): reporting
     /// state only.
     tariffs: Vec<(SimTime, f64)>,
+    /// The observability sink serving `METRICS` / `DUMP`, when attached.
+    sink: Option<Arc<ObsSink>>,
 }
 
 /// The base admission cap the strategy was configured with.
@@ -175,7 +180,65 @@ impl OnlineDriver {
             log: Vec::new(),
             cap,
             tariffs: Vec::new(),
+            sink: None,
         }
+    }
+
+    /// Attaches an observability sink: the engine layers publish into
+    /// it and the `METRICS` / `DUMP` protocol commands read from it.
+    /// Observationally inert, exactly like
+    /// [`HanSimulation::set_observer`] — the service's replies, report
+    /// and snapshots are byte-identical with or without a sink.
+    pub fn attach_observability(&mut self, sink: Arc<ObsSink>) {
+        self.driver.set_obs(Obs::new(sink.clone()));
+        self.sink = Some(sink);
+    }
+
+    /// The attached observability sink, if any.
+    pub fn observability(&self) -> Option<&Arc<ObsSink>> {
+        self.sink.as_ref()
+    }
+
+    /// Prometheus text exposition of the attached registry, with the
+    /// engine's cumulative totals freshly published. `None` without a
+    /// sink.
+    pub fn metrics_text(&self) -> Option<String> {
+        let sink = self.sink.as_ref()?;
+        self.driver.publish_obs();
+        Some(sink.exposition())
+    }
+
+    /// The flight-recorder ring as `(events, JSONL)`, oldest first.
+    /// `None` without a sink.
+    pub fn flight_jsonl(&self) -> Option<(usize, String)> {
+        let sink = self.sink.as_ref()?;
+        Some((sink.flight().len(), sink.flight().jsonl()))
+    }
+
+    /// Registry-derived `STATUS` enrichment (leading space included);
+    /// empty without a sink, keeping the base fields byte-stable for
+    /// sink-free services.
+    pub fn status_obs_suffix(&self) -> String {
+        let Some(sink) = self.sink.as_ref() else {
+            return String::new();
+        };
+        self.driver.publish_obs();
+        let r = sink.registry();
+        let invocations = r.counter(Counter::PlannerInvocations);
+        let memo_hits = r.counter(Counter::PlannerMemoHits);
+        let rate = if invocations == 0 {
+            0.0
+        } else {
+            memo_hits as f64 / invocations as f64
+        };
+        format!(
+            " memo_hit_rate={:.3} pool_live={} pool_peak={} cp_delivered={} cp_dropped={}",
+            rate,
+            r.gauge(Gauge::PoolLiveViews),
+            r.gauge(Gauge::PoolPeakViews),
+            r.counter(Counter::CpDeliveredRecords),
+            r.counter(Counter::CpDroppedRecords),
+        )
     }
 
     /// Validates and applies one telemetry event. On success the event
@@ -186,6 +249,11 @@ impl OnlineDriver {
     /// See [`OnlineError`]: scenario-level violations, staleness (the
     /// absorbing round already ran), horizon overruns, or a finished run.
     pub fn ingest(&mut self, event: TelemetryEvent) -> Result<(), OnlineError> {
+        // Operational wall-clock latency, never simulation semantics:
+        // the clock is read only with a sink attached, and the histogram
+        // feeds the daemon's exposition alone.
+        let obs = self.driver.obs();
+        let ingest_start = obs.enabled().then(Instant::now);
         if self.finished() {
             return Err(OnlineError::Finished);
         }
@@ -213,6 +281,13 @@ impl OnlineDriver {
             }
         }
         self.log.push(event);
+        if let Some(start) = ingest_start {
+            obs.observe(Hist::IngestLatencyUs, start.elapsed().as_micros() as u64);
+            obs.gauge(
+                Gauge::OnlinePendingInjections,
+                self.driver.pending_injections() as u64,
+            );
+        }
         Ok(())
     }
 
@@ -245,6 +320,8 @@ impl OnlineDriver {
         if to <= from {
             return;
         }
+        let obs = self.driver.obs();
+        let replan_start = obs.enabled().then(Instant::now);
         self.events_fired += run_span(
             &mut self.driver,
             self.engine,
@@ -253,6 +330,9 @@ impl OnlineDriver {
             from,
             to,
         );
+        if let Some(start) = replan_start {
+            obs.observe(Hist::ReplanLatencyUs, start.elapsed().as_micros() as u64);
+        }
     }
 
     /// Advances until the simulated clock has covered `time`: every
@@ -544,6 +624,7 @@ impl OnlineDriver {
             log,
             cap,
             tariffs,
+            sink: None,
         })
     }
 

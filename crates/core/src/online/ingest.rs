@@ -3,7 +3,7 @@
 //!
 //! Every event entering the online service — over the wire via
 //! `INJECT`, or from a `--replay` script — passes through
-//! [`translate`]: range checks against the fleet, a staleness check
+//! `translate`: range checks against the fleet, a staleness check
 //! against the rounds already executed, a horizon check against the
 //! simulated window, and finally the mapping onto one of the three
 //! internal channels:
@@ -20,7 +20,7 @@
 //!   never touch the scheduler.
 //!
 //! Everything here is deterministic and side-effect free; the driver
-//! applies the returned [`Action`].
+//! applies the returned `Action`.
 
 use crate::checkpoint::CheckpointError;
 use crate::fault::FaultEvent;

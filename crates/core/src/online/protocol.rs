@@ -12,12 +12,19 @@
 //!                            grammar; ';'-separated entries)
 //! ADVANCE <rounds|end>       run N more rounds now (manual pacing)
 //! CHECKPOINT <path>          write a service snapshot atomically
+//! METRICS                    Prometheus text exposition of the engine
+//!                            metrics registry (multi-line reply)
+//! DUMP                       flight-recorder ring as JSONL, oldest
+//!                            first (multi-line reply)
 //! SHUTDOWN                   close the service loop
 //! ```
 //!
 //! Commands are case-insensitive; digests print as 16 hex digits; every
 //! float prints with three decimals so replies are byte-stable across
-//! runs — the daemon smoke test byte-compares them.
+//! runs — the daemon smoke test byte-compares them. `METRICS` and
+//! `DUMP` answer with a counted header (`OK metrics lines=N` /
+//! `OK flight events=N`) followed by that many payload lines, so a
+//! line-oriented client knows exactly how much to read.
 
 use super::driver::OnlineDriver;
 use super::ingest::OnlineError;
@@ -39,6 +46,10 @@ pub enum Command {
     Advance(u64),
     /// `CHECKPOINT <path>` — write a service snapshot.
     Checkpoint(String),
+    /// `METRICS` — Prometheus text exposition of the metrics registry.
+    Metrics,
+    /// `DUMP` — the flight-recorder ring as JSONL.
+    Dump,
     /// `SHUTDOWN` — close the service loop.
     Shutdown,
 }
@@ -67,6 +78,8 @@ impl Command {
             "" => Err(bad("empty line".into())),
             "STATUS" => no_arg(Command::Status),
             "FEEDER" => no_arg(Command::Feeder),
+            "METRICS" => no_arg(Command::Metrics),
+            "DUMP" => no_arg(Command::Dump),
             "SHUTDOWN" => no_arg(Command::Shutdown),
             "SCHEDULE" => rest
                 .parse()
@@ -151,7 +164,7 @@ pub fn execute(driver: &mut OnlineDriver, cmd: Command) -> Result<Response, Onli
     Ok(match cmd {
         Command::Status => {
             let s = driver.status();
-            Response::ok(format!(
+            let mut line = format!(
                 "OK round={}/{} time={} load_kw={:.3} digest={:016x} delivered={} \
                  pending={} injections={} divergent={} energy_kwh={:.3} finished={}",
                 s.next_round,
@@ -165,7 +178,12 @@ pub fn execute(driver: &mut OnlineDriver, cmd: Command) -> Result<Response, Onli
                 s.divergent_rounds,
                 s.energy_kwh,
                 s.finished,
-            ))
+            );
+            // Registry-derived fields are *appended*: every field above
+            // keeps its byte-exact position whether or not a sink is
+            // attached.
+            line.push_str(&driver.status_obs_suffix());
+            Response::ok(line)
         }
         Command::Schedule(node) => {
             let s = driver.schedule_of(node)?;
@@ -221,6 +239,29 @@ pub fn execute(driver: &mut OnlineDriver, cmd: Command) -> Result<Response, Onli
                 driver.next_round()
             ))
         }
+        Command::Metrics => {
+            let text = driver
+                .metrics_text()
+                .ok_or_else(|| OnlineError::BadCommand {
+                    reason: "observability is not attached to this service".into(),
+                })?;
+            let body = text.trim_end_matches('\n');
+            Response::ok(format!("OK metrics lines={}\n{body}", body.lines().count()))
+        }
+        Command::Dump => {
+            let (events, jsonl) = driver
+                .flight_jsonl()
+                .ok_or_else(|| OnlineError::BadCommand {
+                    reason: "observability is not attached to this service".into(),
+                })?;
+            let mut line = format!("OK flight events={events}");
+            let body = jsonl.trim_end_matches('\n');
+            if !body.is_empty() {
+                line.push('\n');
+                line.push_str(body);
+            }
+            Response::ok(line)
+        }
         Command::Shutdown => Response {
             line: "OK bye".into(),
             shutdown: true,
@@ -253,6 +294,8 @@ mod tests {
             Command::Checkpoint("/tmp/ck.bin".into())
         );
         assert_eq!(Command::parse("SHUTDOWN").unwrap(), Command::Shutdown);
+        assert_eq!(Command::parse("metrics").unwrap(), Command::Metrics);
+        assert_eq!(Command::parse("Dump").unwrap(), Command::Dump);
     }
 
     #[test]
@@ -266,6 +309,8 @@ mod tests {
             "ADVANCE soon",
             "CHECKPOINT",
             "STATUS now",
+            "METRICS please",
+            "DUMP here",
         ] {
             assert!(
                 matches!(Command::parse(line), Err(OnlineError::BadCommand { .. })),

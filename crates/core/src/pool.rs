@@ -138,6 +138,13 @@ pub struct ViewPool {
     device_count: usize,
     live: usize,
     peak: usize,
+    /// Entries created (a view forked off shared content). Observability
+    /// only: published to the metrics registry, never read by the pool,
+    /// and absent from checkpoints.
+    forks: u64,
+    /// Sole-owner in-place edits (the copy-free CoW half). Observability
+    /// only, like `forks`.
+    in_place_edits: u64,
 }
 
 impl ViewPool {
@@ -181,6 +188,7 @@ impl ViewPool {
                 }
             }
         }
+        self.forks += 1;
         let id = match self.free.pop() {
             Some(id) => {
                 // Reuse the parked slot's buffers: `clone_from` into the
@@ -241,6 +249,7 @@ impl ViewPool {
             self.entries[id].refs, 1,
             "in-place update requires sole ownership"
         );
+        self.in_place_edits += 1;
         let old_key = self.entries[id].key;
         Self::unfile(&mut self.index, old_key, handle.0);
         mutate(&mut self.entries[id].view);
@@ -329,6 +338,19 @@ impl ViewPool {
         self.peak
     }
 
+    /// Entries ever created — every time a view *forked* off shared
+    /// content (or seeded a fresh pool). Observability-only; resets on
+    /// checkpoint restore.
+    pub fn forks(&self) -> u64 {
+        self.forks
+    }
+
+    /// Sole-owner in-place edits — the copy-free half of copy-on-write.
+    /// Observability-only; resets on checkpoint restore.
+    pub fn in_place_edits(&self) -> u64 {
+        self.in_place_edits
+    }
+
     /// Slots ever allocated (live entries plus parked buffers). Bounded by
     /// the peak number of concurrently distinct views plus the transient
     /// entry a copy-on-write fork holds while re-deduplicating.
@@ -406,6 +428,11 @@ impl ViewPool {
             device_count,
             live: export.live,
             peak: export.peak,
+            // Churn counters are observability, not state: a restored
+            // pool restarts them at zero (the registry's monotonic
+            // publish absorbs the reset).
+            forks: 0,
+            in_place_edits: 0,
         }
     }
 

@@ -20,7 +20,7 @@ use crate::algorithm::{
     demand_rate_kw, plan_with_level, CoordinatedPlanner, Plan, PlanConfig, SchedulingRule,
 };
 use crate::checkpoint::{Checkpoint, CheckpointError, SimState};
-use crate::cp::event::{self, EngineKind, RoundPhases};
+use crate::cp::event::{self, EngineKind, EventTally, RoundPhases};
 use crate::cp::{CommunicationPlane, CpModel, CpStats};
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::schedule::Schedule;
@@ -31,6 +31,7 @@ use han_device::request::Request;
 use han_device::status::StatusRecord;
 use han_metrics::timeseries::LoadTrace;
 use han_metrics::ResilienceStats;
+use han_obs::{Counter, Gauge, Hist, Obs, Subsystem};
 use han_sim::time::{SimDuration, SimTime};
 use han_workload::fleet::{FleetSpec, ScenarioError};
 use han_workload::signal::PowerCapProfile;
@@ -218,6 +219,9 @@ pub struct HanSimulation {
     reference_planning: bool,
     faults: FaultPlan,
     staleness_ttl: Option<u32>,
+    /// Observability handle threaded into the driver. Never part of the
+    /// run fingerprint or any checkpoint: observation is not state.
+    observer: Obs,
 }
 
 /// Reusable per-round working memory for the execution plane, allocated
@@ -278,6 +282,7 @@ impl HanSimulation {
             reference_planning: false,
             faults: FaultPlan::empty(),
             staleness_ttl: None,
+            observer: Obs::off(),
         })
     }
 
@@ -303,6 +308,18 @@ impl HanSimulation {
     /// record lingers in every survivor's view forever.
     pub fn set_staleness_ttl(&mut self, ttl: Option<u32>) -> &mut Self {
         self.staleness_ttl = ttl;
+        self
+    }
+
+    /// Attaches an observability handle ([`han_obs::Obs`]), threaded
+    /// through every engine layer for the run. **Observationally
+    /// inert** by contract: an instrumented run is digest-, trace- and
+    /// CP-stats-identical to an uninstrumented one on both engines (the
+    /// handle never enters a checkpoint or the run fingerprint, and no
+    /// hook touches RNG or state). Enforced by
+    /// `crates/core/tests/prop_obs.rs`.
+    pub fn set_observer(&mut self, observer: Obs) -> &mut Self {
+        self.observer = observer;
         self
     }
 
@@ -523,10 +540,14 @@ pub(crate) fn run_span(
     if to <= from {
         return 0;
     }
-    match engine {
+    let fired = match engine {
         EngineKind::Round => {
             // The fixed-step synchronous loop: the same phase sequence
             // the event backend replays, as straight-line calls.
+            let obs = driver.obs.clone();
+            // Hoisted so the no-trace path pays one boolean test per
+            // phase instead of a virtual call into the sink.
+            let spans = obs.wants_spans();
             let mut now = SimTime::ZERO + period * from;
             let mut round = from;
             while now <= end && round < to {
@@ -535,20 +556,35 @@ pub(crate) fn run_span(
                 // *after* — the event backend's Inject handler does the
                 // same.
                 if driver.has_injections() {
+                    let s = if spans { obs.span_begin() } else { None };
                     driver.inject_phase(now);
+                    obs.span_end("inject", round, s);
                 }
                 if driver.has_faults() {
+                    let s = if spans { obs.span_begin() } else { None };
                     driver.fault_phase(now);
+                    obs.span_end("fault", round, s);
                 }
+                let s = if spans { obs.span_begin() } else { None };
                 driver.begin_round(now);
+                obs.span_end("begin", round, s);
+                // Floods and deliveries share one "comms" span: the loop
+                // has no per-event granularity (that is the event
+                // backend's trace).
+                let s = if spans { obs.span_begin() } else { None };
                 for k in 0..driver.flood_phases() {
                     driver.flood_phase(k);
                 }
                 for row in 0..driver.delivery_rows() {
                     driver.deliver_row(row);
                 }
+                obs.span_end("comms", round, s);
+                let s = if spans { obs.span_begin() } else { None };
                 driver.plan(now);
+                obs.span_end("plan", round, s);
+                let s = if spans { obs.span_begin() } else { None };
                 driver.end_round(now);
+                obs.span_end("end", round, s);
                 now += period;
                 round += 1;
             }
@@ -557,10 +593,39 @@ pub(crate) fn run_span(
         EngineKind::Event => {
             // The span's last round starts at `(to − 1) × period`; the
             // engine horizon is inclusive, exactly like the loop above.
-            let span_end = end.min(SimTime::ZERO + period * (to - 1));
-            event::drive_from(driver, period, from, span_end)
+            let horizon = end.min(SimTime::ZERO + period * (to - 1));
+            let obs = driver.obs.clone();
+            if obs.enabled() {
+                let mut tally = EventTally::default();
+                let fired = event::drive_from_observed(
+                    driver,
+                    period,
+                    from,
+                    horizon,
+                    obs.clone(),
+                    Some(&mut tally),
+                );
+                const KIND_COUNTERS: [Counter; 7] = [
+                    Counter::EngineEventsInject,
+                    Counter::EngineEventsFault,
+                    Counter::EngineEventsRoundStart,
+                    Counter::EngineEventsFlood,
+                    Counter::EngineEventsDeliver,
+                    Counter::EngineEventsPlan,
+                    Counter::EngineEventsRoundEnd,
+                ];
+                for (counter, &n) in KIND_COUNTERS.iter().zip(&tally.by_kind) {
+                    obs.add(*counter, n);
+                }
+                obs.gauge_max(Gauge::EngineHeapDepthPeak, tally.heap_depth_peak as u64);
+                fired
+            } else {
+                event::drive_from(driver, period, from, horizon)
+            }
         }
-    }
+    };
+    driver.publish_obs();
+    fired
 }
 
 /// One externally injected action, queued against the round that absorbs
@@ -639,6 +704,10 @@ pub(crate) struct Driver {
     /// never checkpointed (the service snapshot replays the telemetry
     /// log instead).
     injections: VecDeque<(u64, Injection)>,
+    /// Observability handle. Disabled (`Obs::off()`) in batch runs
+    /// unless the caller attached a sink; excluded from [`SimState`] —
+    /// observation is not state.
+    obs: Obs,
 }
 
 impl Driver {
@@ -700,6 +769,7 @@ impl Driver {
             fault_active_last: false,
             last_miss_total: 0,
             injections: VecDeque::new(),
+            obs: sim.observer,
             config: sim.config,
             requests: sim.requests,
             background: sim.background,
@@ -793,6 +863,61 @@ impl Driver {
             schedule_digest: self.schedule_digest,
             resilience: self.resilience,
         }
+    }
+
+    /// Publishes cumulative subsystem totals into the attached metrics
+    /// sink. Called at **span boundaries** (never per round): the
+    /// subsystems count in plain integer fields and this folds the sums
+    /// in via monotonic publishes, so the hot loop carries no atomics.
+    /// A no-op without a sink.
+    pub(crate) fn publish_obs(&self) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let obs = &self.obs;
+        let mut invocations = 0u64;
+        let mut memo_hits = 0u64;
+        let mut early_outs = 0u64;
+        for p in &self.planners {
+            invocations += p.invocations();
+            memo_hits += p.cache_hits();
+            early_outs += p.horizon_early_outs();
+        }
+        obs.publish(Counter::PlannerInvocations, invocations);
+        obs.publish(Counter::PlannerMemoHits, memo_hits);
+        obs.publish(Counter::PlannerHorizonEarlyOuts, early_outs);
+        if self.uses_cp {
+            let stats = self.cp.stats();
+            obs.publish(Counter::CpAttemptedRecords, stats.expected_records);
+            obs.publish(Counter::CpDeliveredRecords, stats.refreshed_records);
+            obs.publish(
+                Counter::CpDroppedRecords,
+                stats.expected_records - stats.refreshed_records,
+            );
+            if let Some((forks, edits)) = self.cp.pool_churn() {
+                obs.publish(Counter::PoolForks, forks);
+                obs.publish(Counter::PoolInPlaceEdits, edits);
+            }
+            if let Some(vp) = &stats.view_pool {
+                obs.gauge(Gauge::PoolLiveViews, vp.live_views as u64);
+                obs.gauge_max(Gauge::PoolPeakViews, vp.peak_views as u64);
+            }
+        }
+        obs.publish(Counter::RoundsExecuted, self.rounds);
+        obs.publish(Counter::DivergentRounds, self.divergent_rounds);
+        obs.gauge(Gauge::OnlinePendingInjections, self.injections.len() as u64);
+    }
+
+    /// A clone of the attached observability handle (crate-internal:
+    /// the online driver emits its own boundary events through it).
+    pub(crate) fn obs(&self) -> Obs {
+        self.obs.clone()
+    }
+
+    /// Replaces the observability handle (crate-internal: the online
+    /// service attaches its sink after construction or restore).
+    pub(crate) fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     // ---- online service surface (crate-internal) --------------------
@@ -941,10 +1066,20 @@ impl RoundPhases for Driver {
         // sorted them: at the upper bound of `(arrival, device)`, which
         // is always at or past the delivery cursor because an event's
         // absorbing round starts after every already-delivered arrival.
+        let mut absorbed: u64 = 0;
         while matches!(self.injections.front(), Some((r, _)) if *r <= self.rounds) {
             let (_, injection) = self.injections.pop_front().expect("front checked");
+            absorbed += 1;
             match injection {
                 Injection::Arrival(req) => {
+                    self.obs
+                        .event(self.rounds, Subsystem::Online, "arrival", || {
+                            format!(
+                                "device={} arrival_us={}",
+                                req.device.0,
+                                req.arrival.as_micros()
+                            )
+                        });
                     let key = (req.arrival, req.device);
                     let idx = self
                         .requests
@@ -953,17 +1088,29 @@ impl RoundPhases for Driver {
                     self.requests.insert(idx, req);
                 }
                 Injection::Completion(device) => {
+                    self.obs
+                        .event(self.rounds, Subsystem::Online, "completion", || {
+                            format!("device={}", device.0)
+                        });
                     // The DI's own interlock arbitrates: a minDCD-unsafe
                     // early-off is refused (and counted), a completed
                     // instance simply turns off.
                     self.dis[device.index()].command(now, false);
                 }
                 Injection::CapChange(cap) => {
+                    self.obs
+                        .event(self.rounds, Subsystem::Online, "cap-change", || {
+                            format!("profile={}", if cap.is_some() { "set" } else { "cleared" })
+                        });
                     for planner in &mut self.planners {
                         planner.set_admission_cap(cap.clone(), now);
                     }
                 }
             }
+        }
+        if absorbed > 0 {
+            self.obs.add(Counter::OnlineEventsAbsorbed, absorbed);
+            self.obs.observe(Hist::AbsorbedPerBoundary, absorbed);
         }
     }
 
@@ -979,6 +1126,24 @@ impl RoundPhases for Driver {
         }
         self.resilience.record_round(down_count, self.outage);
         let fault_active = down_count > 0 || self.outage;
+        if self.outage {
+            self.obs.add(Counter::CpOutageRounds, 1);
+        }
+        // Flight events only on the edges — the Fault subsystem triggers
+        // the recorder's auto-dump, which wants the onset, not a record
+        // per faulty round.
+        if fault_active && !self.fault_active_last {
+            let outage = self.outage;
+            self.obs
+                .event(self.rounds, Subsystem::Fault, "fault-active", || {
+                    format!("down_nodes={down_count} outage={outage}")
+                });
+        } else if !fault_active && self.fault_active_last {
+            self.obs
+                .event(self.rounds, Subsystem::Fault, "fault-cleared", || {
+                    "recovery clock started".to_string()
+                });
+        }
         if self.fault_active_last && !fault_active {
             // The fault cleared this round: the recovery clock runs
             // until the divergence probe sees the fleet re-agree.
@@ -1197,13 +1362,23 @@ impl RoundPhases for Driver {
                 scratch.hashes.extend(scratch.plan_hashes.iter().copied());
                 if scratch.hashes.len() > 1 {
                     self.divergent_rounds += 1;
+                    let distinct = scratch.hashes.len();
+                    self.obs
+                        .event(self.rounds, Subsystem::Planner, "divergent", || {
+                            format!("distinct_schedules={distinct}")
+                        });
                 }
                 // Recovery clock: first fully-agreed round after the
                 // fault cleared closes the re-agreement transient.
                 if let Some(since) = self.recovery_since {
                     if scratch.hashes.len() <= 1 {
-                        self.resilience.record_recovery(self.rounds - since);
+                        let took = self.rounds - since;
+                        self.resilience.record_recovery(took);
                         self.recovery_since = None;
+                        self.obs
+                            .event(self.rounds, Subsystem::Sim, "re-agreed", || {
+                                format!("recovery_rounds={took}")
+                            });
                     }
                 }
             }

@@ -50,12 +50,23 @@
 //!   --csv                          per-minute series as CSV (single home:
 //!                                  per-strategy loads; neighborhood: the
 //!                                  feeder aggregate per policy)
+//!   --metrics-out <FILE>           dump the engine metrics registry as
+//!                                  Prometheus text exposition after the
+//!                                  run (single strategy; with --feeder,
+//!                                  covers the coordination run)
+//!   --trace <FILE>                 record per-phase spans and write a
+//!                                  Chrome trace_event JSON document
+//!                                  (open in chrome://tracing / Perfetto)
+//!   --flight <FILE>                flight-recorder ring as JSONL; also
+//!                                  auto-dumped the moment a fault fires
+//!   --feeder-trace <FILE>          per-iteration feeder convergence
+//!                                  trace as CSV (requires --feeder)
 //!
 //! Serve mode (`hansim serve`) runs one single-home scenario as a
 //! daemon: simulated time advances against the chosen pace, telemetry
 //! can be injected while it runs, and a newline-delimited TCP protocol
 //! (STATUS / SCHEDULE / FEEDER / INJECT / ADVANCE / CHECKPOINT /
-//! SHUTDOWN) answers queries. Scenario flags (--rate, --workload,
+//! METRICS / DUMP / SHUTDOWN) answers queries. Scenario flags (--rate, --workload,
 //! --minutes, --devices, --cp, --engine, --faults, --stale-ttl, --seed)
 //! apply as above; --strategy must name a single strategy (default:
 //! coordinated). Serve-specific flags:
@@ -78,6 +89,9 @@
 //!   --pace-us <N>                  one simulated round per N wall µs
 //!                                  (2000000 = real time; default: free-run)
 //!   --manual                       advance only on ADVANCE commands
+//!   --flight <FILE>                auto-dump the flight-recorder ring
+//!                                  here whenever a fault fires (DUMP
+//!                                  over the socket works regardless)
 //! ```
 
 use smart_han::core::experiment::{
@@ -87,10 +101,13 @@ use smart_han::core::feeder::{FeederPolicy, FeederReport, FeederSignal};
 use smart_han::core::online::{serve, OnlineDriver, OnlineError, Pace, ServeOptions};
 use smart_han::metrics::report::series_csv;
 use smart_han::metrics::tariff::{Billing, CostBreakdown};
+use smart_han::obs::{Obs, ObsConfig, ObsSink};
 use smart_han::prelude::*;
 use smart_han::workload::signal::PowerCapProfile;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Everything that can go wrong between `argv` and a finished run — the
 /// CLI's typed error (no `String` errors anywhere on the path).
@@ -203,6 +220,18 @@ struct Args {
     restore: Option<String>,
     seed: u64,
     csv: bool,
+    metrics_out: Option<String>,
+    trace: Option<String>,
+    flight: Option<String>,
+    feeder_trace: Option<String>,
+}
+
+impl Args {
+    /// Whether any flag asked for an observability artifact
+    /// (`--feeder-trace` reads the report directly, not the sink).
+    fn wants_obs(&self) -> bool {
+        self.metrics_out.is_some() || self.trace.is_some() || self.flight.is_some()
+    }
 }
 
 fn parse_feeder(value: &str) -> Result<FeederSignal, CliError> {
@@ -249,6 +278,10 @@ fn parse_args() -> Result<Args, CliError> {
         restore: None,
         seed: 0,
         csv: false,
+        metrics_out: None,
+        trace: None,
+        flight: None,
+        feeder_trace: None,
     };
     let mut cp_choice = CpChoice::Ideal;
     let mut it = std::env::args().skip(1);
@@ -347,6 +380,10 @@ fn parse_args() -> Result<Args, CliError> {
             "--restore" => args.restore = Some(value("--restore")?),
             "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")?,
             "--csv" => args.csv = true,
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--flight" => args.flight = Some(value("--flight")?),
+            "--feeder-trace" => args.feeder_trace = Some(value("--feeder-trace")?),
             "--help" | "-h" => return Err(CliError::Usage),
             other => {
                 return Err(CliError::UnknownFlag {
@@ -406,16 +443,53 @@ fn cost_line(cost: &CostBreakdown) -> String {
     )
 }
 
+/// Builds the batch-mode observability sink when any obs flag asked for
+/// one. Flight auto-dump targets `--flight` so a fault fires the ring to
+/// disk mid-run; the final ring is written there again at exit.
+fn obs_sink(args: &Args) -> Option<Arc<ObsSink>> {
+    args.wants_obs().then(|| {
+        Arc::new(ObsSink::new(ObsConfig {
+            flight_auto_dump: args.flight.as_ref().map(PathBuf::from),
+            trace_spans: args.trace.is_some(),
+            ..ObsConfig::default()
+        }))
+    })
+}
+
+/// Writes whichever observability artifacts were requested, after the
+/// run(s) feeding `sink` have finished.
+fn write_obs_outputs(args: &Args, sink: &ObsSink) -> Result<(), CliError> {
+    let io_err = |path: &str| {
+        let path = path.to_string();
+        move |error| CliError::Io { path, error }
+    };
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, sink.exposition()).map_err(io_err(path))?;
+    }
+    if let Some(path) = &args.trace {
+        let trace = sink.trace().expect("trace_spans set when --trace is given");
+        trace.write_to(Path::new(path)).map_err(io_err(path))?;
+    }
+    if let Some(path) = &args.flight {
+        sink.flight()
+            .dump_to(Path::new(path))
+            .map_err(io_err(path))?;
+    }
+    Ok(())
+}
+
 /// Runs one strategy the way `run_single_home` needs it: through the
 /// checkpoint API when `--checkpoint`/`--restore` are in play, plainly
 /// otherwise. Either way the returned result covers the full timeline —
 /// a resumed run's report is byte-identical to the uninterrupted one.
+/// An attached sink never changes any of that: observation is not state.
 fn run_one(
     args: &Args,
     scenario: &Scenario,
     strategy: Strategy,
+    sink: Option<&Arc<ObsSink>>,
 ) -> Result<StrategyResult, CliError> {
-    if args.checkpoint.is_none() && args.restore.is_none() {
+    if args.checkpoint.is_none() && args.restore.is_none() && sink.is_none() {
         return Ok(run_strategy_faulted(
             scenario,
             strategy,
@@ -425,7 +499,7 @@ fn run_one(
             args.stale_ttl,
         )?);
     }
-    let sim = build_simulation(
+    let mut sim = build_simulation(
         scenario,
         strategy,
         args.cp.clone(),
@@ -433,6 +507,16 @@ fn run_one(
         &args.faults,
         args.stale_ttl,
     )?;
+    if let Some(sink) = sink {
+        sim.set_observer(Obs::new(sink.clone()));
+    }
+    if args.checkpoint.is_none() && args.restore.is_none() {
+        // The observed plain run: the same configuration
+        // `run_strategy_faulted` builds, with the sink attached before
+        // the first round.
+        sim.set_reference_planning(false);
+        return Ok(summarize_outcome(sim.run(), scenario.duration));
+    }
     let outcome = if let Some(path) = &args.restore {
         let bytes = std::fs::read(path).map_err(|error| CliError::Io {
             path: path.clone(),
@@ -477,6 +561,28 @@ fn run_single_home(args: &Args, scenario: &Scenario) -> Result<(), CliError> {
             expected: "a single strategy (checkpoints hold one simulation's state)",
         });
     }
+    if args.strategy == "compare" {
+        for (flag, present) in [
+            ("--metrics-out", args.metrics_out.is_some()),
+            ("--trace", args.trace.is_some()),
+            ("--flight", args.flight.is_some()),
+        ] {
+            if present {
+                return Err(CliError::Invalid {
+                    flag,
+                    value: "compare".into(),
+                    expected: "a single strategy (observability artifacts cover one simulation)",
+                });
+            }
+        }
+    }
+    if args.feeder_trace.is_some() {
+        return Err(CliError::Invalid {
+            flag: "--feeder-trace",
+            value: "without --feeder".into(),
+            expected: "--feeder SIGNAL (the trace records feeder coordination iterates)",
+        });
+    }
     let named: Vec<(&str, Strategy)> = if args.strategy == "compare" {
         vec![
             ("uncoordinated", Strategy::Uncoordinated),
@@ -489,10 +595,14 @@ fn run_single_home(args: &Args, scenario: &Scenario) -> Result<(), CliError> {
         )]
     };
 
+    let sink = obs_sink(args);
     let mut results: Vec<(&str, StrategyResult)> = Vec::new();
     for (name, strategy) in &named {
-        let r = run_one(args, scenario, strategy.clone())?;
+        let r = run_one(args, scenario, strategy.clone(), sink.as_ref())?;
         results.push((*name, r));
+    }
+    if let Some(sink) = &sink {
+        write_obs_outputs(args, sink)?;
     }
 
     if args.csv {
@@ -571,6 +681,21 @@ fn run_single_home(args: &Args, scenario: &Scenario) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The `--feeder-trace` artifact: one CSV row per coordination iterate,
+/// mirroring the `ConvergenceTrace` the report carries.
+fn feeder_trace_csv(report: &FeederReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("iteration,feeder_peak_kw,change_norm_kw\n");
+    for it in &report.trace.iterations {
+        let _ = writeln!(
+            out,
+            "{},{:.6},{:.6}",
+            it.iteration, it.feeder_peak_kw, it.change_norm_kw
+        );
+    }
+    out
+}
+
 fn print_feeder_run(report: &FeederReport, billing: &Billing) {
     println!(
         "\nfeeder signal: {} ({:?} iteration)",
@@ -628,6 +753,26 @@ fn run_neighborhood(args: &Args, scenario: &Scenario) -> Result<(), CliError> {
             });
         }
     }
+    // Neighborhood observability covers the feeder coordination run —
+    // per-home engines build their simulations internally. Without a
+    // signal there is nothing for the sink (or the trace CSV) to record.
+    if args.feeder.is_none() {
+        for (flag, present) in [
+            ("--metrics-out", args.metrics_out.is_some()),
+            ("--trace", args.trace.is_some()),
+            ("--flight", args.flight.is_some()),
+            ("--feeder-trace", args.feeder_trace.is_some()),
+        ] {
+            if present {
+                return Err(CliError::Invalid {
+                    flag,
+                    value: "with a neighborhood".into(),
+                    expected: "--feeder SIGNAL (neighborhood observability covers the \
+                               coordination run)",
+                });
+            }
+        }
+    }
     let mut hood = Neighborhood::uniform(
         format!("cli street x{}", args.homes),
         scenario,
@@ -647,6 +792,19 @@ fn run_neighborhood(args: &Args, scenario: &Scenario) -> Result<(), CliError> {
         Some(signal) => Some(hood.run_with(&FeederPolicy::new(signal.clone()))?),
         None => None,
     };
+
+    if let Some(run) = &feeder_run {
+        if let Some(sink) = obs_sink(args) {
+            run.publish_obs(&Obs::new(sink.clone()));
+            write_obs_outputs(args, &sink)?;
+        }
+        if let Some(path) = &args.feeder_trace {
+            std::fs::write(path, feeder_trace_csv(run)).map_err(|error| CliError::Io {
+                path: path.clone(),
+                error,
+            })?;
+        }
+    }
 
     if args.csv {
         let minutes: Vec<f64> = (0..report.feeder_samples_uncoordinated.len())
@@ -730,6 +888,7 @@ struct ServeArgs {
     restore: Option<String>,
     pace_us: Option<u64>,
     manual: bool,
+    flight: Option<String>,
 }
 
 fn parse_serve_args() -> Result<ServeArgs, CliError> {
@@ -751,6 +910,7 @@ fn parse_serve_args() -> Result<ServeArgs, CliError> {
         restore: None,
         pace_us: None,
         manual: false,
+        flight: None,
     };
     let mut cp_choice = CpChoice::Ideal;
     let mut it = std::env::args().skip(2);
@@ -836,6 +996,7 @@ fn parse_serve_args() -> Result<ServeArgs, CliError> {
             "--restore" => args.restore = Some(value("--restore")?),
             "--pace-us" => args.pace_us = Some(parse_num(&value("--pace-us")?, "--pace-us")?),
             "--manual" => args.manual = true,
+            "--flight" => args.flight = Some(value("--flight")?),
             "--help" | "-h" => return Err(CliError::Usage),
             other => {
                 return Err(CliError::UnknownFlag {
@@ -908,10 +1069,16 @@ fn run_serve() -> Result<(), CliError> {
         args.stale_ttl,
     )?;
 
-    let driver = match &args.restore {
-        Some(path) => OnlineDriver::load(sim, std::path::Path::new(path))?,
+    let mut driver = match &args.restore {
+        Some(path) => OnlineDriver::load(sim, Path::new(path))?,
         None => OnlineDriver::new(sim),
     };
+    // The daemon always carries a sink: METRICS and DUMP answer over the
+    // socket, and a `--flight` path arms the fault-triggered auto-dump.
+    driver.attach_observability(Arc::new(ObsSink::new(ObsConfig {
+        flight_auto_dump: args.flight.as_ref().map(PathBuf::from),
+        ..ObsConfig::default()
+    })));
 
     let replay = match &args.replay {
         Some(path) => {
@@ -987,10 +1154,11 @@ fn fail(error: &CliError) -> ExitCode {
          [--cp ideal|lossy:P|ge:PGB,PBG|packet] [--engine round|event] [--minutes N] \
          [--devices N] [--homes N] [--feeder cap:KW|tou|congestion[:U]] \
          [--faults SPEC] [--stale-ttl N] [--checkpoint PATH] [--restore PATH] \
-         [--seed N] [--csv]\n       \
+         [--seed N] [--csv] [--metrics-out FILE] [--trace FILE] [--flight FILE] \
+         [--feeder-trace FILE]\n       \
          hansim serve [scenario flags] [--listen ADDR] [--replay FILE] \
          [--checkpoint PATH] [--checkpoint-every MIN] [--restore PATH] \
-         [--pace-us N] [--manual]"
+         [--pace-us N] [--manual] [--flight FILE]"
     );
     ExitCode::FAILURE
 }

@@ -20,6 +20,7 @@
 //! | [`core`] | `han-core` | the collaborative scheduler + simulation |
 //! | [`workload`] | `han-workload` | Poisson / household request workloads |
 //! | [`metrics`] | `han-metrics` | load traces, statistics, reports |
+//! | [`obs`] | `han-obs` | engine metrics, flight recorder, span traces |
 //!
 //! # Quickstart
 //!
@@ -93,6 +94,7 @@ pub use han_core as core;
 pub use han_device as device;
 pub use han_metrics as metrics;
 pub use han_net as net;
+pub use han_obs as obs;
 pub use han_radio as radio;
 pub use han_sim as sim;
 pub use han_st as st;
