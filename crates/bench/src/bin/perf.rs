@@ -45,7 +45,13 @@
 //!   sink attached (must be invisible) and with the full registry +
 //!   flight-recorder sink (gated ≤5% on committed full runs), digest
 //!   equality with the plain run asserted, Prometheus exposition
-//!   validated.
+//!   validated,
+//! * **city scale**: a ≥10⁴-device city (50 feeders × 8 homes × 26
+//!   devices on full runs) through the sharded shared-heap engine
+//!   ([`han_core::city`]) — shard-count invariance of the full report
+//!   and per-home digest equality with the one-engine-per-home
+//!   neighborhood path are asserted, devices simulated per second is
+//!   gated, and peak RSS (`VmHWM`) is recorded.
 //!
 //! Run with: `cargo run --release -p han-bench --bin perf`
 //!
@@ -55,6 +61,7 @@
 //! `BENCH_engine.smoke.json` and leave the committed full-run
 //! `BENCH_engine.json` untouched.
 
+use han_core::city::{City, CitySpec};
 use han_core::cp::CpModel;
 use han_core::experiment::{
     build_simulation, compare_many, compare_seeds, run_strategy, run_strategy_faulted,
@@ -108,6 +115,21 @@ fn assert_exposition_parses(text: &str) -> usize {
     }
     assert!(samples > 0, "exposition carried no samples");
     samples
+}
+
+/// Peak resident set size of this process in kilobytes, read from
+/// `VmHWM` in `/proc/self/status`. Returns 0 where procfs is absent
+/// (non-Linux) so the bench stays portable — the JSON field then
+/// records "unmeasured", not a fake number.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches(" kB").trim().parse().ok())
+        .unwrap_or(0)
 }
 
 /// Median wall-clock seconds of `runs` invocations of `f`.
@@ -607,6 +629,65 @@ fn main() -> Result<(), ScenarioError> {
          (enabled {obs_enabled_s:.4}s vs disabled {obs_disabled_s:.4}s, ceiling {overhead_ceiling}%)"
     );
 
+    // City scale: the sharded shared-heap engine on the full city (50
+    // feeders × 8 homes × 26 devices = 10,400 devices on committed
+    // runs). Three gates before timing: (1) the report is identical at
+    // 1 shard and at the auto shard count — the shard-invariance half of
+    // the prop_city.rs contract; (2) every per-home digest equals the
+    // same home run through the one-engine-per-home neighborhood path —
+    // the shared-heap ≡ per-home half; (3) after timing, a deliberately
+    // low devices/s floor catches structural collapse (per-event
+    // allocation, quadratic shard fold) without flaking on shared
+    // runners.
+    let city_feeders = if smoke { 4 } else { 50 };
+    let city_hpf = if smoke { 2 } else { 8 };
+    let city_spec = CitySpec::uniform(
+        "perf city",
+        &scenario,
+        CpModel::Ideal,
+        city_feeders,
+        city_hpf,
+    );
+    let city_devices = city_spec.device_count();
+    let city_homes = city_spec.home_count();
+    let city_shards = city_spec.effective_shards();
+    let city = City::new(city_spec.clone())?;
+    let city_report = city.run()?;
+    let one_shard_report = City::new(city_spec.clone().with_shards(1))?.run()?;
+    assert_eq!(
+        city_report, one_shard_report,
+        "the city report changed between 1 and {city_shards} shards"
+    );
+    let mut city_digests = city_report.home_digests.iter();
+    for feeder in 0..city_feeders {
+        let oracle = city_spec.feeder_neighborhood(feeder)?.run()?;
+        for home in &oracle.homes {
+            let digest = city_digests.next().expect("digest per home");
+            assert_eq!(
+                digest.coordinated, home.comparison.coordinated.outcome.schedule_digest,
+                "feeder {feeder}: shared-heap digest diverged from the neighborhood path"
+            );
+            assert_eq!(
+                digest.uncoordinated,
+                home.comparison.uncoordinated.outcome.schedule_digest
+            );
+        }
+    }
+    let city_s = median_secs(sweep_runs, || {
+        std::hint::black_box(city.run().expect("valid city"));
+    });
+    let city_devices_per_sec = city_devices as f64 / city_s;
+    let city_rounds_per_sec = city_report.rounds as f64 / city_s;
+    // Throughput floor: committed full runs show ≳500 devices/s on one
+    // worker; 50 leaves an order of magnitude for runner noise while a
+    // structural regression still fails loudly.
+    assert!(
+        city_devices_per_sec >= 50.0,
+        "city throughput collapsed: {city_devices_per_sec:.0} devices/s \
+         ({city_devices} devices in {city_s:.3}s)"
+    );
+    let city_rss_kb = peak_rss_kb();
+
     println!("# paper config: 26 devices, {minutes} min, high rate, ideal CP");
     println!("end_to_end_memoized_s,{memoized_s:.4}");
     println!("end_to_end_naive_s,{naive_s:.4}");
@@ -654,11 +735,18 @@ fn main() -> Result<(), ScenarioError> {
     println!("observability_disabled_overhead_percent,{obs_disabled_overhead_percent:.1}");
     println!("observability_enabled_overhead_percent,{obs_enabled_overhead_percent:.1}");
     println!("observability_exposition_samples,{exposition_samples}");
+    println!(
+        "city_wall_s,{city_s:.4} ({city_feeders} feeders x {city_hpf} homes = \
+         {city_devices} devices, {city_shards} shard(s))"
+    );
+    println!("city_devices_per_sec,{city_devices_per_sec:.0}");
+    println!("city_rounds_per_sec,{city_rounds_per_sec:.0}");
+    println!("city_peak_rss_kb,{city_rss_kb}");
 
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": 8,\n",
+            "  \"schema\": 9,\n",
             "  \"config\": {{\"devices\": 26, \"minutes\": {minutes}, \"rate_per_hour\": 30, \"cp\": \"ideal\"}},\n",
             "  \"rounds\": {rounds},\n",
             "  \"end_to_end\": {{\n",
@@ -748,6 +836,23 @@ fn main() -> Result<(), ScenarioError> {
             "    \"digest_identical\": true,\n",
             "    \"exposition_samples\": {expo_samples},\n",
             "    \"exposition_parses\": true\n",
+            "  }},\n",
+            "  \"city\": {{\n",
+            "    \"feeders\": {city_feeders},\n",
+            "    \"homes_per_feeder\": {city_hpf},\n",
+            "    \"homes\": {city_homes},\n",
+            "    \"devices\": {city_devices},\n",
+            "    \"minutes\": {minutes},\n",
+            "    \"shards\": {city_shards},\n",
+            "    \"wall_s\": {city_s:.6},\n",
+            "    \"devices_per_sec\": {city_dps:.1},\n",
+            "    \"rounds\": {city_rounds},\n",
+            "    \"rounds_per_sec\": {city_rps:.1},\n",
+            "    \"shard_invariant\": true,\n",
+            "    \"digest_identical_vs_neighborhood\": true,\n",
+            "    \"peak_reduction_percent\": {city_red:.2},\n",
+            "    \"coincidence_factor_coordinated\": {city_cf:.4},\n",
+            "    \"peak_rss_kb\": {city_rss_kb}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -808,6 +913,18 @@ fn main() -> Result<(), ScenarioError> {
         obs_disabled = obs_disabled_overhead_percent,
         obs_enabled = obs_enabled_overhead_percent,
         expo_samples = exposition_samples,
+        city_feeders = city_feeders,
+        city_hpf = city_hpf,
+        city_homes = city_homes,
+        city_devices = city_devices,
+        city_shards = city_shards,
+        city_s = city_s,
+        city_dps = city_devices_per_sec,
+        city_rounds = city_report.rounds,
+        city_rps = city_rounds_per_sec,
+        city_red = city_report.peak_reduction_percent(),
+        city_cf = city_report.coincidence_factor_coordinated(),
+        city_rss_kb = city_rss_kb,
     );
     // Smoke numbers (60 min, 4 homes) must never clobber the committed
     // full-run file the README and ROADMAP cite.

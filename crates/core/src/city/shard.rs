@@ -1,0 +1,201 @@
+//! The shared-heap shard: many homes, one engine, one clock.
+//!
+//! A shard owns a set of homes and runs **all** of them on a single
+//! [`Engine`] — one binary heap, one clock — by tagging every
+//! [`CpEvent`] with the home it belongs to. The engine's FIFO
+//! tie-breaking guarantees that the subsequence of events belonging to
+//! any one home fires in exactly the order the solo single-home backend
+//! would fire them, and each event is dispatched through the *same*
+//! [`dispatch_cp_event`] decision procedure the solo backend uses. The
+//! per-home equivalence the city layer advertises is therefore
+//! structural: same code, same per-home order, different heap.
+
+use crate::cp::event::{dispatch_cp_event, schedule_run_start, CpEvent, CpSchedule, RoundPhases};
+use han_sim::engine::{Engine, World};
+use han_sim::time::{SimDuration, SimTime};
+
+/// A [`CpEvent`] tagged with the home it belongs to on a shared heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct HomedEvent {
+    /// Index of the home's slot on this shard.
+    pub home: u32,
+    /// The untagged per-home event.
+    pub event: CpEvent,
+}
+
+/// One home's run state on a shard: its phase implementation plus the
+/// horizon its event chain self-terminates at.
+pub(crate) struct HomeSlot<P> {
+    /// The home's round-phase implementation (a `Driver` in production;
+    /// scripted stubs in the unit tests).
+    pub phases: P,
+    /// The home's round period.
+    pub period: SimDuration,
+    /// The home's inclusive horizon: `RoundEnd` stops chaining the next
+    /// round once it would start past this instant.
+    pub end: SimTime,
+}
+
+/// [`CpSchedule`] adapter that tags every follow-up event with its home
+/// id before handing it to the shared engine. This is the *only* piece
+/// of machinery between a home's phases and the shared heap, which keeps
+/// the equivalence argument short: scheduling through `Tagged` and
+/// untagging on dispatch is the identity on the per-home event sequence.
+struct Tagged<'e> {
+    engine: &'e mut Engine<HomedEvent>,
+    home: u32,
+}
+
+impl CpSchedule for Tagged<'_> {
+    fn at(&mut self, at: SimTime, event: CpEvent) {
+        self.engine.schedule_at(
+            at,
+            HomedEvent {
+                home: self.home,
+                event,
+            },
+        );
+    }
+    fn front(&mut self, at: SimTime, event: CpEvent) {
+        self.engine.schedule_front(
+            at,
+            HomedEvent {
+                home: self.home,
+                event,
+            },
+        );
+    }
+}
+
+/// The shard's event world: routes each fired event to its home's slot
+/// and counts per-home fired events (the honest `events` figure each
+/// home's outcome reports, matching what its solo run would count).
+struct ShardWorld<'s, P> {
+    slots: &'s mut [HomeSlot<P>],
+    fired: Vec<u64>,
+}
+
+impl<P: RoundPhases> World for ShardWorld<'_, P> {
+    type Event = HomedEvent;
+
+    fn handle(&mut self, engine: &mut Engine<HomedEvent>, at: SimTime, event: HomedEvent) {
+        let slot = &mut self.slots[event.home as usize];
+        self.fired[event.home as usize] += 1;
+        let mut schedule = Tagged {
+            engine,
+            home: event.home,
+        };
+        dispatch_cp_event(
+            &mut slot.phases,
+            &mut schedule,
+            slot.period,
+            slot.end,
+            at,
+            event.event,
+        );
+    }
+}
+
+/// Runs every slot to its own horizon on one shared engine.
+///
+/// Seeds each home's opening chain through [`schedule_run_start`] (the
+/// same function the solo backend uses), then drains the shared heap to
+/// the latest horizon. Returns the number of events fired per slot, in
+/// slot order.
+pub(crate) fn run_shard<P: RoundPhases>(slots: &mut [HomeSlot<P>]) -> Vec<u64> {
+    let mut engine = Engine::new();
+    let mut horizon = SimTime::ZERO;
+    for (home, slot) in slots.iter().enumerate() {
+        let mut schedule = Tagged {
+            engine: &mut engine,
+            home: home as u32,
+        };
+        schedule_run_start(&slot.phases, &mut schedule, SimTime::ZERO, 0);
+        if slot.end > horizon {
+            horizon = slot.end;
+        }
+    }
+    let mut world = ShardWorld {
+        fired: vec![0; slots.len()],
+        slots,
+    };
+    engine.run_until(&mut world, horizon);
+    world.fired
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scripted phases that record the order of calls, so the test can
+    /// compare a home's phase log on a shared heap against its solo log.
+    #[derive(Default)]
+    struct Script {
+        floods: usize,
+        rows: usize,
+        log: Vec<String>,
+    }
+
+    impl RoundPhases for Script {
+        fn begin_round(&mut self, now: SimTime) {
+            self.log.push(format!("begin@{}", now.as_secs()));
+        }
+        fn flood_phases(&self) -> usize {
+            self.floods
+        }
+        fn flood_phase(&mut self, k: usize) {
+            self.log.push(format!("flood{k}"));
+        }
+        fn delivery_rows(&self) -> usize {
+            self.rows
+        }
+        fn deliver_row(&mut self, row: usize) {
+            self.log.push(format!("deliver{row}"));
+        }
+        fn plan(&mut self, now: SimTime) {
+            self.log.push(format!("plan@{}", now.as_secs()));
+        }
+        fn end_round(&mut self, now: SimTime) {
+            self.log.push(format!("end@{}", now.as_secs()));
+        }
+    }
+
+    fn slot(floods: usize, rows: usize, period_s: u64, end_s: u64) -> HomeSlot<Script> {
+        HomeSlot {
+            phases: Script {
+                floods,
+                rows,
+                log: Vec::new(),
+            },
+            period: SimDuration::from_secs(period_s),
+            end: SimTime::ZERO + SimDuration::from_secs(end_s),
+        }
+    }
+
+    #[test]
+    fn shared_heap_preserves_each_homes_solo_phase_log() {
+        // Heterogeneous homes: different phase widths, periods, horizons.
+        let mut shared = vec![slot(2, 3, 2, 6), slot(0, 1, 3, 6), slot(1, 2, 2, 4)];
+        let fired = run_shard(&mut shared);
+        for (i, spec) in [(0usize, (2, 3, 2, 6)), (1, (0, 1, 3, 6)), (2, (1, 2, 2, 4))] {
+            let (floods, rows, period, end) = spec;
+            let mut solo = vec![slot(floods, rows, period, end)];
+            let solo_fired = run_shard(&mut solo);
+            assert_eq!(
+                shared[i].phases.log, solo[0].phases.log,
+                "home {i} phase order diverged on the shared heap"
+            );
+            assert_eq!(fired[i], solo_fired[0], "home {i} event count diverged");
+        }
+    }
+
+    #[test]
+    fn slot_order_does_not_change_any_homes_log() {
+        let mut forward = vec![slot(2, 2, 2, 8), slot(1, 3, 2, 8)];
+        let mut reversed = vec![slot(1, 3, 2, 8), slot(2, 2, 2, 8)];
+        run_shard(&mut forward);
+        run_shard(&mut reversed);
+        assert_eq!(forward[0].phases.log, reversed[1].phases.log);
+        assert_eq!(forward[1].phases.log, reversed[0].phases.log);
+    }
+}

@@ -31,7 +31,11 @@
 //! * [`feeder`] — inter-home coordination through a broadcast aggregate
 //!   signal ([`feeder::FeederSignal`]): Jacobi/Gauss-Seidel re-planning to
 //!   convergence, reported with baselines, costs and the per-iteration
-//!   [`feeder::ConvergenceTrace`].
+//!   [`feeder::ConvergenceTrace`];
+//! * [`city`] — city scale ([`city::City`]): feeders × homes on
+//!   shared-heap shards, reduced feeder → substation → city with no
+//!   per-home trace materialization, digest-equivalent per home to the
+//!   [`neighborhood`] path and invariant in the shard count.
 //!
 //! # Examples
 //!
@@ -58,6 +62,7 @@
 
 pub mod algorithm;
 pub mod checkpoint;
+pub mod city;
 pub mod cp;
 pub mod experiment;
 pub mod fault;
@@ -74,6 +79,7 @@ pub use algorithm::{
     Plan, PlanConfig, SchedulingRule,
 };
 pub use checkpoint::{Checkpoint, CheckpointError};
+pub use city::{City, CityCoordination, CityReport, CitySpec, FeederAggregate, HomeDigest};
 pub use cp::event::{CpEvent, EngineKind};
 pub use cp::{CommunicationPlane, CpModel, CpStats};
 pub use fault::{degrade_cap_profile, FaultEvent, FaultPlan};

@@ -184,6 +184,10 @@ metric_enum! {
         FeederIterations => ("han_feeder_iterations_total", "Feeder coordination iterations executed"),
         /// Telemetry events absorbed by the round loop's inject phase.
         OnlineEventsAbsorbed => ("han_online_events_absorbed_total", "Injected telemetry events absorbed at round boundaries"),
+        /// Rounds executed across all homes of a city run (city level).
+        CityRounds => ("han_city_rounds_total", "Rounds executed across all homes of a city run"),
+        /// Rounds executed per shard, summed (must equal the city total).
+        CityShardRounds => ("han_city_shard_rounds_total", "Rounds executed by city shards (sum over shards)"),
     }
 }
 
@@ -203,6 +207,11 @@ metric_enum! {
         FeederStopReason => ("han_feeder_stop_reason", "Feeder stop reason (0 converged, 1 max iterations, 2 oscillating)"),
         /// Injected actions still waiting for their absorbing round.
         OnlinePendingInjections => ("han_online_pending_injections", "Injected actions awaiting their round"),
+        /// Homes on the most-loaded shard of the last city run.
+        CityShardHomes => ("han_city_shard_homes", "Homes on the most-loaded shard of a city run"),
+        /// Shard load imbalance, permille (1000 = perfectly balanced;
+        /// max shard devices x shards x 1000 / total devices).
+        CityShardImbalancePermille => ("han_city_shard_imbalance_permille", "City shard imbalance, permille (1000 = balanced)"),
     }
 }
 

@@ -7,6 +7,7 @@
 //! ```text
 //! Usage: hansim [OPTIONS]
 //!        hansim serve [OPTIONS]   long-lived online service mode (below)
+//!        hansim city [OPTIONS]    city-scale sharded run (below)
 //!   --rate <low|moderate|high|N>   aggregate request rate (default: high)
 //!   --workload <poisson|daily>     arrival process (default: poisson;
 //!                                  daily = time-of-day household profile,
@@ -92,8 +93,28 @@
 //!   --flight <FILE>                auto-dump the flight-recorder ring
 //!                                  here whenever a fault fires (DUMP
 //!                                  over the socket works regardless)
+//!
+//! City mode (`hansim city`) runs feeders × homes-per-feeder homes on
+//! shared-heap shards (see han_core::city) and prints the reduced
+//! feeder → substation → city report. The report is identical for every
+//! valid `--shards` value, and per-home results are digest-identical to
+//! the same homes run through the neighborhood path. Scenario flags
+//! (--rate, --workload, --minutes, --devices, --cp, --faults, --seed)
+//! apply as above; --engine is rejected (the city always runs the
+//! shared-heap event backend). City-specific flags:
+//!
+//!   --feeders <N>                  feeders in the city (default: 4)
+//!   --homes-per-feeder <M>         homes on each feeder (default: 4)
+//!   --shards <K>                   shards to partition feeders across
+//!                                  (default: auto; K must not exceed
+//!                                  the feeder count)
+//!   --substation-fanin <N>         feeders per substation in the
+//!                                  reduction tree (default: 8)
+//!   --csv                          the city aggregate per strategy as
+//!                                  per-minute CSV
 //! ```
 
+use smart_han::core::city::{City, CitySpec};
 use smart_han::core::experiment::{
     build_simulation, run_strategy_faulted, summarize_outcome, SAMPLE_INTERVAL,
 };
@@ -1118,12 +1139,267 @@ fn run_serve() -> Result<(), CliError> {
     Ok(())
 }
 
-fn main() -> ExitCode {
-    if std::env::args().nth(1).as_deref() == Some("serve") {
-        return match run_serve() {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => fail(&e),
+/// City-mode arguments (`hansim city …`).
+struct CityArgs {
+    feeders: usize,
+    homes_per_feeder: usize,
+    shards: usize,
+    devices: usize,
+    rate: f64,
+    workload: String,
+    minutes: u64,
+    cp: CpModel,
+    faults: FaultPlan,
+    seed: u64,
+    substation_fanin: usize,
+    csv: bool,
+}
+
+fn parse_city_args() -> Result<CityArgs, CliError> {
+    let mut args = CityArgs {
+        feeders: 4,
+        homes_per_feeder: 4,
+        shards: 0,
+        devices: 26,
+        rate: 30.0,
+        workload: "poisson".into(),
+        minutes: 120,
+        cp: CpModel::Ideal,
+        faults: FaultPlan::empty(),
+        seed: 0,
+        substation_fanin: 0,
+        csv: false,
+    };
+    let mut cp_choice = CpChoice::Ideal;
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &'static str| it.next().ok_or(CliError::MissingValue { flag: name });
+        match flag.as_str() {
+            "--feeders" => args.feeders = parse_num(&value("--feeders")?, "--feeders")?,
+            "--homes-per-feeder" => {
+                args.homes_per_feeder =
+                    parse_num(&value("--homes-per-feeder")?, "--homes-per-feeder")?
+            }
+            "--shards" => args.shards = parse_num(&value("--shards")?, "--shards")?,
+            "--devices" => args.devices = parse_num(&value("--devices")?, "--devices")?,
+            "--rate" => {
+                let v = value("--rate")?;
+                args.rate = match v.as_str() {
+                    "low" => 4.0,
+                    "moderate" => 18.0,
+                    "high" => 30.0,
+                    n => n.parse().map_err(|_| CliError::Invalid {
+                        flag: "--rate",
+                        value: n.to_string(),
+                        expected: "low|moderate|high|N",
+                    })?,
+                };
+            }
+            "--workload" => {
+                let v = value("--workload")?;
+                match v.as_str() {
+                    "poisson" | "daily" => args.workload = v,
+                    other => {
+                        return Err(CliError::Invalid {
+                            flag: "--workload",
+                            value: other.to_string(),
+                            expected: "poisson|daily",
+                        })
+                    }
+                }
+            }
+            "--minutes" => args.minutes = parse_num(&value("--minutes")?, "--minutes")?,
+            "--cp" => {
+                let v = value("--cp")?;
+                let invalid = |v: &str| CliError::Invalid {
+                    flag: "--cp",
+                    value: v.to_string(),
+                    expected: "ideal|lossy:P|ge:PGB,PBG|packet",
+                };
+                cp_choice = if v == "ideal" {
+                    CpChoice::Ideal
+                } else if v == "packet" {
+                    CpChoice::Packet
+                } else if let Some(p) = v.strip_prefix("lossy:") {
+                    CpChoice::Lossy(p.parse().map_err(|_| invalid(&v))?)
+                } else if let Some(probs) = v.strip_prefix("ge:") {
+                    let (gb, bg) = probs.split_once(',').ok_or_else(|| invalid(&v))?;
+                    CpChoice::Ge {
+                        p_good_to_bad: gb.parse().map_err(|_| invalid(&v))?,
+                        p_bad_to_good: bg.parse().map_err(|_| invalid(&v))?,
+                    }
+                } else {
+                    return Err(invalid(&v));
+                };
+            }
+            "--faults" => {
+                let v = value("--faults")?;
+                args.faults = FaultPlan::parse(&v).map_err(|_| CliError::Invalid {
+                    flag: "--faults",
+                    value: v,
+                    expected: "e.g. \"down:3@10; up:3@40; outage:60-65\"",
+                })?;
+            }
+            "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")?,
+            "--substation-fanin" => {
+                args.substation_fanin =
+                    parse_num(&value("--substation-fanin")?, "--substation-fanin")?
+            }
+            "--csv" => args.csv = true,
+            // The city layer has no backend choice: homes always run the
+            // shared-heap event engine (the equivalence contract makes
+            // the synchronous loop redundant at this scale). Rejected,
+            // not ignored — a typed error, never a silent no-op.
+            "--engine" => {
+                let v = value("--engine").unwrap_or_else(|_| "absent".into());
+                return Err(CliError::Invalid {
+                    flag: "--engine",
+                    value: v,
+                    expected: "no --engine in city mode (always the shared-heap event backend)",
+                });
+            }
+            "--help" | "-h" => return Err(CliError::Usage),
+            other => {
+                return Err(CliError::UnknownFlag {
+                    flag: other.to_string(),
+                })
+            }
+        }
+    }
+    args.cp = cp_choice.build(args.seed);
+    Ok(args)
+}
+
+fn run_city() -> Result<(), CliError> {
+    let args = parse_city_args()?;
+    let template = Scenario::builder(format!("city {}/h", args.rate))
+        .class(DeviceClass::paper(args.devices))
+        .workload(match args.workload.as_str() {
+            "daily" => Workload::Daily(DailyProfile::typical_household()),
+            _ => Workload::Poisson {
+                rate_per_hour: args.rate,
+            },
+        })
+        .duration(SimDuration::from_mins(args.minutes))
+        .seed(args.seed)
+        .build()?;
+    let spec = CitySpec::uniform(
+        format!("cli city {}x{}", args.feeders, args.homes_per_feeder),
+        &template,
+        args.cp.clone(),
+        args.feeders,
+        args.homes_per_feeder,
+    )
+    .with_seed(args.seed)
+    .with_shards(args.shards)
+    .with_substation_fanin(args.substation_fanin)
+    .with_faults(args.faults.clone());
+    let report = City::new(spec)?.run()?;
+
+    if args.csv {
+        let minutes: Vec<f64> = (0..report.samples_uncoordinated.len())
+            .map(|m| m as f64)
+            .collect();
+        print!(
+            "{}",
+            series_csv(
+                "minute",
+                &minutes,
+                &[
+                    ("uncoordinated", &report.samples_uncoordinated),
+                    ("coordinated", &report.samples_coordinated),
+                ],
+            )
+        );
+        return Ok(());
+    }
+
+    // Everything printed below is a pure function of the reduced report
+    // — nothing shard-dependent, so the bytes are identical for every
+    // valid `--shards` value (pinned by tests/cli_city.rs).
+    println!(
+        "{}: {} feeders x {} homes x {} devices = {} devices, {} min, seed {}",
+        report.name,
+        report.feeders.len(),
+        args.homes_per_feeder,
+        args.devices,
+        report.devices,
+        args.minutes,
+        args.seed,
+    );
+    println!(
+        "\n{:<8} {:>6} {:>9} {:>9} {:>8} {:>12}",
+        "feeder", "homes", "peak w/o", "peak w/", "misses", "coincidence"
+    );
+    for f in &report.feeders {
+        let unco = Summary::of(&f.samples_uncoordinated);
+        let coord = Summary::of(&f.samples_coordinated);
+        let coincidence = if f.sum_home_peaks_coordinated == 0.0 {
+            1.0
+        } else {
+            coord.peak / f.sum_home_peaks_coordinated
         };
+        println!(
+            "f{:<7} {:>6} {:>9.2} {:>9.2} {:>8} {:>12.2}",
+            f.feeder, f.homes, unco.peak, coord.peak, f.deadline_misses, coincidence,
+        );
+    }
+    println!(
+        "\n{:<8} {:>8} {:>9} {:>9} {:>12}",
+        "subst.", "feeders", "peak w/o", "peak w/", "coincidence"
+    );
+    for s in &report.substations {
+        println!(
+            "s{:<7} {:>8} {:>9.2} {:>9.2} {:>12.2}",
+            s.substation,
+            s.feeders,
+            s.uncoordinated.peak,
+            s.coordinated.peak,
+            s.coincidence_coordinated,
+        );
+    }
+    let billing = Billing::typical_residential();
+    let costs = report.costs(&billing);
+    println!(
+        "\ncity: peak {:.2} → {:.2} kW (−{:.1}%), coincidence {:.2} → {:.2}",
+        report.uncoordinated.peak,
+        report.coordinated.peak,
+        report.peak_reduction_percent(),
+        report.coincidence_factor_uncoordinated(),
+        report.coincidence_factor_coordinated(),
+    );
+    println!(
+        "city totals: rounds {} | misses {} | served {} | divergent {} | energy {:.1} kWh",
+        report.rounds,
+        report.deadline_misses,
+        report.windows_served,
+        report.divergent_rounds,
+        report.energy_coordinated_kwh,
+    );
+    println!(
+        "city bill: {} → {} (save {:.1}%)",
+        cost_line(&costs.uncoordinated),
+        cost_line(&costs.coordinated),
+        costs.savings_percent(),
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match std::env::args().nth(1).as_deref() {
+        Some("serve") => {
+            return match run_serve() {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(&e),
+            };
+        }
+        Some("city") => {
+            return match run_city() {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(&e),
+            };
+        }
+        _ => {}
     }
     let args = match parse_args() {
         Ok(a) => a,
@@ -1158,7 +1434,9 @@ fn fail(error: &CliError) -> ExitCode {
          [--feeder-trace FILE]\n       \
          hansim serve [scenario flags] [--listen ADDR] [--replay FILE] \
          [--checkpoint PATH] [--checkpoint-every MIN] [--restore PATH] \
-         [--pace-us N] [--manual] [--flight FILE]"
+         [--pace-us N] [--manual] [--flight FILE]\n       \
+         hansim city [scenario flags] [--feeders N] [--homes-per-feeder M] \
+         [--shards K] [--substation-fanin N] [--csv]"
     );
     ExitCode::FAILURE
 }
