@@ -51,7 +51,15 @@
 //!   ([`han_core::city`]) — shard-count invariance of the full report
 //!   and per-home digest equality with the one-engine-per-home
 //!   neighborhood path are asserted, devices simulated per second is
-//!   gated, and peak RSS (`VmHWM`) is recorded.
+//!   gated, and peak RSS (`VmHWM`) is recorded,
+//! * **multi-process city**: the same city as a supervised worker fleet
+//!   ([`han_core::city::mp`]) — this binary re-execs itself as workers
+//!   over `HANFAGG1` pipes. Worker-count invariance (W=1 vs W=4) and
+//!   full-report equality with the in-process run are asserted, a
+//!   devices/s floor is gated, and the parent's peak RSS is sampled
+//!   *before* the in-process city phase (`VmHWM` is monotonic) so the
+//!   supervisor-side memory footprint is visible next to the
+//!   shared-heap one.
 //!
 //! Run with: `cargo run --release -p han-bench --bin perf`
 //!
@@ -61,6 +69,7 @@
 //! `BENCH_engine.smoke.json` and leave the committed full-run
 //! `BENCH_engine.json` untouched.
 
+use han_core::city::mp::{self, MpOptions, WorkerConnection, WorkerTask};
 use han_core::city::{City, CitySpec};
 use han_core::cp::CpModel;
 use han_core::experiment::{
@@ -145,7 +154,59 @@ fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// The city configuration both the in-process and multi-process phases
+/// measure — one function so the re-exec'd worker derives the *same*
+/// spec as the parent (the `HANCITY1` fingerprint pins this).
+fn perf_city_spec(smoke: bool) -> CitySpec {
+    let minutes: u64 = if smoke { 60 } else { 350 };
+    let scenario = Scenario {
+        duration: SimDuration::from_mins(minutes),
+        ..Scenario::paper(ArrivalRate::High, 0)
+    };
+    let feeders = if smoke { 4 } else { 50 };
+    let hpf = if smoke { 2 } else { 8 };
+    CitySpec::uniform("perf city", &scenario, CpModel::Ideal, feeders, hpf)
+}
+
+/// A launcher that re-execs this perf binary as `--city-mp-worker`
+/// children — real worker processes without depending on where (or
+/// whether) the `hansim` CLI binary was built.
+fn perf_mp_launcher(smoke: bool) -> impl FnMut(&WorkerTask) -> Result<WorkerConnection, String> {
+    move |task| {
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        let mut child = std::process::Command::new(exe)
+            .args([
+                "--city-mp-worker",
+                &task.worker.to_string(),
+                &task.workers.to_string(),
+                if smoke { "smoke" } else { "full" },
+            ])
+            .stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn: {e}"))?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        Ok(WorkerConnection::new(stdout).with_shutdown(move || {
+            let _ = child.kill();
+            let _ = child.wait();
+        }))
+    }
+}
+
 fn main() -> Result<(), ScenarioError> {
+    // Hidden worker half of the multi-process city phase: rebuild the
+    // phase's spec from the smoke flag and stream the assigned feeder
+    // partition to stdout, then exit before any benchmarking.
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(at) = argv.iter().position(|a| a == "--city-mp-worker") {
+        let worker: usize = argv[at + 1].parse().expect("worker index");
+        let workers: usize = argv[at + 2].parse().expect("worker count");
+        let spec = perf_city_spec(argv[at + 3] == "smoke");
+        let mut out = std::io::BufWriter::new(std::io::stdout().lock());
+        mp::serve_worker(&spec, worker, workers, &mut out).expect("worker serves");
+        return Ok(());
+    }
+
     let smoke = std::env::args().any(|a| a == "--smoke");
     let minutes: u64 = if smoke { 60 } else { 350 };
     let homes: usize = if smoke { 4 } else { 8 };
@@ -639,20 +700,56 @@ fn main() -> Result<(), ScenarioError> {
     // low devices/s floor catches structural collapse (per-event
     // allocation, quadratic shard fold) without flaking on shared
     // runners.
-    let city_feeders = if smoke { 4 } else { 50 };
-    let city_hpf = if smoke { 2 } else { 8 };
-    let city_spec = CitySpec::uniform(
-        "perf city",
-        &scenario,
-        CpModel::Ideal,
-        city_feeders,
-        city_hpf,
-    );
+    let city_spec = perf_city_spec(smoke);
+    let city_feeders = city_spec.feeders;
+    let city_hpf = city_spec.homes_per_feeder;
     let city_devices = city_spec.device_count();
     let city_homes = city_spec.home_count();
     let city_shards = city_spec.effective_shards();
+
+    // Multi-process city FIRST: `VmHWM` is monotonic, so the parent's
+    // RSS with the heap pushed out to worker processes must be sampled
+    // before the in-process city run inflates the high-water mark.
+    // Gates: (1) the report is identical at 1 worker and at the fleet
+    // size — worker-count invariance at bench scale; (2) below, the
+    // fleet report must equal the in-process run exactly; (3) a
+    // deliberately low devices/s floor catches structural collapse in
+    // the framing/supervision path without flaking on shared runners.
+    let mp_workers = 4usize.min(city_feeders);
+    let mp_options = MpOptions::new(mp_workers).with_deadline(std::time::Duration::from_secs(600));
+    let run_fleet = |options: &MpOptions| {
+        let mut launch = perf_mp_launcher(smoke);
+        mp::run_city_mp(&city_spec, options, &Obs::off(), &mut launch)
+            .expect("the perf worker fleet runs")
+    };
+    let (city_mp_report, city_mp_stats) = run_fleet(&mp_options);
+    let (one_worker_report, _) =
+        run_fleet(&MpOptions::new(1).with_deadline(std::time::Duration::from_secs(600)));
+    assert_eq!(
+        city_mp_report, one_worker_report,
+        "the city report changed between 1 and {mp_workers} worker process(es)"
+    );
+    assert_eq!(
+        city_mp_stats.frames as usize, city_feeders,
+        "one HANFAGG1 frame per feeder"
+    );
+    let city_mp_s = median_secs(sweep_runs, || {
+        std::hint::black_box(run_fleet(&mp_options));
+    });
+    let city_mp_devices_per_sec = city_devices as f64 / city_mp_s;
+    assert!(
+        city_mp_devices_per_sec >= 50.0,
+        "multi-process city throughput collapsed: {city_mp_devices_per_sec:.0} devices/s \
+         ({city_devices} devices in {city_mp_s:.3}s over {mp_workers} workers)"
+    );
+    let city_mp_rss_kb = peak_rss_kb();
+
     let city = City::new(city_spec.clone())?;
     let city_report = city.run()?;
+    assert_eq!(
+        city_mp_report, city_report,
+        "the worker-fleet report diverged from the in-process run"
+    );
     let one_shard_report = City::new(city_spec.clone().with_shards(1))?.run()?;
     assert_eq!(
         city_report, one_shard_report,
@@ -742,11 +839,18 @@ fn main() -> Result<(), ScenarioError> {
     println!("city_devices_per_sec,{city_devices_per_sec:.0}");
     println!("city_rounds_per_sec,{city_rounds_per_sec:.0}");
     println!("city_peak_rss_kb,{city_rss_kb}");
+    println!(
+        "city_mp_wall_s,{city_mp_s:.4} ({mp_workers} worker process(es), \
+         {} frames, {} payload bytes)",
+        city_mp_stats.frames, city_mp_stats.payload_bytes
+    );
+    println!("city_mp_devices_per_sec,{city_mp_devices_per_sec:.0}");
+    println!("city_mp_parent_peak_rss_kb,{city_mp_rss_kb}");
 
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": 9,\n",
+            "  \"schema\": 10,\n",
             "  \"config\": {{\"devices\": 26, \"minutes\": {minutes}, \"rate_per_hour\": 30, \"cp\": \"ideal\"}},\n",
             "  \"rounds\": {rounds},\n",
             "  \"end_to_end\": {{\n",
@@ -853,6 +957,16 @@ fn main() -> Result<(), ScenarioError> {
             "    \"peak_reduction_percent\": {city_red:.2},\n",
             "    \"coincidence_factor_coordinated\": {city_cf:.4},\n",
             "    \"peak_rss_kb\": {city_rss_kb}\n",
+            "  }},\n",
+            "  \"city_mp\": {{\n",
+            "    \"workers\": {mp_workers},\n",
+            "    \"wall_s\": {city_mp_s:.6},\n",
+            "    \"devices_per_sec\": {city_mp_dps:.1},\n",
+            "    \"frames\": {mp_frames},\n",
+            "    \"payload_bytes\": {mp_payload_bytes},\n",
+            "    \"worker_invariant\": true,\n",
+            "    \"report_identical_to_in_process\": true,\n",
+            "    \"parent_peak_rss_kb\": {city_mp_rss_kb}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -925,6 +1039,12 @@ fn main() -> Result<(), ScenarioError> {
         city_red = city_report.peak_reduction_percent(),
         city_cf = city_report.coincidence_factor_coordinated(),
         city_rss_kb = city_rss_kb,
+        mp_workers = mp_workers,
+        city_mp_s = city_mp_s,
+        city_mp_dps = city_mp_devices_per_sec,
+        mp_frames = city_mp_stats.frames,
+        mp_payload_bytes = city_mp_stats.payload_bytes,
+        city_mp_rss_kb = city_mp_rss_kb,
     );
     // Smoke numbers (60 min, 4 homes) must never clobber the committed
     // full-run file the README and ROADMAP cite.

@@ -59,6 +59,7 @@
 //! # Ok::<(), han_workload::fleet::ScenarioError>(())
 //! ```
 
+pub mod mp;
 pub(crate) mod shard;
 pub mod tree;
 
@@ -69,7 +70,7 @@ use crate::cp::CpModel;
 use crate::experiment::{
     build_simulation, collect_results, summarize_outcome, CostComparison, SAMPLE_INTERVAL,
 };
-use crate::fault::FaultPlan;
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::feeder::{FeederPolicy, FeederReport};
 use crate::neighborhood::{Home, Neighborhood};
 use crate::simulation::{Driver, Strategy};
@@ -79,7 +80,7 @@ use han_obs::{Counter, Gauge, Obs};
 use han_sim::rng::mix_seed;
 use han_sim::time::SimTime;
 use han_workload::fleet::ScenarioError;
-use han_workload::scenario::Scenario;
+use han_workload::scenario::{Scenario, Workload};
 use rayon::prelude::*;
 
 use shard::{run_shard, HomeSlot};
@@ -95,6 +96,26 @@ pub const DEFAULT_SHARDS: usize = 8;
 /// Feeders reporting to one substation when
 /// [`CitySpec::substation_fanin`] is 0 (auto).
 pub const DEFAULT_SUBSTATION_FANIN: usize = 8;
+
+/// Contiguous ranges partitioning `0..items` into `parts` pieces whose
+/// sizes differ by at most one — the single partition function shards
+/// *and* worker fleets share. A pure function of its two arguments:
+/// in-process shard partitioning and multi-process worker assignment
+/// both derive from it, which is what lets [`mp`] re-derive a worker's
+/// feeder range from `(spec, worker index, worker count)` alone.
+pub(crate) fn partition(items: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, items.max(1));
+    let base = items / parts;
+    let extra = items % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
 
 /// Specification of a city run: the grid shape, the workload mix, and
 /// the shared environment every home runs under.
@@ -288,6 +309,78 @@ impl CitySpec {
             self.substation_fanin
         }
     }
+
+    /// A 64-bit fingerprint of everything that determines a worker's
+    /// record stream: grid shape, city seed, the workload mix, the CP
+    /// family and the fault plan. The [`mp`] `HANCITY1` handshake
+    /// carries it so a parent and a worker that somehow derived
+    /// *different* specs fail with a typed mismatch instead of silently
+    /// reducing mixed results.
+    ///
+    /// Deliberately **excludes** the report-shaping knobs that do not
+    /// change the records themselves: the display name, the shard
+    /// count (the report is shard-invariant by contract) and the
+    /// substation fan-in (a parent-side reduction detail).
+    pub fn fingerprint(&self) -> u64 {
+        // The same rotate-xor-multiply fold the checkpoint codec uses
+        // for its run fingerprint.
+        let mut d: u64 = 0x4841_4E43_4954_5931; // "HANCITY1"
+        let mut fold = |v: u64| d = (d.rotate_left(5) ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        fold(self.feeders as u64);
+        fold(self.homes_per_feeder as u64);
+        fold(self.seed);
+        fold(self.templates.len() as u64);
+        for t in &self.templates {
+            fold(t.fleet.device_count() as u64);
+            fold(t.duration.as_micros());
+            match &t.workload {
+                Workload::Poisson { rate_per_hour } => {
+                    fold(1);
+                    fold(rate_per_hour.to_bits());
+                }
+                Workload::Daily(_) => fold(2),
+                Workload::Trace(_) => fold(3),
+            }
+            fold(u64::from(t.power_cap.is_some()));
+        }
+        fold(match &self.cp {
+            CpModel::Ideal => 0,
+            CpModel::LossyRound { miss_probability } => 1 | (miss_probability.to_bits() << 8),
+            CpModel::LossyRecord { miss_probability } => 2 | (miss_probability.to_bits() << 8),
+            CpModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                ..
+            } => 3 | ((p_good_to_bad.to_bits() ^ p_bad_to_good.to_bits()) << 8),
+            CpModel::Packet { .. } => 4,
+        });
+        fold(self.faults.events().len() as u64);
+        for event in self.faults.events() {
+            match *event {
+                FaultEvent::NodeDown { at, node } => {
+                    fold(1);
+                    fold(at.as_micros());
+                    fold(node as u64);
+                }
+                FaultEvent::NodeUp { at, node } => {
+                    fold(2);
+                    fold(at.as_micros());
+                    fold(node as u64);
+                }
+                FaultEvent::CpOutage { from, until } => {
+                    fold(3);
+                    fold(from.as_micros());
+                    fold(until.as_micros());
+                }
+                FaultEvent::SignalLoss { from, until } => {
+                    fold(4);
+                    fold(from.as_micros());
+                    fold(until.as_micros());
+                }
+            }
+        }
+        d
+    }
 }
 
 /// What one shard hands back: its encoded feeder-aggregate stream plus
@@ -344,18 +437,7 @@ impl City {
     /// never of worker count — which the shard-invariance contract
     /// depends on.
     fn shard_ranges(&self) -> Vec<Range<usize>> {
-        let feeders = self.spec.feeders;
-        let k = self.spec.effective_shards().min(feeders);
-        let base = feeders / k;
-        let extra = feeders % k;
-        let mut ranges = Vec::with_capacity(k);
-        let mut start = 0;
-        for s in 0..k {
-            let len = base + usize::from(s < extra);
-            ranges.push(start..start + len);
-            start += len;
-        }
-        ranges
+        partition(self.spec.feeders, self.spec.effective_shards())
     }
 
     /// Runs the city: shards in parallel, many homes per shared engine

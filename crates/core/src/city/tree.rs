@@ -104,6 +104,12 @@ struct Cursor<'b> {
 }
 
 impl<'b> Cursor<'b> {
+    /// Bytes left unread — the bound every wire-claimed element count is
+    /// clamped against before pre-allocating (a corrupted length field
+    /// must fail typed on the next read, not abort on a huge reserve).
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
     fn take(&mut self, n: usize) -> Result<&'b [u8], AggregateWireError> {
         let have = self.bytes.len() - self.pos;
         if have < n {
@@ -192,7 +198,7 @@ impl FeederAggregate {
         let sum_home_peaks_coordinated = c.f64()?;
         let series = |c: &mut Cursor<'_>| -> Result<Vec<f64>, AggregateWireError> {
             let len = c.u32()? as usize;
-            let mut out = Vec::with_capacity(len);
+            let mut out = Vec::with_capacity(len.min(c.remaining() / 8));
             for _ in 0..len {
                 out.push(c.f64()?);
             }
@@ -201,7 +207,7 @@ impl FeederAggregate {
         let samples_uncoordinated = series(&mut c)?;
         let samples_coordinated = series(&mut c)?;
         let digests = c.u32()? as usize;
-        let mut home_digests = Vec::with_capacity(digests);
+        let mut home_digests = Vec::with_capacity(digests.min(c.remaining() / 24));
         for _ in 0..digests {
             home_digests.push(HomeDigest {
                 home: c.u64()?,

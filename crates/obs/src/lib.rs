@@ -188,6 +188,12 @@ metric_enum! {
         CityRounds => ("han_city_rounds_total", "Rounds executed across all homes of a city run"),
         /// Rounds executed per shard, summed (must equal the city total).
         CityShardRounds => ("han_city_shard_rounds_total", "Rounds executed by city shards (sum over shards)"),
+        /// `HANFAGG1` record frames received from city worker processes.
+        CityMpFrames => ("han_city_mp_frames_total", "Record frames received from city workers"),
+        /// Framed payload bytes received from city worker processes.
+        CityMpPayloadBytes => ("han_city_mp_payload_bytes_total", "Framed payload bytes received from city workers"),
+        /// Dead city workers relaunched by the supervisor.
+        CityMpRestarts => ("han_city_mp_restarts_total", "Dead city workers relaunched by the supervisor"),
     }
 }
 
@@ -212,6 +218,11 @@ metric_enum! {
         /// Shard load imbalance, permille (1000 = perfectly balanced;
         /// max shard devices x shards x 1000 / total devices).
         CityShardImbalancePermille => ("han_city_shard_imbalance_permille", "City shard imbalance, permille (1000 = balanced)"),
+        /// Worker processes in the last multi-process city fleet.
+        CityMpWorkers => ("han_city_mp_workers", "Worker processes in the last city fleet"),
+        /// Per-worker wall-clock imbalance, permille (1000 = balanced;
+        /// total wall x 1000 / (workers x slowest worker)).
+        CityMpWallImbalancePermille => ("han_city_mp_wall_imbalance_permille", "City worker wall imbalance, permille (1000 = balanced)"),
     }
 }
 

@@ -110,11 +110,22 @@
 //!                                  the feeder count)
 //!   --substation-fanin <N>         feeders per substation in the
 //!                                  reduction tree (default: 8)
+//!   --workers <N>                  run the city as N worker processes
+//!                                  (re-exec'd `hansim` children over
+//!                                  HANFAGG1 pipes; default: in-process
+//!                                  shards). The report is byte-identical
+//!                                  either way and for every valid N.
+//!   --mp-restart                   relaunch a dead worker once and
+//!                                  re-read its partition (deterministic)
+//!   --mp-deadline-ms <N>           per-worker read deadline before a
+//!                                  silent worker becomes a typed error
+//!                                  (default: 30000)
 //!   --csv                          the city aggregate per strategy as
 //!                                  per-minute CSV
 //! ```
 
-use smart_han::core::city::{City, CitySpec};
+use smart_han::core::city::mp::{self, MpOptions, WorkerConnection, WorkerError};
+use smart_han::core::city::{City, CityReport, CitySpec};
 use smart_han::core::experiment::{
     build_simulation, run_strategy_faulted, summarize_outcome, SAMPLE_INTERVAL,
 };
@@ -126,6 +137,7 @@ use smart_han::obs::{Obs, ObsConfig, ObsSink};
 use smart_han::prelude::*;
 use smart_han::workload::signal::PowerCapProfile;
 use std::fmt;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -156,6 +168,9 @@ enum CliError {
     Io { path: String, error: std::io::Error },
     /// The online service reported a typed failure (serve mode).
     Online(OnlineError),
+    /// The multi-process city supervisor reported a typed failure
+    /// (city mode with `--workers`).
+    Worker(WorkerError),
 }
 
 impl fmt::Display for CliError {
@@ -173,6 +188,7 @@ impl fmt::Display for CliError {
             CliError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
             CliError::Io { path, error } => write!(f, "{path}: {error}"),
             CliError::Online(e) => write!(f, "serve: {e}"),
+            CliError::Worker(e) => write!(f, "city worker fleet: {e}"),
         }
     }
 }
@@ -186,6 +202,18 @@ impl From<ScenarioError> for CliError {
 impl From<OnlineError> for CliError {
     fn from(e: OnlineError) -> Self {
         CliError::Online(e)
+    }
+}
+
+impl From<WorkerError> for CliError {
+    fn from(e: WorkerError) -> Self {
+        // A worker fleet failing on an invalid spec is the same misuse
+        // as the in-process path failing on it — keep the diagnostic
+        // identical so tests (and users) see one error, not two.
+        match e {
+            WorkerError::Scenario(inner) => CliError::Scenario(inner),
+            other => CliError::Worker(other),
+        }
     }
 }
 
@@ -1153,9 +1181,20 @@ struct CityArgs {
     seed: u64,
     substation_fanin: usize,
     csv: bool,
+    /// `Some(n)`: run the city as `n` worker processes (`hansim
+    /// city-worker` children). `None`: in-process shards.
+    workers: Option<usize>,
+    mp_restart: bool,
+    mp_deadline_ms: u64,
 }
 
-fn parse_city_args() -> Result<CityArgs, CliError> {
+/// Parses city-mode flags from `it` — the tail of argv after the
+/// subcommand. Taking the iterator (rather than reading `env::args`
+/// here) lets the hidden `city-worker` entry point reuse the exact
+/// parser on its own argv tail, so parent and worker derive the spec
+/// from the *same* grammar and the handshake fingerprints can only
+/// diverge on real version skew.
+fn parse_city_args(mut it: impl Iterator<Item = String>) -> Result<CityArgs, CliError> {
     let mut args = CityArgs {
         feeders: 4,
         homes_per_feeder: 4,
@@ -1169,9 +1208,11 @@ fn parse_city_args() -> Result<CityArgs, CliError> {
         seed: 0,
         substation_fanin: 0,
         csv: false,
+        workers: None,
+        mp_restart: false,
+        mp_deadline_ms: 30_000,
     };
     let mut cp_choice = CpChoice::Ideal;
-    let mut it = std::env::args().skip(2);
     while let Some(flag) = it.next() {
         let mut value = |name: &'static str| it.next().ok_or(CliError::MissingValue { flag: name });
         match flag.as_str() {
@@ -1246,6 +1287,11 @@ fn parse_city_args() -> Result<CityArgs, CliError> {
                     parse_num(&value("--substation-fanin")?, "--substation-fanin")?
             }
             "--csv" => args.csv = true,
+            "--workers" => args.workers = Some(parse_num(&value("--workers")?, "--workers")?),
+            "--mp-restart" => args.mp_restart = true,
+            "--mp-deadline-ms" => {
+                args.mp_deadline_ms = parse_num(&value("--mp-deadline-ms")?, "--mp-deadline-ms")?
+            }
             // The city layer has no backend choice: homes always run the
             // shared-heap event engine (the equivalence contract makes
             // the synchronous loop redundant at this scale). Rejected,
@@ -1270,8 +1316,11 @@ fn parse_city_args() -> Result<CityArgs, CliError> {
     Ok(args)
 }
 
-fn run_city() -> Result<(), CliError> {
-    let args = parse_city_args()?;
+/// Builds the city spec a set of parsed flags describes. Shared by the
+/// parent (`hansim city`) and the hidden worker (`hansim city-worker`):
+/// both sides derive the spec through this one function, which is what
+/// makes the handshake fingerprint a real equivalence check.
+fn city_spec(args: &CityArgs) -> Result<CitySpec, CliError> {
     let template = Scenario::builder(format!("city {}/h", args.rate))
         .class(DeviceClass::paper(args.devices))
         .workload(match args.workload.as_str() {
@@ -1283,7 +1332,7 @@ fn run_city() -> Result<(), CliError> {
         .duration(SimDuration::from_mins(args.minutes))
         .seed(args.seed)
         .build()?;
-    let spec = CitySpec::uniform(
+    Ok(CitySpec::uniform(
         format!("cli city {}x{}", args.feeders, args.homes_per_feeder),
         &template,
         args.cp.clone(),
@@ -1293,9 +1342,155 @@ fn run_city() -> Result<(), CliError> {
     .with_seed(args.seed)
     .with_shards(args.shards)
     .with_substation_fanin(args.substation_fanin)
-    .with_faults(args.faults.clone());
-    let report = City::new(spec)?.run()?;
+    .with_faults(args.faults.clone()))
+}
 
+/// Spawns `hansim city-worker <index> <count> <city flags…>` children
+/// of the current executable, stdout piped back as the worker stream.
+/// The original argv tail is passed through verbatim so the worker
+/// re-derives the spec from the same flags (fingerprint-checked).
+fn process_launcher(
+    city_argv: Vec<String>,
+) -> impl FnMut(&mp::WorkerTask) -> Result<WorkerConnection, String> {
+    move |task| {
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        let mut child = std::process::Command::new(exe)
+            .arg("city-worker")
+            .arg(task.worker.to_string())
+            .arg(task.workers.to_string())
+            .args(&city_argv)
+            .stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn: {e}"))?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        Ok(WorkerConnection::new(stdout).with_shutdown(move || {
+            // Kill is a no-op on an already-exited child; wait reaps it
+            // either way so no fleet run leaves zombies behind.
+            let _ = child.kill();
+            let _ = child.wait();
+        }))
+    }
+}
+
+fn run_city() -> Result<(), CliError> {
+    let city_argv: Vec<String> = std::env::args().skip(2).collect();
+    let args = parse_city_args(city_argv.iter().cloned())?;
+    let spec = city_spec(&args)?;
+    let report = match args.workers {
+        None => City::new(spec)?.run()?,
+        Some(workers) => {
+            let options = MpOptions::new(workers)
+                .with_deadline(std::time::Duration::from_millis(args.mp_deadline_ms))
+                .with_restart(args.mp_restart);
+            let mut launch = process_launcher(city_argv);
+            let (report, _stats) = mp::run_city_mp(&spec, &options, &Obs::off(), &mut launch)?;
+            report
+        }
+    };
+    print_city_report(&report, &args);
+    Ok(())
+}
+
+/// The hidden worker half of `hansim city --workers N`: re-derives the
+/// spec from the pass-through city flags and streams its feeder
+/// partition to stdout as the `HANCITY1` protocol. Never invoked by
+/// hand — absent from usage on purpose.
+fn run_city_worker() -> Result<(), CliError> {
+    let mut argv = std::env::args().skip(2);
+    let parse_pos = |v: Option<String>, flag: &'static str| -> Result<usize, CliError> {
+        let v = v.ok_or(CliError::MissingValue { flag })?;
+        parse_num(&v, flag)
+    };
+    let worker = parse_pos(argv.next(), "city-worker <index>")?;
+    let workers = parse_pos(argv.next(), "city-worker <count>")?;
+    let args = parse_city_args(argv)?;
+    let spec = city_spec(&args)?;
+    let stdout = std::io::stdout().lock();
+    let mut out = SabotagedWriter::from_env(std::io::BufWriter::new(stdout), worker);
+    mp::serve_worker(&spec, worker, workers, &mut out).map_err(|e| match e {
+        mp::ServeError::Scenario(inner) => CliError::Scenario(inner),
+        mp::ServeError::BadWorkerCount { workers, feeders } => {
+            CliError::Worker(WorkerError::BadWorkerCount { workers, feeders })
+        }
+        mp::ServeError::Io(error) => CliError::Io {
+            path: "<stdout>".into(),
+            error,
+        },
+    })
+}
+
+/// A byte-counting stdout wrapper that lets the CLI test battery script
+/// worker failures from the *outside*: `HANSIM_CITY_WORKER_CRASH=I`
+/// hard-exits worker `I` a few bytes into its first record frame, and
+/// `HANSIM_CITY_WORKER_STALL=I` makes worker `I` hold the pipe open in
+/// silence after its handshake. The variant `I:once:PATH` crashes only
+/// while the flag file at `PATH` is absent (creating it), so a
+/// `--mp-restart` relaunch succeeds. Sabotage exists only on this
+/// hidden subcommand's write path — the protocol itself has no test
+/// hooks.
+struct SabotagedWriter<W: Write> {
+    inner: W,
+    written: usize,
+    crash_at: Option<usize>,
+    stall_at: Option<usize>,
+}
+
+impl<W: Write> SabotagedWriter<W> {
+    fn from_env(inner: W, worker: usize) -> Self {
+        let armed = |var: &str, at: usize| -> Option<usize> {
+            let spec = std::env::var(var).ok()?;
+            let mut parts = spec.splitn(3, ':');
+            let index: usize = parts.next()?.parse().ok()?;
+            if index != worker {
+                return None;
+            }
+            if let (Some("once"), Some(flag)) = (parts.next(), parts.next()) {
+                if std::path::Path::new(flag).exists() {
+                    return None;
+                }
+                let _ = std::fs::write(flag, b"spent");
+            }
+            Some(at)
+        };
+        SabotagedWriter {
+            inner,
+            written: 0,
+            crash_at: armed(
+                "HANSIM_CITY_WORKER_CRASH",
+                mp::HANDSHAKE_LEN + 10,
+            ),
+            stall_at: armed("HANSIM_CITY_WORKER_STALL", mp::HANDSHAKE_LEN),
+        }
+    }
+}
+
+impl<W: Write> Write for SabotagedWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n;
+        if self.crash_at.is_some_and(|at| self.written >= at) {
+            let _ = self.inner.flush();
+            std::process::exit(17);
+        }
+        if self.stall_at.is_some_and(|at| self.written >= at) {
+            let _ = self.inner.flush();
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Prints the reduced city report — CSV series or the pretty tables.
+/// A pure function of `(report, parsed flags)`: nothing here depends on
+/// how the report was computed, which is exactly why `--workers N`,
+/// every `--shards K`, and the in-process default print identical bytes
+/// (pinned by tests/cli_city.rs and tests/cli_city_mp.rs).
+fn print_city_report(report: &CityReport, args: &CityArgs) {
     if args.csv {
         let minutes: Vec<f64> = (0..report.samples_uncoordinated.len())
             .map(|m| m as f64)
@@ -1311,12 +1506,9 @@ fn run_city() -> Result<(), CliError> {
                 ],
             )
         );
-        return Ok(());
+        return;
     }
 
-    // Everything printed below is a pure function of the reduced report
-    // — nothing shard-dependent, so the bytes are identical for every
-    // valid `--shards` value (pinned by tests/cli_city.rs).
     println!(
         "{}: {} feeders x {} homes x {} devices = {} devices, {} min, seed {}",
         report.name,
@@ -1382,7 +1574,6 @@ fn run_city() -> Result<(), CliError> {
         cost_line(&costs.coordinated),
         costs.savings_percent(),
     );
-    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -1397,6 +1588,18 @@ fn main() -> ExitCode {
             return match run_city() {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => fail(&e),
+            };
+        }
+        // The hidden worker half of `city --workers N`. Failures go to
+        // stderr with a bare exit — the parent's typed error is the
+        // user-facing diagnostic, not this.
+        Some("city-worker") => {
+            return match run_city_worker() {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("city-worker: {e}");
+                    ExitCode::FAILURE
+                }
             };
         }
         _ => {}
@@ -1436,7 +1639,8 @@ fn fail(error: &CliError) -> ExitCode {
          [--checkpoint PATH] [--checkpoint-every MIN] [--restore PATH] \
          [--pace-us N] [--manual] [--flight FILE]\n       \
          hansim city [scenario flags] [--feeders N] [--homes-per-feeder M] \
-         [--shards K] [--substation-fanin N] [--csv]"
+         [--shards K] [--substation-fanin N] [--workers N] [--mp-restart] \
+         [--mp-deadline-ms N] [--csv]"
     );
     ExitCode::FAILURE
 }

@@ -11,14 +11,9 @@
 //!    fails through the typed error path with a non-zero exit and a
 //!    one-line `error:` diagnostic — never a panic backtrace.
 
-use std::process::Command;
+mod common;
 
-fn hansim(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_hansim"))
-        .args(args)
-        .output()
-        .expect("hansim binary runs")
-}
+use common::{assert_bytes_eq, hansim};
 
 /// A small city that still exercises multi-feeder reduction: 3 feeders
 /// x 2 homes x 5 devices for 40 minutes.
@@ -51,19 +46,16 @@ fn report_is_byte_identical_across_shard_counts() {
     for shards in ["2", "3"] {
         let sharded = hansim(&city_args(&["--shards", shards]));
         assert!(sharded.status.success(), "{shards}-shard run failed");
-        assert_eq!(
-            String::from_utf8_lossy(&one.stdout),
-            String::from_utf8_lossy(&sharded.stdout),
-            "report changed between --shards 1 and --shards {shards}"
+        assert_bytes_eq(
+            &one.stdout,
+            &sharded.stdout,
+            &format!("--shards 1 vs --shards {shards}"),
         );
     }
     // The automatic partition (no --shards) prints the same report too.
     let auto = hansim(&city_args(&[]));
     assert!(auto.status.success());
-    assert_eq!(
-        one.stdout, auto.stdout,
-        "auto shard count changed the report"
-    );
+    assert_bytes_eq(&one.stdout, &auto.stdout, "--shards 1 vs auto shards");
 }
 
 #[test]
@@ -76,7 +68,7 @@ fn csv_series_is_shard_invariant_too() {
         String::from_utf8_lossy(&one.stdout).starts_with("minute,uncoordinated,coordinated"),
         "CSV header missing"
     );
-    assert_eq!(one.stdout, three.stdout, "CSV series must match exactly");
+    assert_bytes_eq(&one.stdout, &three.stdout, "CSV --shards 1 vs --shards 3");
 }
 
 #[test]

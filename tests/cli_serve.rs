@@ -11,10 +11,11 @@
 //! report deliberately excludes the engine event count, the one field
 //! the restore contract exempts.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
-use std::process::{Child, Command, Stdio};
-use std::time::Duration;
+mod common;
+
+use common::{connect, free_port, hansim_cmd, roundtrip, wait_report};
+use std::io::BufReader;
+use std::process::{Child, Stdio};
 
 /// The telemetry every run ingests: two arrivals, a cap change, an
 /// early release (refused by the minDCD interlock — visible as
@@ -22,42 +23,6 @@ use std::time::Duration;
 const TELEMETRY: &str = "arrive:3@2; arrive:5@4; cap:10@6; done:3@8";
 
 const SCENARIO: &[&str] = &["--minutes", "20", "--devices", "8", "--rate", "6"];
-
-fn hansim_cmd() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_hansim"))
-}
-
-/// Grabs a free loopback port (bind-then-drop; the daemon rebinds it).
-fn free_port() -> u16 {
-    TcpListener::bind("127.0.0.1:0")
-        .expect("loopback bind")
-        .local_addr()
-        .expect("local addr")
-        .port()
-}
-
-/// Connects to the daemon, retrying while it boots.
-fn connect(port: u16) -> TcpStream {
-    let addr = format!("127.0.0.1:{port}");
-    for _ in 0..100 {
-        if let Ok(stream) = TcpStream::connect(&addr) {
-            return stream;
-        }
-        std::thread::sleep(Duration::from_millis(50));
-    }
-    panic!("daemon never came up on {addr}");
-}
-
-/// One request/reply exchange on the protocol.
-fn roundtrip(reader: &mut BufReader<TcpStream>, line: &str) -> String {
-    reader
-        .get_mut()
-        .write_all(format!("{line}\n").as_bytes())
-        .expect("send command");
-    let mut reply = String::new();
-    reader.read_line(&mut reply).expect("read reply");
-    reply.trim_end().to_string()
-}
 
 fn spawn_daemon(port: u16, extra: &[&str]) -> Child {
     hansim_cmd()
@@ -69,12 +34,6 @@ fn spawn_daemon(port: u16, extra: &[&str]) -> Child {
         .stderr(Stdio::null())
         .spawn()
         .expect("daemon spawns")
-}
-
-fn wait_report(child: Child) -> String {
-    let out = child.wait_with_output().expect("daemon exits");
-    assert!(out.status.success(), "daemon failed: {out:?}");
-    String::from_utf8(out.stdout).expect("utf-8 report")
 }
 
 /// The uninterrupted reference: replay mode ingests the same telemetry
